@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding experiment once (through ``benchmark.pedantic`` so
+pytest-benchmark records the wall-clock cost of regenerating it), asserts the
+qualitative *shape* the paper reports, and writes the rows/series to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote them.
+
+Set ``REPRO_FULL=1`` to run the full-scale versions (all four workloads,
+more iterations); the default configuration is sized to finish in a few
+minutes on a laptop CPU.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    """Whether to run the full (slow) benchmark configuration."""
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def save_report(name: str, text: str) -> Path:
+    """Persist a benchmark report and echo it to stdout."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path

@@ -1,0 +1,12 @@
+"""Pytest fixtures for the benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._helpers import save_report
+
+
+@pytest.fixture
+def report_saver():
+    return save_report

@@ -1,0 +1,72 @@
+"""Ablation — gradient compression baselines vs SelSync's selective skipping.
+
+§II-D of the paper surveys compression (Top-k, signSGD, PowerSGD, ...) as the
+orthogonal way of cutting communication: compress every step instead of
+skipping most steps.  This ablation compares accuracy, simulated time and
+bytes shipped for both families under the same budget of iterations.
+"""
+
+import pytest
+
+from benchmarks._helpers import full_scale, save_report
+
+from repro.compression import PowerSGDCompressor, SignSGDCompressor, TopKCompressor
+from repro.core.config import SelSyncConfig
+from repro.core.selsync import SelSyncTrainer
+from repro.harness.experiment import build_cluster, build_workload, make_trainer
+from repro.harness.reporting import format_table
+
+
+def _experiment():
+    iterations = 200 if full_scale() else 100
+    preset = build_workload("resnet101")
+    runs = {}
+
+    def fresh_cluster():
+        return build_cluster(preset, num_workers=4, seed=0)
+
+    runs["bsp"] = make_trainer("bsp", fresh_cluster(), preset, iterations,
+                               eval_every=iterations // 4).run(iterations)
+    for label, compressor in {
+        "bsp+topk(1%)": TopKCompressor(ratio=0.01),
+        "bsp+signsgd": SignSGDCompressor(),
+        "bsp+powersgd(r=4)": PowerSGDCompressor(rank=4, seed=0),
+    }.items():
+        runs[label] = make_trainer(
+            "compressed_bsp", fresh_cluster(), preset, iterations,
+            eval_every=iterations // 4, compressor=compressor,
+        ).run(iterations)
+    cluster = fresh_cluster()
+    runs["selsync(0.3)"] = SelSyncTrainer(
+        cluster, SelSyncConfig(delta=0.3),
+        lr_schedule=preset.lr_schedule_factory(iterations),
+        eval_every=iterations // 4,
+    ).run(iterations)
+    return runs
+
+
+@pytest.mark.benchmark(group="ablation_compression")
+def test_ablation_compression_vs_selsync(benchmark):
+    runs = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+    rows = [
+        [label, round(r.best_metric, 4), round(r.sim_time_seconds, 1),
+         round(r.communication_bytes / 1e6, 2), round(r.lssr, 3)]
+        for label, r in runs.items()
+    ]
+    report = format_table(
+        ["method", "best accuracy", "simulated time (s)", "comm (MB, analog model)", "LSSR"],
+        rows,
+        title="Ablation — gradient compression vs selective synchronization",
+    )
+    save_report("ablation_compression", report)
+
+    bsp = runs["bsp"]
+    # Every communication-reduction method is cheaper in simulated time than BSP.
+    for label, run in runs.items():
+        if label == "bsp":
+            continue
+        assert run.sim_time_seconds < bsp.sim_time_seconds
+    # SelSync keeps BSP-level accuracy while skipping most synchronizations.
+    assert runs["selsync(0.3)"].best_metric >= bsp.best_metric - 0.03
+    assert runs["selsync(0.3)"].lssr > 0.2

@@ -1,0 +1,55 @@
+"""Ablation — synchronization cost under PS vs ring vs tree topologies.
+
+§III of the paper notes the PS push/pull calls can be swapped for an
+all-reduce collective; ring all-reduce is bandwidth optimal, so the same
+SelSync policy gets cheaper synchronous steps on large clusters.
+"""
+
+import pytest
+
+from benchmarks._helpers import save_report
+
+from repro.cluster.compute_model import PAPER_WORKLOADS
+from repro.comm.cost_model import CommunicationCostModel
+from repro.harness.reporting import format_table
+
+WORKER_COUNTS = [4, 8, 16, 32]
+
+
+def _experiment():
+    out = {}
+    for topology in ("ps", "ring", "tree"):
+        model = CommunicationCostModel(topology=topology)
+        out[topology] = {
+            name: {n: model.sync_seconds(spec.model_bytes, n) for n in WORKER_COUNTS}
+            for name, spec in PAPER_WORKLOADS.items()
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="ablation_topology")
+def test_ablation_sync_cost_by_topology(benchmark):
+    costs = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for name in PAPER_WORKLOADS:
+        for n in WORKER_COUNTS:
+            rows.append([
+                name, n,
+                round(costs["ps"][name][n], 3),
+                round(costs["ring"][name][n], 3),
+                round(costs["tree"][name][n], 3),
+            ])
+    report = format_table(
+        ["workload", "workers", "PS (s)", "ring (s)", "tree (s)"], rows,
+        title="Ablation — per-round synchronization cost by topology",
+    )
+    save_report("ablation_topology", report)
+
+    for name in PAPER_WORKLOADS:
+        # Ring all-reduce wins over the PS at large scale for every model.
+        assert costs["ring"][name][32] < costs["ps"][name][32]
+        # PS cost keeps growing with the worker count.
+        assert costs["ps"][name][32] > costs["ps"][name][4]
+        # Ring cost is roughly flat in the worker count (bandwidth optimal).
+        assert costs["ring"][name][32] < costs["ring"][name][4] * 2.0

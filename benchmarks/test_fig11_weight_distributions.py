@@ -1,0 +1,74 @@
+"""Fig. 11 — weight-distribution density: BSP vs SelSync-PA vs SelSync-GA.
+
+Paper: the parameter distribution of SelSync with parameter aggregation
+stays aligned with the distribution BSP produces, while gradient aggregation
+lets the weights drift into a visibly different (narrower / shifted)
+distribution — evidence of the replica divergence §III-C describes.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._helpers import full_scale, save_report
+
+from repro.algorithms.bsp import BSPTrainer
+from repro.core.config import SelSyncConfig
+from repro.core.selsync import SelSyncTrainer
+from repro.harness.experiment import build_cluster, build_workload
+from repro.harness.reporting import format_table
+from repro.stats.kde import distribution_summary
+from repro.utils.flatten import flatten_arrays
+
+
+def _train(method: str, iterations: int, seed: int = 0):
+    preset = build_workload("resnet101")
+    cluster = build_cluster(preset, num_workers=4, seed=seed)
+    schedule = preset.lr_schedule_factory(iterations)
+    if method == "bsp":
+        trainer = BSPTrainer(cluster, lr_schedule=schedule, eval_every=iterations)
+    else:
+        aggregation = "param" if method == "pa" else "grad"
+        trainer = SelSyncTrainer(
+            cluster, SelSyncConfig(delta=0.25, aggregation=aggregation),
+            lr_schedule=schedule, eval_every=iterations,
+        )
+    trainer.run(iterations)
+    flat, _ = flatten_arrays(trainer.global_state())
+    return flat
+
+
+def _experiment():
+    iterations = 250 if full_scale() else 100
+    return {method: _train(method, iterations) for method in ("bsp", "pa", "ga")}
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_weight_distribution_alignment(benchmark):
+    weights = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+    summaries = {m: distribution_summary(w, zero_band=1e-3) for m, w in weights.items()}
+    rows = [
+        [m.upper(), f"{s.mean:.4e}", f"{s.std:.4e}", f"{s.quantiles['p5']:.3e}",
+         f"{s.quantiles['p95']:.3e}"]
+        for m, s in summaries.items()
+    ]
+    report = format_table(
+        ["method", "weight mean", "weight std", "p5", "p95"], rows,
+        title="Fig. 11 — model weight distributions after the same number of steps",
+    )
+
+    # Distribution distance to BSP measured on matched quantiles of the
+    # flattened weight vectors (a cheap 1-D Wasserstein proxy).
+    quantile_grid = np.linspace(0.01, 0.99, 99)
+    q_bsp = np.quantile(weights["bsp"], quantile_grid)
+    dist = {
+        m: float(np.mean(np.abs(np.quantile(weights[m], quantile_grid) - q_bsp)))
+        for m in ("pa", "ga")
+    }
+    report += (
+        f"\n\nmean |quantile difference| to BSP:  PA = {dist['pa']:.4e}, GA = {dist['ga']:.4e}"
+    )
+    save_report("fig11_weight_distributions", report)
+
+    # Shape: PA's weight distribution is at least as close to BSP's as GA's is.
+    assert dist["pa"] <= dist["ga"] * 1.1

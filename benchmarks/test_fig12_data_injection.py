@@ -1,0 +1,89 @@
+"""Fig. 12 — data injection for SelSync on non-IID data vs FedAvg.
+
+Paper: with label-skewed partitions FedAvg oscillates far below the IID
+accuracy, while SelSync with randomized data injection recovers most of it;
+richer injection configurations ((0.75, 0.75, 0.3) > (0.5, 0.5, 0.3) >
+(0.5, 0.5, 0.05)) give progressively better accuracy.
+"""
+
+import pytest
+
+from benchmarks._helpers import full_scale, save_report
+
+from repro.algorithms.fedavg import FedAvgTrainer
+from repro.core.config import SelSyncConfig
+from repro.core.selsync import SelSyncTrainer
+from repro.data.datasets import build_dataset
+from repro.data.injection import adjusted_batch_size
+from repro.data.noniid import LabelSkewPartitioner
+from repro.harness.experiment import build_cluster, build_workload
+from repro.harness.reporting import format_table
+
+INJECTION_CONFIGS = [(0.5, 0.5, 0.05), (0.5, 0.5, 0.3), (0.75, 0.75, 0.3)]
+
+
+def _make_cluster(preset, bundle, num_workers, batch_size, seed):
+    # Paper setting: 10 workers, 1 label per worker (non-IID CIFAR-10).
+    partitioner = LabelSkewPartitioner(bundle.train.targets, labels_per_worker=1, seed=seed)
+    return build_cluster(preset, num_workers=num_workers, seed=seed,
+                         partitioner=partitioner, bundle=bundle, batch_size=batch_size)
+
+
+def _experiment():
+    iterations = 300 if full_scale() else 150
+    num_workers = 10
+    seed = 0
+    preset = build_workload("resnet101")
+    # Harder mixture than the IID benchmarks so the label-skew penalty is
+    # visible within the benchmark's iteration budget.
+    dataset_kwargs = dict(preset.dataset_kwargs)
+    dataset_kwargs.update({"class_sep": 2.5, "noise": 1.2, "train_samples": 8192})
+    bundle = build_dataset(preset.dataset_name, seed=seed, **dataset_kwargs)
+
+    results = {}
+    fedavg_cluster = _make_cluster(preset, bundle, num_workers, preset.batch_size, seed)
+    # The paper's E=0.1 corresponds to an aggregation roughly every 16 steps on
+    # full-size CIFAR-10; with the scaled-down dataset the same *step interval*
+    # is obtained with a larger sync factor.
+    steps_per_epoch = max(fedavg_cluster.workers[0].loader.steps_per_epoch, 1)
+    sync_factor = min(max(16.0 / steps_per_epoch, 0.05), 1.0)
+    results["fedavg"] = FedAvgTrainer(
+        fedavg_cluster, participation=1.0, sync_factor=sync_factor,
+        lr_schedule=preset.lr_schedule_factory(iterations),
+        eval_every=max(iterations // 5, 1),
+    ).run(iterations)
+
+    for alpha, beta, delta in INJECTION_CONFIGS:
+        b_prime = adjusted_batch_size(preset.batch_size, alpha, beta, num_workers)
+        cluster = _make_cluster(preset, bundle, num_workers, b_prime, seed)
+        trainer = SelSyncTrainer(
+            cluster,
+            SelSyncConfig(delta=delta, injection_alpha=alpha, injection_beta=beta),
+            lr_schedule=preset.lr_schedule_factory(iterations),
+            eval_every=max(iterations // 5, 1),
+        )
+        results[f"selsync({alpha},{beta},{delta})"] = trainer.run(iterations)
+    return results
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_data_injection_noniid(benchmark):
+    results = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+    rows = [
+        [label, round(run.best_metric, 4), round(run.lssr, 3)]
+        for label, run in results.items()
+    ]
+    report = format_table(
+        ["method", "best test accuracy", "LSSR"], rows,
+        title="Fig. 12 — non-IID (label-skew) training: FedAvg vs SelSync with data injection",
+    )
+    save_report("fig12_data_injection", report)
+
+    fedavg = results["fedavg"].best_metric
+    best_injection = results["selsync(0.75,0.75,0.3)"].best_metric
+    weakest_injection = results["selsync(0.5,0.5,0.05)"].best_metric
+    # Shape: data injection beats FedAvg on skewed data, and the richest
+    # injection configuration is at least as good as the weakest one.
+    assert best_injection > fedavg
+    assert best_injection >= weakest_injection - 0.02

@@ -1,0 +1,51 @@
+"""Fig. 1a — relative training throughput vs number of workers.
+
+Paper: PS training of ResNet101, VGG11, AlexNet and Transformer on V100s
+over a 5 Gbps NIC scales far below linearly; ResNet101 improves only ~3x
+going from 1 to 16 workers and VGG11 (the largest model, 507 MB) is the
+worst scaler.
+"""
+
+import pytest
+
+from benchmarks._helpers import save_report
+
+from repro.cluster.compute_model import PAPER_WORKLOADS
+from repro.comm.cost_model import CommunicationCostModel
+from repro.harness.reporting import format_table
+from repro.metrics.throughput import throughput_curve
+
+WORKER_COUNTS = [1, 2, 4, 8, 16]
+
+
+def _compute_curves():
+    comm = CommunicationCostModel(topology="ps")
+    curves = {}
+    for name, spec in PAPER_WORKLOADS.items():
+        curves[name] = throughput_curve(spec, WORKER_COUNTS, spec.base_batch_size, comm)
+    return curves
+
+
+@pytest.mark.benchmark(group="fig1a")
+def test_fig1a_relative_throughput(benchmark):
+    curves = benchmark.pedantic(_compute_curves, rounds=1, iterations=1)
+
+    rows = []
+    for n in WORKER_COUNTS:
+        rows.append([n] + [round(curves[m][n], 2) for m in PAPER_WORKLOADS])
+    report = format_table(
+        ["workers"] + list(PAPER_WORKLOADS), rows,
+        title="Fig. 1a — relative throughput vs cluster size (PS, 5 Gbps)",
+    )
+    save_report("fig1a_throughput_scaling", report)
+
+    # Shape assertions from the paper:
+    for name in PAPER_WORKLOADS:
+        # throughput improves with workers...
+        assert curves[name][16] > curves[name][2]
+        # ...but stays far below linear (16 workers << 16x).
+        assert curves[name][16] < 8.0
+    # ResNet101 tops out around ~3x when scaling 1 -> 16 workers.
+    assert 1.5 < curves["resnet101"][16] < 5.0
+    # VGG11 (507 MB) is the worst scaler of the four.
+    assert curves["vgg11"][16] == min(curves[m][16] for m in PAPER_WORKLOADS)

@@ -1,0 +1,53 @@
+"""Fig. 2 — compute time and memory utilization vs per-worker batch size.
+
+Paper: increasing the worker batch size to N*b (to make SSP do BSP-level
+work per step) inflates both compute time and memory; the Transformer OOMs
+beyond b = 64 on a 12 GB K80.
+"""
+
+import pytest
+
+from benchmarks._helpers import save_report
+
+from repro.cluster.compute_model import PAPER_WORKLOADS, ComputeCostModel, memory_gigabytes
+from repro.harness.reporting import format_table
+
+BATCH_SIZES = [32, 64, 128, 256, 512, 1024]
+K80_MEMORY_GB = 12.0
+
+
+def _compute_tables():
+    compute_ms = {}
+    memory_gb = {}
+    for name, spec in PAPER_WORKLOADS.items():
+        model = ComputeCostModel(spec)
+        compute_ms[name] = {b: model.step_seconds(b) * 1000.0 for b in BATCH_SIZES}
+        memory_gb[name] = {b: memory_gigabytes(spec, b) for b in BATCH_SIZES}
+    return compute_ms, memory_gb
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_compute_time_and_memory_vs_batch(benchmark):
+    compute_ms, memory_gb = benchmark.pedantic(_compute_tables, rounds=1, iterations=1)
+
+    rows_a = [[b] + [round(compute_ms[m][b], 1) for m in PAPER_WORKLOADS] for b in BATCH_SIZES]
+    rows_b = [[b] + [round(memory_gb[m][b], 2) for m in PAPER_WORKLOADS] for b in BATCH_SIZES]
+    report = "\n\n".join(
+        [
+            format_table(["batch"] + list(PAPER_WORKLOADS), rows_a,
+                         title="Fig. 2a — compute time (ms) vs batch size"),
+            format_table(["batch"] + list(PAPER_WORKLOADS), rows_b,
+                         title="Fig. 2b — memory (GB) vs batch size"),
+        ]
+    )
+    save_report("fig2_batch_scaling", report)
+
+    for name in PAPER_WORKLOADS:
+        times = [compute_ms[name][b] for b in BATCH_SIZES]
+        mems = [memory_gb[name][b] for b in BATCH_SIZES]
+        assert all(t2 > t1 for t1, t2 in zip(times, times[1:]))
+        assert all(m2 > m1 for m1, m2 in zip(mems, mems[1:]))
+    # The Transformer workload exceeds the K80's 12 GB budget at large batches
+    # (the OOM the paper reports beyond b = 64 at its memory footprint).
+    assert memory_gb["transformer"][1024] > K80_MEMORY_GB
+    assert memory_gb["transformer"][32] < K80_MEMORY_GB

@@ -1,0 +1,53 @@
+"""Fig. 7 — DefDP vs SelDP data-partitioning layout for a 4-worker cluster.
+
+Regenerates the chunk-visit order of both schemes and checks the circular-
+queue property SelDP is built on.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._helpers import save_report
+
+from repro.data.partition import DefaultPartitioner, SelSyncPartitioner, partition_layout
+from repro.harness.reporting import format_table
+
+NUM_WORKERS = 4
+DATASET_SIZE = 1024
+
+
+def _experiment():
+    defdp = DefaultPartitioner(seed=0).partition(DATASET_SIZE, NUM_WORKERS)
+    seldp = SelSyncPartitioner(seed=0).partition(DATASET_SIZE, NUM_WORKERS)
+    return defdp, seldp
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_partition_layouts(benchmark):
+    defdp, seldp = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+
+    def_layout = partition_layout(defdp)
+    sel_layout = partition_layout(seldp)
+    rows = []
+    for worker in range(NUM_WORKERS):
+        rows.append([
+            f"worker{worker}",
+            " ".join(f"DP{c}" for c in def_layout[worker]),
+            " ".join(f"DP{c}" for c in sel_layout[worker]),
+        ])
+    report = format_table(
+        ["worker", "DefDP chunk order", "SelDP chunk order (circular queue)"], rows,
+        title="Fig. 7 — data partitioning layouts for a 4-worker cluster",
+    )
+    save_report("fig7_partitioning_layout", report)
+
+    # DefDP: disjoint single chunks; SelDP: every worker visits all chunks,
+    # rotated by its worker id.
+    for worker in range(NUM_WORKERS):
+        assert def_layout[worker] == [worker]
+        expected = list(range(worker, NUM_WORKERS)) + list(range(0, worker))
+        assert sel_layout[worker] == expected
+        assert seldp.worker_indices[worker].size == DATASET_SIZE
+        np.testing.assert_array_equal(
+            np.sort(seldp.worker_indices[worker]), np.arange(DATASET_SIZE)
+        )

@@ -1,0 +1,63 @@
+"""Scenario: sweep the δ threshold between BSP and pure local SGD (Fig. 6).
+
+For a grid of δ values the script reports the fraction of local steps
+(LSSR), the resulting communication-reduction factor, the final accuracy and
+the simulated wall-clock — making the parallel-vs-statistical-efficiency
+trade-off of §III-B concrete.
+
+Usage:
+    python examples/delta_sweep.py [--iterations 120] [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.config import SelSyncConfig
+from repro.core.selsync import SelSyncTrainer
+from repro.harness.experiment import build_cluster, build_workload
+from repro.harness.reporting import format_table
+from repro.metrics.lssr import communication_reduction
+
+DELTAS = [0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 1e9]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="resnet101",
+                        choices=["resnet101", "vgg11", "alexnet", "transformer"])
+    parser.add_argument("--iterations", type=int, default=120)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    rows = []
+    for delta in DELTAS:
+        preset = build_workload(args.workload)
+        cluster = build_cluster(preset, num_workers=args.workers, seed=args.seed)
+        trainer = SelSyncTrainer(
+            cluster, SelSyncConfig(delta=delta),
+            lr_schedule=preset.lr_schedule_factory(args.iterations),
+            eval_every=max(args.iterations // 4, 1),
+        )
+        result = trainer.run(args.iterations)
+        reduction = communication_reduction(result.lssr)
+        rows.append([
+            "∞ (local only)" if delta == 1e9 else delta,
+            round(result.lssr, 3),
+            "∞" if reduction == float("inf") else f"{reduction:.1f}x",
+            round(result.best_metric, 4),
+            round(result.sim_time_seconds, 1),
+        ])
+        print(f"δ={delta}: LSSR={result.lssr:.3f}, metric={result.best_metric:.4f}")
+
+    print()
+    print(format_table(
+        ["δ", "LSSR", "comm. reduction", f"best metric", "simulated time (s)"],
+        rows,
+        title=f"δ sweep — {args.workload}, {args.workers} workers",
+    ))
+
+
+if __name__ == "__main__":
+    main()

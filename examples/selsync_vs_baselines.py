@@ -1,0 +1,59 @@
+"""Scenario: reproduce a miniature Table I — SelSync vs BSP, FedAvg and SSP.
+
+Runs the full method grid on one workload and prints the Table-I columns
+(iterations, LSSR, accuracy/perplexity, convergence difference vs BSP,
+whether BSP is outperformed, overall simulated speedup).
+
+Usage:
+    python examples/selsync_vs_baselines.py [--workload resnet101] [--iterations 160]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.harness.experiment import build_cluster, build_workload, make_trainer
+from repro.harness.reporting import format_table, results_to_rows, table1_headers
+from repro.metrics.convergence import ConvergenceDetector
+
+METHODS = {
+    "bsp": ("bsp", {}),
+    "fedavg(C=1,E=0.25)": ("fedavg", {"participation": 1.0, "sync_factor": 0.25}),
+    "fedavg(C=0.5,E=0.25)": ("fedavg", {"participation": 0.5, "sync_factor": 0.25}),
+    "ssp(s=100)": ("ssp", {"staleness": 100}),
+    "selsync(δ=0.3)": ("selsync", {"delta": 0.3}),
+    "selsync(δ=0.5)": ("selsync", {"delta": 0.5}),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="resnet101",
+                        choices=["resnet101", "vgg11", "alexnet", "transformer"])
+    parser.add_argument("--iterations", type=int, default=160)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    results = {}
+    for label, (algorithm, kwargs) in METHODS.items():
+        print(f"running {label} ...")
+        preset = build_workload(args.workload)
+        cluster = build_cluster(preset, num_workers=args.workers, seed=args.seed)
+        trainer = make_trainer(
+            algorithm, cluster, preset, total_iterations=args.iterations,
+            eval_every=max(args.iterations // 8, 1), **kwargs,
+        )
+        detector = ConvergenceDetector(
+            higher_is_better=preset.task != "language_modeling", patience=4, min_delta=1e-3
+        )
+        results[label] = trainer.run(args.iterations, convergence=detector)
+
+    rows = results_to_rows(results, baseline_key="bsp")
+    print()
+    print(format_table(table1_headers(), rows,
+                       title=f"Table I (miniature) — {args.workload}, {args.workers} workers"))
+
+
+if __name__ == "__main__":
+    main()

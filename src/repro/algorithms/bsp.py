@@ -1,0 +1,55 @@
+"""Bulk-synchronous parallel (BSP) training (§II-A).
+
+Every iteration all workers compute gradients on their own mini-batch, the
+gradients are averaged (through the PS in the paper's deployment) and every
+worker applies the same averaged update, so all replicas stay identical.
+BSP is the accuracy reference and the speedup baseline for Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.algorithms.base import BaseTrainer
+from repro.cluster.cluster import SimulatedCluster
+from repro.optim.schedules import LRSchedule
+
+
+class BSPTrainer(BaseTrainer):
+    """Aggregate gradients and synchronize on every single step (LSSR = 0)."""
+
+    name = "bsp"
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        lr_schedule: Optional[LRSchedule] = None,
+        eval_every: int = 50,
+    ) -> None:
+        super().__init__(cluster, lr_schedule=lr_schedule, eval_every=eval_every)
+
+    def train_step(self) -> Dict[str, float]:
+        cluster = self.cluster
+        lr = self.current_lr()
+        losses = []
+        grads_per_worker = []
+        for worker in cluster.workers:
+            loss, grads = worker.compute_gradients()
+            losses.append(loss)
+            grads_per_worker.append(grads)
+        cluster.charge_compute_step()
+
+        averaged_list = cluster.backend.allreduce_tree(grads_per_worker, op="mean")
+        cluster.charge_sync()
+        for worker, averaged in zip(cluster.workers, averaged_list):
+            worker.apply_update(grads=averaged, lr=lr)
+        # Keep the PS state in line with the (identical) replicas so the
+        # global checkpoint matches what a PS deployment would serve.
+        cluster.ps.set_state(cluster.workers[0].get_state())
+        self.lssr_tracker.record_sync()
+        return {"loss": float(np.mean(losses)), "synchronized": 1.0}
+
+    def global_state(self):
+        return self.cluster.workers[0].get_state()

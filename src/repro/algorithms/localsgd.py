@@ -1,0 +1,61 @@
+"""Fixed-period local SGD: synchronize parameters every H local steps.
+
+Not evaluated under its own name in the paper, but it is the degenerate
+behaviour SelSync approaches for large δ and the natural ablation between
+BSP (H = 1) and pure local training (H = ∞); used by the δ-sweep bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.algorithms.base import BaseTrainer
+from repro.cluster.cluster import SimulatedCluster
+from repro.core.aggregation import aggregate_parameters
+from repro.optim.schedules import LRSchedule
+
+
+class LocalSGDTrainer(BaseTrainer):
+    """Workers train locally and average parameters every ``sync_period`` steps."""
+
+    name = "local_sgd"
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        sync_period: int = 10,
+        lr_schedule: Optional[LRSchedule] = None,
+        eval_every: int = 50,
+    ) -> None:
+        super().__init__(cluster, lr_schedule=lr_schedule, eval_every=eval_every)
+        if sync_period < 1:
+            raise ValueError(f"sync_period must be >= 1, got {sync_period}")
+        self.sync_period = int(sync_period)
+
+    def describe(self) -> str:
+        return f"local_sgd(H={self.sync_period})"
+
+    def train_step(self) -> Dict[str, float]:
+        cluster = self.cluster
+        lr = self.current_lr()
+        losses = []
+        for worker in cluster.workers:
+            losses.append(worker.train_step(lr=lr))
+        cluster.charge_compute_step()
+
+        synchronize = (self.global_step + 1) % self.sync_period == 0
+        if synchronize:
+            new_global = cluster.ps.aggregate_parameters(
+                {w.worker_id: w.get_state() for w in cluster.workers}
+            )
+            cluster.broadcast_state(new_global)
+            cluster.charge_sync()
+            self.lssr_tracker.record_sync()
+        else:
+            self.lssr_tracker.record_local()
+        return {"loss": float(np.mean(losses)), "synchronized": float(synchronize)}
+
+    def result_extras(self) -> Dict[str, float]:
+        return {"sync_period": float(self.sync_period)}

@@ -1,0 +1,35 @@
+"""Simulated cluster: workers, compute/heterogeneity models, simulated time.
+
+The original evaluation runs 16 single-GPU docker containers plus a parameter
+server.  Here the cluster is simulated in-process and in lockstep: every
+worker holds a real model replica trained on real (synthetic) data, while
+wall-clock time is *modelled* — per-step compute time comes from
+:class:`ComputeCostModel` (optionally perturbed by a straggler model) and
+synchronization time from :class:`repro.comm.CommunicationCostModel`.  The
+simulated clock is what the speedup columns of Table I are computed from.
+"""
+
+from repro.cluster.compute_model import (
+    ComputeCostModel,
+    WorkloadSpec,
+    PAPER_WORKLOADS,
+    memory_gigabytes,
+)
+from repro.cluster.heterogeneity import WorkerSpeedModel, HomogeneousSpeed, StragglerModel
+from repro.cluster.clock import SimulatedClock
+from repro.cluster.worker import Worker
+from repro.cluster.cluster import SimulatedCluster, ClusterConfig
+
+__all__ = [
+    "ComputeCostModel",
+    "WorkloadSpec",
+    "PAPER_WORKLOADS",
+    "memory_gigabytes",
+    "WorkerSpeedModel",
+    "HomogeneousSpeed",
+    "StragglerModel",
+    "SimulatedClock",
+    "Worker",
+    "SimulatedCluster",
+    "ClusterConfig",
+]

@@ -1,0 +1,72 @@
+"""Simulated wall-clock accounting for the lockstep cluster.
+
+Each worker has its own clock; barrier-style algorithms (BSP, SelSync sync
+steps, FedAvg aggregation rounds) advance every worker to the maximum clock
+before adding the shared synchronization cost, while asynchronous algorithms
+(SSP) advance workers independently.  The global elapsed time reported in
+Table I is the maximum worker clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+class SimulatedClock:
+    """Per-worker simulated times plus aggregate accounting buckets."""
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = int(num_workers)
+        self.worker_time = np.zeros(num_workers, dtype=np.float64)
+        self.buckets: Dict[str, float] = {"compute": 0.0, "communication": 0.0, "other": 0.0}
+
+    # ------------------------------------------------------------------ #
+    def advance_worker(self, worker_id: int, seconds: float, bucket: str = "compute") -> None:
+        """Advance one worker's clock (asynchronous progress)."""
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(f"worker_id {worker_id} out of range")
+        if seconds < 0:
+            raise ValueError(f"cannot advance time by a negative amount: {seconds}")
+        self.worker_time[worker_id] += seconds
+        self.buckets[bucket] = self.buckets.get(bucket, 0.0) + seconds
+
+    def advance_all(self, per_worker_seconds: Sequence[float], bucket: str = "compute") -> None:
+        """Advance every worker by its own amount (parallel compute phase)."""
+        per_worker_seconds = np.asarray(per_worker_seconds, dtype=np.float64)
+        if per_worker_seconds.shape != (self.num_workers,):
+            raise ValueError(
+                f"expected {self.num_workers} durations, got shape {per_worker_seconds.shape}"
+            )
+        if np.any(per_worker_seconds < 0):
+            raise ValueError("durations must be non-negative")
+        self.worker_time += per_worker_seconds
+        self.buckets[bucket] = self.buckets.get(bucket, 0.0) + float(per_worker_seconds.max())
+
+    def barrier(self) -> float:
+        """Synchronize all workers to the slowest one; returns the barrier time."""
+        latest = float(self.worker_time.max())
+        self.worker_time[:] = latest
+        return latest
+
+    def barrier_and_add(self, seconds: float, bucket: str = "communication") -> float:
+        """Barrier, then charge a shared cost (e.g. an aggregation round) to all."""
+        if seconds < 0:
+            raise ValueError(f"cannot add negative time: {seconds}")
+        latest = self.barrier()
+        self.worker_time += seconds
+        self.buckets[bucket] = self.buckets.get(bucket, 0.0) + seconds
+        return latest + seconds
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated wall-clock time of the whole job (slowest worker)."""
+        return float(self.worker_time.max())
+
+    def worker_elapsed(self, worker_id: int) -> float:
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(f"worker_id {worker_id} out of range")
+        return float(self.worker_time[worker_id])

@@ -1,0 +1,237 @@
+"""Lockstep simulated cluster: construction and shared bookkeeping.
+
+``SimulatedCluster`` wires together everything a training algorithm needs:
+
+* ``num_workers`` :class:`~repro.cluster.worker.Worker` replicas built from a
+  model factory, each with its own optimizer, RNG stream and data partition,
+* a :class:`~repro.comm.parameter_server.ParameterServer` initialized from a
+  broadcast of worker 0's parameters (so every replica starts identical, as
+  in BSP),
+* an :class:`~repro.comm.backend.InProcessBackend` for collectives,
+* a :class:`~repro.cluster.clock.SimulatedClock` charged through the compute
+  and communication cost models so algorithms can report simulated wall-clock.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.clock import SimulatedClock
+from repro.cluster.compute_model import ComputeCostModel, PAPER_WORKLOADS, WorkloadSpec
+from repro.cluster.heterogeneity import HomogeneousSpeed, WorkerSpeedModel
+from repro.cluster.worker import Worker
+from repro.comm.backend import InProcessBackend
+from repro.comm.cost_model import CommunicationCostModel
+from repro.comm.parameter_server import ParameterServer
+from repro.data.loader import DataLoader
+from repro.data.partition import DefaultPartitioner, Partitioner
+from repro.metrics.evaluation import EvalResult, evaluate_model
+from repro.nn.module import Module
+from repro.optim.optimizer import Optimizer
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass
+class ClusterConfig:
+    """Configuration of the simulated cluster.
+
+    ``workload`` selects the cost-model spec (defaults to the ResNet101 spec)
+    so that simulated times reflect paper-scale model sizes even though the
+    replicas themselves are small analogs.
+    """
+
+    num_workers: int = 4
+    batch_size: int = 32
+    seed: int = 0
+    task: str = "classification"
+    workload: str = "resnet101"
+    topology: str = "ps"
+    eval_batch_size: int = 512
+    eval_max_batches: Optional[int] = 8
+    top_k: Optional[int] = None
+    speed_model: WorkerSpeedModel = field(default_factory=HomogeneousSpeed)
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.task not in ("classification", "language_modeling"):
+            raise ValueError(f"unknown task {self.task!r}")
+        if self.workload not in PAPER_WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; available: {sorted(PAPER_WORKLOADS)}"
+            )
+
+
+class SimulatedCluster:
+    """N workers + parameter server + cost models, trained in lockstep."""
+
+    def __init__(
+        self,
+        model_factory: Callable[[np.random.Generator], Module],
+        optimizer_factory: Callable[[Module], Optimizer],
+        train_dataset,
+        test_dataset,
+        config: ClusterConfig,
+        partitioner: Optional[Partitioner] = None,
+        worker_batch_size: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.train_dataset = train_dataset
+        self.test_dataset = test_dataset
+        self.partitioner = partitioner or DefaultPartitioner(seed=config.seed)
+        n = config.num_workers
+        batch_size = worker_batch_size or config.batch_size
+
+        rngs = spawn_rngs(config.seed, n + 1)
+        # Build worker 0's model first and copy its weights to every other
+        # replica, mirroring the initial pullFromPS of Alg. 1 (line 3).
+        reference_model = model_factory(rngs[0])
+        initial_state = reference_model.state_dict()
+
+        partition = self.partitioner.partition(len(train_dataset), n)
+        self.partition_result = partition
+
+        self.workers: List[Worker] = []
+        for worker_id in range(n):
+            model = model_factory(rngs[worker_id]) if worker_id == 0 else model_factory(rngs[worker_id])
+            model.load_state_dict(initial_state)
+            optimizer = optimizer_factory(model)
+            loader = DataLoader(
+                train_dataset,
+                indices=partition.worker_indices[worker_id],
+                batch_size=batch_size,
+                shuffle_each_epoch=self.partitioner.shuffle_each_epoch,
+                seed=config.seed * 1000 + worker_id,
+            )
+            self.workers.append(
+                Worker(worker_id, model, optimizer, loader, task=config.task)
+            )
+
+        self.ps = ParameterServer(initial_state, num_workers=n)
+        self.backend = InProcessBackend(world_size=n)
+        self.clock = SimulatedClock(num_workers=n)
+        self.comm_model = CommunicationCostModel(topology=config.topology)
+        self.workload_spec: WorkloadSpec = PAPER_WORKLOADS[config.workload]
+        self.compute_model = ComputeCostModel(self.workload_spec)
+        self.speed_model = config.speed_model
+        self._eval_rng = rngs[n]
+        self.global_step = 0
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_workers(self) -> int:
+        return self.config.num_workers
+
+    @property
+    def batch_size(self) -> int:
+        return self.workers[0].loader.batch_size
+
+    def steps_per_epoch(self) -> int:
+        """Global steps per pass over the full training set (BSP semantics)."""
+        return max(len(self.train_dataset) // (self.batch_size * self.num_workers), 1)
+
+    # ------------------------------------------------------------------ #
+    # simulated-time charging
+    # ------------------------------------------------------------------ #
+    def charge_compute_step(self, batch_size: Optional[int] = None) -> np.ndarray:
+        """Charge one parallel compute phase; returns per-worker durations."""
+        b = batch_size or self.batch_size
+        speeds = self.speed_model.speed_factors(self.num_workers, self.global_step)
+        durations = np.array(
+            [self.compute_model.step_seconds(b, speed) for speed in speeds]
+        )
+        self.clock.advance_all(durations, bucket="compute")
+        return durations
+
+    def charge_sync(self) -> float:
+        """Charge one full-model aggregation round (barrier + transfer)."""
+        seconds = self.comm_model.sync_seconds(
+            self.workload_spec.model_bytes, self.num_workers
+        )
+        self.clock.barrier_and_add(seconds, bucket="communication")
+        return seconds
+
+    def charge_flags_allgather(self) -> float:
+        """Charge the SelSync synchronization-status all-gather."""
+        seconds = self.comm_model.flags_seconds(self.num_workers)
+        self.clock.barrier_and_add(seconds, bucket="communication")
+        return seconds
+
+    def charge_p2p(self, num_bytes: float) -> float:
+        """Charge a point-to-point transfer (data injection, SSP pushes)."""
+        seconds = self.comm_model.p2p_seconds(num_bytes)
+        self.clock.barrier_and_add(seconds, bucket="communication")
+        return seconds
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate_state(self, state: Dict[str, np.ndarray]) -> EvalResult:
+        """Evaluate a (global) parameter state on the held-out test set."""
+        model = self.workers[0].model
+        backup = model.state_dict()
+        model.load_state_dict(state)
+        try:
+            result = evaluate_model(
+                model,
+                self.test_dataset,
+                task=self.config.task,
+                batch_size=self.config.eval_batch_size,
+                max_batches=self.config.eval_max_batches,
+                top_k=self.config.top_k,
+            )
+        finally:
+            model.load_state_dict(backup)
+        return result
+
+    def evaluate_worker_average(self) -> EvalResult:
+        """Evaluate the average of all current worker replicas.
+
+        This is the model a semi-synchronous method would obtain if it
+        synchronized right now; it is the checkpoint metric used in the
+        convergence curves (Figs. 9, 10, 12).
+        """
+        states = [w.get_state() for w in self.workers]
+        names = states[0].keys()
+        averaged = {
+            name: np.mean([s[name] for s in states], axis=0) for name in names
+        }
+        return self.evaluate_state(averaged)
+
+    def evaluate_global(self) -> EvalResult:
+        """Evaluate the parameter-server state."""
+        return self.evaluate_state(self.ps.pull())
+
+    # ------------------------------------------------------------------ #
+    # misc helpers
+    # ------------------------------------------------------------------ #
+    def broadcast_state(self, state: Dict[str, np.ndarray]) -> None:
+        """Load ``state`` into every worker replica (a model broadcast)."""
+        for worker in self.workers:
+            worker.set_state(state)
+
+    def average_worker_states(self) -> Dict[str, np.ndarray]:
+        states = [w.get_state() for w in self.workers]
+        names = states[0].keys()
+        return {name: np.mean([s[name] for s in states], axis=0) for name in names}
+
+    def replica_divergence(self) -> float:
+        """Mean L2 distance of worker replicas from their average (drift diagnostic)."""
+        states = [w.get_state() for w in self.workers]
+        avg = self.average_worker_states()
+        total = 0.0
+        for state in states:
+            sq = 0.0
+            for name, value in state.items():
+                diff = value - avg[name]
+                sq += float(np.sum(diff**2))
+            total += np.sqrt(sq)
+        return total / len(states)

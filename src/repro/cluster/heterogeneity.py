@@ -1,0 +1,85 @@
+"""Worker speed heterogeneity and straggler models.
+
+BSP is limited by its slowest worker (§II-A); SSP exists to tolerate exactly
+this.  The straggler model draws a per-step speed factor for every worker so
+the simulator can reproduce that sensitivity in the straggler ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+
+class WorkerSpeedModel:
+    """Base interface: per-step speed factors for every worker (1.0 = nominal)."""
+
+    def speed_factors(self, num_workers: int, step: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+class HomogeneousSpeed(WorkerSpeedModel):
+    """All workers identical, optionally all uniformly faster/slower."""
+
+    def __init__(self, factor: float = 1.0) -> None:
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        self.factor = float(factor)
+
+    def speed_factors(self, num_workers: int, step: int) -> np.ndarray:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        return np.full(num_workers, self.factor)
+
+
+class StragglerModel(WorkerSpeedModel):
+    """Random transient stragglers plus optional static heterogeneity.
+
+    Parameters
+    ----------
+    straggler_prob:
+        Per-worker, per-step probability of being a straggler.
+    slowdown:
+        Factor by which a straggler's compute slows down (speed divides by it).
+    static_factors:
+        Optional fixed per-worker speeds (e.g. a mixed-GPU cluster).
+    """
+
+    def __init__(
+        self,
+        straggler_prob: float = 0.1,
+        slowdown: float = 3.0,
+        static_factors: Optional[Sequence[float]] = None,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if not 0.0 <= straggler_prob <= 1.0:
+            raise ValueError(f"straggler_prob must be in [0, 1], got {straggler_prob}")
+        if slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {slowdown}")
+        self.straggler_prob = float(straggler_prob)
+        self.slowdown = float(slowdown)
+        self.static_factors = (
+            np.asarray(static_factors, dtype=np.float64) if static_factors is not None else None
+        )
+        if self.static_factors is not None and np.any(self.static_factors <= 0):
+            raise ValueError("static speed factors must be positive")
+        self._rng = new_rng(seed)
+
+    def speed_factors(self, num_workers: int, step: int) -> np.ndarray:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if self.static_factors is not None:
+            if self.static_factors.size != num_workers:
+                raise ValueError(
+                    f"static_factors has {self.static_factors.size} entries, "
+                    f"expected {num_workers}"
+                )
+            base = self.static_factors.copy()
+        else:
+            base = np.ones(num_workers)
+        stragglers = self._rng.random(num_workers) < self.straggler_prob
+        base[stragglers] /= self.slowdown
+        return base

@@ -1,0 +1,112 @@
+"""A simulated training worker: model replica + optimizer + local data view.
+
+Workers do real numerical work (forward, backward, optimizer updates on the
+NumPy models); only *time* is simulated.  The training algorithms in
+:mod:`repro.algorithms` and :mod:`repro.core` orchestrate workers through
+this interface, which mirrors the per-worker body of Alg. 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.data.loader import DataLoader
+from repro.nn.losses import cross_entropy_with_logits
+from repro.nn.module import Module
+from repro.optim.optimizer import Optimizer
+
+
+class Worker:
+    """One simulated worker with its own replica, optimizer and data stream."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        model: Module,
+        optimizer: Optimizer,
+        loader: DataLoader,
+        task: str = "classification",
+    ) -> None:
+        if worker_id < 0:
+            raise ValueError(f"worker_id must be non-negative, got {worker_id}")
+        if task not in ("classification", "language_modeling"):
+            raise ValueError(f"unknown task {task!r}")
+        self.worker_id = int(worker_id)
+        self.model = model
+        self.optimizer = optimizer
+        self.loader = loader
+        self.task = task
+        self.steps_taken = 0
+        self.last_loss: Optional[float] = None
+        self.last_grad_norm: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # core training ops
+    # ------------------------------------------------------------------ #
+    def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample the next local mini-batch (Alg. 1, line 6)."""
+        return self.loader.next_batch()
+
+    def compute_gradients(
+        self, batch: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    ) -> Tuple[float, Dict[str, np.ndarray]]:
+        """Forward + backward on one mini-batch; returns (loss, gradient dict).
+
+        Gradients are left on the module (``Parameter.grad``) *and* returned
+        as a copy, because the SelSync trainer needs them both to apply the
+        local update and to measure Δ(gᵢ).
+        """
+        if batch is None:
+            batch = self.next_batch()
+        inputs, targets = batch
+        self.model.zero_grad()
+        logits = self.model.forward(inputs)
+        loss, dlogits = cross_entropy_with_logits(logits, targets)
+        self.model.backward(dlogits)
+        grads = self.model.gradient_dict()
+        self.last_loss = loss
+        self.last_grad_norm = float(
+            np.sqrt(sum(float(np.sum(g**2)) for g in grads.values()))
+        )
+        return loss, grads
+
+    def apply_update(
+        self,
+        grads: Optional[Mapping[str, np.ndarray]] = None,
+        lr: Optional[float] = None,
+    ) -> None:
+        """Apply one optimizer step (Alg. 1, line 9).
+
+        ``grads`` defaults to the gradients already on the module; passing an
+        explicit dict applies aggregated gradients instead (GA mode).
+        """
+        if lr is not None:
+            self.optimizer.set_lr(lr)
+        self.optimizer.step(grads)
+        self.steps_taken += 1
+
+    def train_step(self, lr: Optional[float] = None) -> float:
+        """Convenience: compute local gradients and apply them immediately."""
+        loss, _ = self.compute_gradients()
+        self.apply_update(lr=lr)
+        return loss
+
+    # ------------------------------------------------------------------ #
+    # state exchange
+    # ------------------------------------------------------------------ #
+    def get_state(self) -> Dict[str, np.ndarray]:
+        return self.model.state_dict()
+
+    def set_state(self, state: Mapping[str, np.ndarray]) -> None:
+        self.model.load_state_dict(state)
+
+    def state_delta(self, reference: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Difference between the local replica and a reference state (SSP pushes)."""
+        current = self.model.state_dict()
+        return {name: current[name] - np.asarray(reference[name]) for name in current}
+
+    @property
+    def epoch_progress(self) -> float:
+        return self.loader.epoch_progress

@@ -1,0 +1,178 @@
+"""In-process collective-communication backend.
+
+Implements the semantics of the MPI-style collectives the paper's algorithm
+relies on (all-gather of synchronization flags, all-reduce of updates,
+broadcast of the initial model, point-to-point sends for data injection)
+over plain NumPy arrays held by the lockstep simulator.  Every call records
+the bytes that *would* have crossed the wire, which the cost models turn
+into simulated seconds and the benchmarks report as communication volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.flatten import flatten_arrays, tree_zip_map, unflatten_vector
+
+
+@dataclass
+class CommunicationRecord:
+    """Accumulated communication accounting for one backend."""
+
+    total_bytes: float = 0.0
+    calls: Dict[str, int] = field(default_factory=dict)
+    bytes_by_op: Dict[str, float] = field(default_factory=dict)
+
+    def record(self, op: str, num_bytes: float) -> None:
+        self.total_bytes += num_bytes
+        self.calls[op] = self.calls.get(op, 0) + 1
+        self.bytes_by_op[op] = self.bytes_by_op.get(op, 0.0) + num_bytes
+
+
+class InProcessBackend:
+    """Collective operations across ``world_size`` simulated ranks."""
+
+    #: bytes per element assumed for transport accounting (float32 on the wire)
+    DTYPE_BYTES = 4
+
+    def __init__(self, world_size: int) -> None:
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = int(world_size)
+        self.record = CommunicationRecord()
+        self._mailboxes: Dict[int, List[Tuple[int, object]]] = {
+            rank: [] for rank in range(world_size)
+        }
+
+    # ------------------------------------------------------------------ #
+    # collectives over flat arrays
+    # ------------------------------------------------------------------ #
+    def _check_inputs(self, per_rank: Sequence[np.ndarray]) -> List[np.ndarray]:
+        if len(per_rank) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} per-rank arrays, got {len(per_rank)}"
+            )
+        arrays = [np.asarray(a, dtype=np.float64) for a in per_rank]
+        shapes = {a.shape for a in arrays}
+        if len(shapes) > 1:
+            raise ValueError(f"rank arrays have mismatched shapes: {shapes}")
+        return arrays
+
+    def allreduce(
+        self, per_rank: Sequence[np.ndarray], op: str = "mean"
+    ) -> List[np.ndarray]:
+        """Reduce across ranks and return the (identical) result for each rank."""
+        arrays = self._check_inputs(per_rank)
+        stacked = np.stack(arrays)
+        if op == "mean":
+            reduced = stacked.mean(axis=0)
+        elif op == "sum":
+            reduced = stacked.sum(axis=0)
+        elif op == "max":
+            reduced = stacked.max(axis=0)
+        else:
+            raise ValueError(f"unsupported allreduce op {op!r}")
+        per_element = arrays[0].size * self.DTYPE_BYTES
+        # Ring all-reduce moves ~2x the payload per rank.
+        self.record.record("allreduce", 2.0 * per_element * self.world_size)
+        return [reduced.copy() for _ in range(self.world_size)]
+
+    def allgather(self, per_rank: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Every rank receives the concatenation of all ranks' arrays."""
+        arrays = self._check_inputs(per_rank)
+        gathered = np.stack(arrays)
+        payload = gathered.size * self.DTYPE_BYTES
+        self.record.record("allgather", float(payload) * self.world_size)
+        return [gathered.copy() for _ in range(self.world_size)]
+
+    def allgather_bits(self, per_rank_flags: Sequence[int]) -> np.ndarray:
+        """The SelSync flags exchange: one status bit per worker (Alg. 1, line 12)."""
+        if len(per_rank_flags) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} flags, got {len(per_rank_flags)}"
+            )
+        flags = np.asarray([1 if f else 0 for f in per_rank_flags], dtype=np.int8)
+        # (N - 1) bits received per worker.
+        self.record.record("allgather_bits", self.world_size * (self.world_size - 1) / 8.0)
+        return flags
+
+    def broadcast(self, value: np.ndarray, root: int = 0) -> List[np.ndarray]:
+        """Send ``value`` from ``root`` to every rank."""
+        if not 0 <= root < self.world_size:
+            raise ValueError(f"root {root} out of range for world size {self.world_size}")
+        value = np.asarray(value, dtype=np.float64)
+        self.record.record(
+            "broadcast", float(value.size * self.DTYPE_BYTES * (self.world_size - 1))
+        )
+        return [value.copy() for _ in range(self.world_size)]
+
+    def reduce(self, per_rank: Sequence[np.ndarray], root: int = 0, op: str = "mean") -> np.ndarray:
+        """Reduce to a single root rank."""
+        if not 0 <= root < self.world_size:
+            raise ValueError(f"root {root} out of range for world size {self.world_size}")
+        arrays = self._check_inputs(per_rank)
+        stacked = np.stack(arrays)
+        reduced = stacked.mean(axis=0) if op == "mean" else stacked.sum(axis=0)
+        self.record.record(
+            "reduce", float(arrays[0].size * self.DTYPE_BYTES * (self.world_size - 1))
+        )
+        return reduced
+
+    def gather(self, per_rank: Sequence[np.ndarray], root: int = 0) -> List[np.ndarray]:
+        if not 0 <= root < self.world_size:
+            raise ValueError(f"root {root} out of range for world size {self.world_size}")
+        arrays = self._check_inputs(per_rank)
+        self.record.record(
+            "gather", float(arrays[0].size * self.DTYPE_BYTES * (self.world_size - 1))
+        )
+        return [a.copy() for a in arrays]
+
+    # ------------------------------------------------------------------ #
+    # collectives over parameter trees (named state dicts)
+    # ------------------------------------------------------------------ #
+    def allreduce_tree(
+        self, per_rank_trees: Sequence[Mapping[str, np.ndarray]], op: str = "mean"
+    ) -> List[Dict[str, np.ndarray]]:
+        """All-reduce each named array across ranks (used for GA and PA)."""
+        if len(per_rank_trees) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} trees, got {len(per_rank_trees)}"
+            )
+        flats = []
+        spec = None
+        for tree in per_rank_trees:
+            flat, this_spec = flatten_arrays(tree)
+            if spec is None:
+                spec = this_spec
+            elif this_spec != spec:
+                raise ValueError("parameter trees have mismatched structure across ranks")
+            flats.append(flat)
+        reduced = self.allreduce(flats, op=op)
+        return [unflatten_vector(vec, spec) for vec in reduced]
+
+    # ------------------------------------------------------------------ #
+    # point-to-point (used by data injection)
+    # ------------------------------------------------------------------ #
+    def send(self, src: int, dst: int, payload: object, num_bytes: float = 0.0) -> None:
+        if not 0 <= src < self.world_size or not 0 <= dst < self.world_size:
+            raise ValueError(f"invalid ranks src={src}, dst={dst}")
+        self._mailboxes[dst].append((src, payload))
+        self.record.record("p2p", float(num_bytes))
+
+    def recv(self, dst: int, src: Optional[int] = None) -> Tuple[int, object]:
+        """Pop the oldest message for ``dst`` (optionally filtered by sender)."""
+        box = self._mailboxes[dst]
+        if not box:
+            raise LookupError(f"no pending messages for rank {dst}")
+        if src is None:
+            return box.pop(0)
+        for i, (sender, payload) in enumerate(box):
+            if sender == src:
+                return box.pop(i)
+        raise LookupError(f"no pending message from rank {src} for rank {dst}")
+
+    def pending(self, dst: int) -> int:
+        return len(self._mailboxes[dst])

@@ -1,0 +1,52 @@
+"""Network model: translates bytes on the wire into seconds.
+
+Defaults match the paper's testbed: workers communicate over a 5 Gbps NIC
+with sub-millisecond intra-cluster latency.  The model is deliberately simple
+(latency + size/bandwidth per message) because the paper's speedup arithmetic
+only depends on the relative cost of synchronizing a full model versus a few
+bits of control traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point link model.
+
+    Parameters
+    ----------
+    bandwidth_gbps:
+        Link bandwidth in gigabits per second (paper: 5 Gbps).
+    latency_s:
+        One-way message latency in seconds.
+    per_message_overhead_s:
+        Fixed software overhead per message (serialization, RPC dispatch).
+    """
+
+    bandwidth_gbps: float = 5.0
+    latency_s: float = 0.5e-3
+    per_message_overhead_s: float = 1.0e-3
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_gbps}")
+        if self.latency_s < 0 or self.per_message_overhead_s < 0:
+            raise ValueError("latency and overhead must be non-negative")
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.bandwidth_gbps * 1e9 / 8.0
+
+    def transfer_seconds(self, num_bytes: float, num_messages: int = 1) -> float:
+        """Time to move ``num_bytes`` split across ``num_messages`` messages."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        if num_messages < 1:
+            raise ValueError(f"num_messages must be >= 1, got {num_messages}")
+        return (
+            num_bytes / self.bytes_per_second
+            + num_messages * (self.latency_s + self.per_message_overhead_s)
+        )

@@ -1,0 +1,149 @@
+"""Simulated central parameter server (PS).
+
+Implements the ``pullFromPS`` / ``pushToPS`` interface of Alg. 1:
+
+* **Parameter aggregation (PA)** — workers push their *post-update local
+  parameters*; the server averages them and every worker pulls the averaged
+  state, so all replicas become identical after a synchronization step.
+* **Gradient aggregation (GA)** — workers push *gradients*; the server
+  averages those and workers apply the averaged gradient locally through
+  their own optimizer (the mode compared against PA in Fig. 10).
+* **Asynchronous updates (SSP)** — a worker can apply its own update to the
+  global state without waiting for others; the server tracks per-worker
+  clocks so the stale-synchronous bound can be enforced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.utils.flatten import total_bytes, tree_zip_map
+
+
+class ParameterServer:
+    """Central state holder plus aggregation and staleness bookkeeping."""
+
+    def __init__(self, initial_state: Mapping[str, np.ndarray], num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self._state: Dict[str, np.ndarray] = {
+            name: np.asarray(value, dtype=np.float64).copy()
+            for name, value in initial_state.items()
+        }
+        self.num_workers = int(num_workers)
+        self.version = 0
+        self.worker_clocks = np.zeros(num_workers, dtype=np.int64)
+        self.total_pushed_bytes = 0.0
+        self.total_pulled_bytes = 0.0
+        self.aggregations = 0
+
+    # ------------------------------------------------------------------ #
+    # pull / push
+    # ------------------------------------------------------------------ #
+    def pull(self, worker_id: Optional[int] = None) -> Dict[str, np.ndarray]:
+        """Return a copy of the global model state (``pullFromPS``)."""
+        if worker_id is not None and not 0 <= worker_id < self.num_workers:
+            raise ValueError(f"worker_id {worker_id} out of range")
+        self.total_pulled_bytes += total_bytes(self._state)
+        return {name: value.copy() for name, value in self._state.items()}
+
+    def state_bytes(self) -> int:
+        """Model size in transported bytes (float32 wire format)."""
+        return total_bytes(self._state)
+
+    def aggregate_parameters(
+        self, worker_states: Mapping[int, Mapping[str, np.ndarray]]
+    ) -> Dict[str, np.ndarray]:
+        """Average pushed parameter states into the global state (PA mode)."""
+        if not worker_states:
+            raise ValueError("no worker states to aggregate")
+        self._validate_tree_shapes(worker_states)
+        names = list(self._state.keys())
+        count = len(worker_states)
+        for name in names:
+            stacked = np.stack([np.asarray(ws[name], dtype=np.float64) for ws in worker_states.values()])
+            self._state[name] = stacked.mean(axis=0)
+        self.total_pushed_bytes += self.state_bytes() * count
+        self.version += 1
+        self.aggregations += 1
+        return self.pull()
+
+    def aggregate_gradients(
+        self, worker_grads: Mapping[int, Mapping[str, np.ndarray]]
+    ) -> Dict[str, np.ndarray]:
+        """Average pushed gradients and return them (GA mode).
+
+        The global parameter state is *not* modified; workers apply the
+        averaged gradients through their own optimizers, which is exactly why
+        local replicas can drift apart under GA (§III-C).
+        """
+        if not worker_grads:
+            raise ValueError("no worker gradients to aggregate")
+        self._validate_tree_shapes(worker_grads)
+        names = list(self._state.keys())
+        averaged: Dict[str, np.ndarray] = {}
+        for name in names:
+            stacked = np.stack([np.asarray(g[name], dtype=np.float64) for g in worker_grads.values()])
+            averaged[name] = stacked.mean(axis=0)
+        self.total_pushed_bytes += self.state_bytes() * len(worker_grads)
+        self.total_pulled_bytes += self.state_bytes() * len(worker_grads)
+        self.version += 1
+        self.aggregations += 1
+        return averaged
+
+    def set_state(self, state: Mapping[str, np.ndarray]) -> None:
+        """Overwrite the global state (used after GA so the PS tracks a reference replica)."""
+        self._validate_tree_shapes({0: state})
+        for name in self._state:
+            self._state[name] = np.asarray(state[name], dtype=np.float64).copy()
+        self.version += 1
+
+    # ------------------------------------------------------------------ #
+    # asynchronous path (SSP)
+    # ------------------------------------------------------------------ #
+    def async_apply_delta(
+        self, worker_id: int, delta: Mapping[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Apply one worker's parameter delta to the global state without a barrier.
+
+        Returns the post-update global state (the worker pulls it immediately,
+        as SSP workers do on every step).
+        """
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(f"worker_id {worker_id} out of range")
+        self._validate_tree_shapes({worker_id: delta})
+        for name in self._state:
+            self._state[name] = self._state[name] + np.asarray(delta[name], dtype=np.float64)
+        self.worker_clocks[worker_id] += 1
+        self.total_pushed_bytes += self.state_bytes()
+        self.version += 1
+        return self.pull(worker_id)
+
+    def staleness(self, worker_id: int) -> int:
+        """How many iterations this worker is ahead of the slowest worker."""
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(f"worker_id {worker_id} out of range")
+        return int(self.worker_clocks[worker_id] - self.worker_clocks.min())
+
+    def min_clock(self) -> int:
+        return int(self.worker_clocks.min())
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _validate_tree_shapes(self, trees: Mapping[int, Mapping[str, np.ndarray]]) -> None:
+        for worker_id, tree in trees.items():
+            missing = set(self._state) - set(tree)
+            if missing:
+                raise KeyError(
+                    f"worker {worker_id} push missing parameters: {sorted(missing)[:3]}..."
+                )
+            for name, reference in self._state.items():
+                value = np.asarray(tree[name])
+                if value.shape != reference.shape:
+                    raise ValueError(
+                        f"worker {worker_id} parameter {name!r} has shape {value.shape}, "
+                        f"expected {reference.shape}"
+                    )

@@ -1,0 +1,76 @@
+"""Compressor interface.
+
+A compressor maps a flat gradient vector to a :class:`CompressedPayload`
+(whatever compact representation it uses plus the bytes it would occupy on
+the wire) and back.  Decompression always returns a dense vector of the
+original length so the aggregation path is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass
+class CompressedPayload:
+    """Result of compressing one gradient vector."""
+
+    data: Dict[str, np.ndarray]
+    original_size: int
+    compressed_bytes: float
+
+    @property
+    def original_bytes(self) -> float:
+        return float(self.original_size * 4)  # float32 wire format
+
+    @property
+    def compression_ratio(self) -> float:
+        """Original bytes / compressed bytes (>= 1 for anything useful)."""
+        if self.compressed_bytes <= 0:
+            return float("inf")
+        return self.original_bytes / self.compressed_bytes
+
+
+class Compressor:
+    """Base class for gradient compressors operating on flat vectors."""
+
+    name = "identity"
+
+    def compress(self, vector: np.ndarray) -> CompressedPayload:
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        return CompressedPayload(
+            data={"dense": vector.copy()},
+            original_size=vector.size,
+            compressed_bytes=float(vector.size * 4),
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        return payload.data["dense"].copy()
+
+    def roundtrip(self, vector: np.ndarray) -> np.ndarray:
+        """Compress then decompress (used by error-bound tests)."""
+        return self.decompress(self.compress(vector))
+
+    @staticmethod
+    def _validate(vector: np.ndarray) -> np.ndarray:
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if vector.size == 0:
+            raise ValueError("cannot compress an empty gradient vector")
+        if not np.all(np.isfinite(vector)):
+            raise ValueError("gradient vector contains non-finite values")
+        return vector
+
+
+def compression_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Relative L2 reconstruction error ||g - ĝ|| / ||g||."""
+    original = np.asarray(original, dtype=np.float64).ravel()
+    reconstructed = np.asarray(reconstructed, dtype=np.float64).ravel()
+    if original.shape != reconstructed.shape:
+        raise ValueError("original and reconstruction have different lengths")
+    denom = np.linalg.norm(original)
+    if denom == 0:
+        return 0.0
+    return float(np.linalg.norm(original - reconstructed) / denom)

@@ -1,0 +1,28 @@
+"""FP16 quantization: the 2x compression used by mixed-precision communication."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedPayload, Compressor
+
+
+class FP16Compressor(Compressor):
+    """Cast gradients to float16 on the wire (GradientFlow-style 2x saving)."""
+
+    name = "fp16"
+
+    def compress(self, vector: np.ndarray) -> CompressedPayload:
+        vector = self._validate(vector)
+        # Clip to the float16 representable range to avoid infs.
+        max_fp16 = np.finfo(np.float16).max
+        clipped = np.clip(vector, -max_fp16, max_fp16)
+        half = clipped.astype(np.float16)
+        return CompressedPayload(
+            data={"half": half},
+            original_size=vector.size,
+            compressed_bytes=float(vector.size * 2),
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        return payload.data["half"].astype(np.float64)

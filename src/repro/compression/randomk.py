@@ -1,0 +1,44 @@
+"""Random-k sparsification: keep a random subset of entries, unbiasedly rescaled."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compression.base import CompressedPayload, Compressor
+from repro.utils.rng import new_rng
+
+
+class RandomKCompressor(Compressor):
+    """Send a uniformly random ``ratio`` fraction of entries, scaled by 1/ratio."""
+
+    name = "randomk"
+
+    def __init__(self, ratio: float = 0.01, seed: Optional[int] = 0, rescale: bool = True) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = float(ratio)
+        self.rescale = bool(rescale)
+        self._rng = new_rng(seed)
+
+    def compress(self, vector: np.ndarray) -> CompressedPayload:
+        vector = self._validate(vector)
+        k = max(int(np.ceil(self.ratio * vector.size)), 1)
+        idx = self._rng.choice(vector.size, size=k, replace=False)
+        values = vector[idx]
+        if self.rescale:
+            # Scaling by n/k keeps the sparsified gradient unbiased in
+            # expectation, the standard rand-k estimator.
+            values = values * (vector.size / k)
+        return CompressedPayload(
+            data={"indices": idx.astype(np.int64), "values": values, "size": np.array([vector.size])},
+            original_size=vector.size,
+            compressed_bytes=float(k * (4 + 4)),
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        size = int(payload.data["size"][0])
+        dense = np.zeros(size, dtype=np.float64)
+        dense[payload.data["indices"]] = payload.data["values"]
+        return dense

@@ -1,0 +1,34 @@
+"""signSGD-style 1-bit quantization with a magnitude scale."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedPayload, Compressor
+
+
+class SignSGDCompressor(Compressor):
+    """Transmit the sign of each entry plus one global scale (mean |g|).
+
+    The scale keeps the reconstructed gradient's magnitude comparable to the
+    original, which is the common "scaled signSGD" variant used when signs
+    are averaged rather than majority-voted.
+    """
+
+    name = "signsgd"
+
+    def compress(self, vector: np.ndarray) -> CompressedPayload:
+        vector = self._validate(vector)
+        scale = float(np.mean(np.abs(vector)))
+        signs = np.sign(vector).astype(np.int8)
+        # Zero entries keep sign 0; they transmit as zeros.
+        compressed_bytes = vector.size / 8.0 + 4.0
+        return CompressedPayload(
+            data={"signs": signs, "scale": np.array([scale])},
+            original_size=vector.size,
+            compressed_bytes=float(compressed_bytes),
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        scale = float(payload.data["scale"][0])
+        return payload.data["signs"].astype(np.float64) * scale

@@ -1,0 +1,43 @@
+"""TernGrad: stochastic ternary quantization {-1, 0, +1} * s."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.compression.base import CompressedPayload, Compressor
+from repro.utils.rng import new_rng
+
+
+class TernGradCompressor(Compressor):
+    """Quantize each entry to ternary levels with probability |g|/max|g|.
+
+    The estimator is unbiased: E[q_i] = g_i.
+    """
+
+    name = "terngrad"
+
+    def __init__(self, seed: Optional[int] = 0) -> None:
+        self._rng = new_rng(seed)
+
+    def compress(self, vector: np.ndarray) -> CompressedPayload:
+        vector = self._validate(vector)
+        scale = float(np.max(np.abs(vector)))
+        if scale == 0.0:
+            ternary = np.zeros(vector.size, dtype=np.int8)
+        else:
+            prob = np.abs(vector) / scale
+            keep = self._rng.random(vector.size) < prob
+            ternary = (np.sign(vector) * keep).astype(np.int8)
+        # 2 bits per entry plus the scale.
+        compressed_bytes = vector.size / 4.0 + 4.0
+        return CompressedPayload(
+            data={"ternary": ternary, "scale": np.array([scale])},
+            original_size=vector.size,
+            compressed_bytes=float(compressed_bytes),
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        scale = float(payload.data["scale"][0])
+        return payload.data["ternary"].astype(np.float64) * scale

@@ -1,0 +1,41 @@
+"""Top-k sparsification: keep the k largest-magnitude gradient entries."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedPayload, Compressor
+
+
+class TopKCompressor(Compressor):
+    """Send the top ``ratio`` fraction of entries (values + indices)."""
+
+    name = "topk"
+
+    def __init__(self, ratio: float = 0.01) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = float(ratio)
+
+    def _k(self, size: int) -> int:
+        return max(int(np.ceil(self.ratio * size)), 1)
+
+    def compress(self, vector: np.ndarray) -> CompressedPayload:
+        vector = self._validate(vector)
+        k = self._k(vector.size)
+        # argpartition selects the k largest magnitudes in O(n).
+        idx = np.argpartition(np.abs(vector), vector.size - k)[-k:]
+        values = vector[idx]
+        # 4 bytes per float value + 4 bytes per int32 index.
+        compressed_bytes = float(k * (4 + 4))
+        return CompressedPayload(
+            data={"indices": idx.astype(np.int64), "values": values, "size": np.array([vector.size])},
+            original_size=vector.size,
+            compressed_bytes=compressed_bytes,
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        size = int(payload.data["size"][0])
+        dense = np.zeros(size, dtype=np.float64)
+        dense[payload.data["indices"]] = payload.data["values"]
+        return dense

@@ -1,0 +1,36 @@
+"""SelSync core: the paper's primary contribution.
+
+* :class:`GradientChangeTracker` — low-overhead per-iteration tracking of the
+  relative gradient change Δ(gᵢ) with EWMA smoothing (§III-A, Eqn. 2).
+* :class:`SelSyncConfig` — the (δ, aggregation-mode, EWMA, data-injection)
+  knobs of Alg. 1.
+* :class:`SelSyncTrainer` — the selective-synchronization training loop that
+  switches between local SGD and full synchronization based on Δ(gᵢ) ≥ δ,
+  including the flags all-gather protocol, SelDP partitioning and the
+  non-IID data-injection path.
+* aggregation helpers for parameter vs gradient aggregation (§III-C).
+* :class:`AdaptiveSelSyncTrainer` — an extension beyond the paper that tunes
+  δ online to hit a target communication budget (target LSSR).
+"""
+
+from repro.core.gradient_tracker import GradientChangeTracker, TrackerOverheadProbe
+from repro.core.config import SelSyncConfig
+from repro.core.aggregation import (
+    aggregate_parameters,
+    aggregate_gradients,
+    AggregationMode,
+)
+from repro.core.selsync import SelSyncTrainer
+from repro.core.adaptive import AdaptiveDeltaController, AdaptiveSelSyncTrainer
+
+__all__ = [
+    "AdaptiveDeltaController",
+    "AdaptiveSelSyncTrainer",
+    "GradientChangeTracker",
+    "TrackerOverheadProbe",
+    "SelSyncConfig",
+    "aggregate_parameters",
+    "aggregate_gradients",
+    "AggregationMode",
+    "SelSyncTrainer",
+]

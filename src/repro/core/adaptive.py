@@ -1,0 +1,132 @@
+"""Adaptive-δ extension: tune the SelSync threshold online.
+
+The paper fixes δ before launch and notes that the useful range depends on
+the model, dataset and hyperparameters (§III-B).  This extension removes
+that tuning burden: :class:`AdaptiveDeltaController` adjusts δ during
+training so the *realized* communication budget tracks a user-specified
+target LSSR, and :class:`AdaptiveSelSyncTrainer` plugs the controller into
+the ordinary SelSync loop.
+
+The controller is a simple multiplicative-increase / multiplicative-decrease
+rule over a sliding window: if the fraction of local steps in the window is
+below the target (too much communication) δ is lowered towards more local
+training?  No — LSSR counts *local* steps, so too few local steps means δ is
+too small and must be *raised*; too many local steps means δ must be
+*lowered*.  Bounds keep δ within a sane range.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.algorithms.base import BaseTrainer  # noqa: F401  (re-exported type context)
+from repro.cluster.cluster import SimulatedCluster
+from repro.core.config import SelSyncConfig
+from repro.core.selsync import SelSyncTrainer
+from repro.optim.schedules import LRSchedule
+
+
+class AdaptiveDeltaController:
+    """Multiplicative controller steering δ towards a target LSSR.
+
+    Parameters
+    ----------
+    target_lssr:
+        Desired fraction of local steps (e.g. 0.9 = synchronize roughly every
+        10th step).
+    initial_delta:
+        Starting threshold.
+    window:
+        Number of recent steps the realized LSSR is estimated over.
+    gain:
+        Multiplicative adjustment factor per decision (> 1).
+    min_delta / max_delta:
+        Hard bounds on δ.
+    """
+
+    def __init__(
+        self,
+        target_lssr: float = 0.9,
+        initial_delta: float = 0.25,
+        window: int = 20,
+        gain: float = 1.25,
+        min_delta: float = 1e-4,
+        max_delta: float = 100.0,
+    ) -> None:
+        if not 0.0 <= target_lssr < 1.0:
+            raise ValueError(f"target_lssr must be in [0, 1), got {target_lssr}")
+        if initial_delta <= 0:
+            raise ValueError(f"initial_delta must be positive, got {initial_delta}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if gain <= 1.0:
+            raise ValueError(f"gain must exceed 1, got {gain}")
+        if not 0 < min_delta < max_delta:
+            raise ValueError("need 0 < min_delta < max_delta")
+        self.target_lssr = float(target_lssr)
+        self.delta = float(initial_delta)
+        self.window = int(window)
+        self.gain = float(gain)
+        self.min_delta = float(min_delta)
+        self.max_delta = float(max_delta)
+        self._recent: Deque[int] = deque(maxlen=window)
+        self.history: List[float] = [self.delta]
+
+    @property
+    def window_lssr(self) -> float:
+        """Realized LSSR over the sliding window (1 = all local)."""
+        if not self._recent:
+            return 0.0
+        return 1.0 - sum(self._recent) / len(self._recent)
+
+    def observe(self, synchronized: bool) -> float:
+        """Record one step's outcome and return the (possibly updated) δ."""
+        self._recent.append(1 if synchronized else 0)
+        if len(self._recent) == self.window:
+            realized = self.window_lssr
+            if realized < self.target_lssr:
+                # Too much communication: raise δ so more steps stay local.
+                self.delta = min(self.delta * self.gain, self.max_delta)
+            elif realized > self.target_lssr:
+                # Too little communication: lower δ so sync happens more often.
+                self.delta = max(self.delta / self.gain, self.min_delta)
+        self.history.append(self.delta)
+        return self.delta
+
+
+class AdaptiveSelSyncTrainer(SelSyncTrainer):
+    """SelSync whose δ is steered by an :class:`AdaptiveDeltaController`."""
+
+    name = "selsync_adaptive"
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        controller: Optional[AdaptiveDeltaController] = None,
+        config: Optional[SelSyncConfig] = None,
+        lr_schedule: Optional[LRSchedule] = None,
+        eval_every: int = 50,
+    ) -> None:
+        controller = controller or AdaptiveDeltaController()
+        config = config or SelSyncConfig(delta=controller.delta)
+        super().__init__(cluster, config=config, lr_schedule=lr_schedule, eval_every=eval_every)
+        self.controller = controller
+        # Start from the controller's δ rather than the static config value.
+        self.config.delta = controller.delta
+
+    def describe(self) -> str:
+        return f"SelSync(adaptive, target LSSR={self.controller.target_lssr})"
+
+    def result_extras(self) -> Dict[str, float]:
+        extras = super().result_extras()
+        extras["final_delta"] = self.controller.delta
+        extras["target_lssr"] = self.controller.target_lssr
+        return extras
+
+    def train_step(self) -> Dict[str, float]:
+        info = super().train_step()
+        new_delta = self.controller.observe(bool(info["synchronized"]))
+        self.config.delta = new_delta
+        info["delta"] = new_delta
+        return info

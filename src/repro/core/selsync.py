@@ -1,0 +1,175 @@
+"""The SelSync training loop (Alg. 1 of the paper).
+
+Every global iteration:
+
+1. every worker samples a local mini-batch (optionally mixed by data
+   injection in non-IID mode) and computes its gradients,
+2. every worker updates its Δ(gᵢ) tracker and sets its synchronization flag
+   to 1 if Δ(gᵢ) ≥ δ,
+3. the flags are exchanged with an (N−1)-bit all-gather,
+4. if **any** flag is set the step is synchronous — under parameter
+   aggregation every worker first applies its local update and then all
+   replicas are averaged through the parameter server; under gradient
+   aggregation the averaged gradient is applied locally by each worker —
+   otherwise every worker simply keeps its local update (local SGD).
+
+The trainer also charges the simulated clock: parallel compute per step, the
+tiny flags all-gather every step, and a full model synchronization only on
+synchronous steps.  The LSSR metric therefore translates directly into the
+simulated speedups reported in Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import BaseTrainer
+from repro.cluster.cluster import SimulatedCluster
+from repro.core.aggregation import (
+    AggregationMode,
+    aggregate_gradients,
+    aggregate_parameters,
+)
+from repro.core.config import SelSyncConfig
+from repro.core.gradient_tracker import GradientChangeTracker
+from repro.data.injection import DataInjection
+from repro.optim.schedules import LRSchedule
+
+
+class SelSyncTrainer(BaseTrainer):
+    """Selective synchronization between local SGD and full aggregation."""
+
+    name = "selsync"
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        config: Optional[SelSyncConfig] = None,
+        lr_schedule: Optional[LRSchedule] = None,
+        eval_every: int = 50,
+        injection: Optional[DataInjection] = None,
+    ) -> None:
+        super().__init__(cluster, lr_schedule=lr_schedule, eval_every=eval_every)
+        self.config = config or SelSyncConfig()
+        if self.config.uses_injection and injection is None:
+            injection = DataInjection(
+                alpha=self.config.injection_alpha,
+                beta=self.config.injection_beta,
+                num_workers=cluster.num_workers,
+                sample_bytes=getattr(cluster.train_dataset, "sample_bytes", 0),
+                seed=cluster.config.seed + 17,
+            )
+        self.injection = injection
+        alpha = self.config.resolved_alpha(cluster.num_workers)
+        self.trackers: List[GradientChangeTracker] = [
+            GradientChangeTracker(
+                window=self.config.ewma_window,
+                alpha=alpha,
+                statistic=self.config.statistic,
+            )
+            for _ in range(cluster.num_workers)
+        ]
+        self.aggregation = AggregationMode(self.config.aggregation)
+        self.sync_steps = 0
+        self.local_steps = 0
+        self.sync_step_indices: List[int] = []
+        self.delta_history: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        return self.config.label()
+
+    def result_extras(self) -> Dict[str, float]:
+        return {
+            "delta": self.config.delta,
+            "sync_steps": float(self.sync_steps),
+            "local_steps": float(self.local_steps),
+            "max_delta_observed": float(
+                max((t.max_delta for t in self.trackers), default=0.0)
+            ),
+        }
+
+    # ------------------------------------------------------------------ #
+    def _collect_batches(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Fetch one local batch per worker, applying data injection if enabled."""
+        batches = [worker.next_batch() for worker in self.cluster.workers]
+        if self.injection is None:
+            return batches
+        mixed, report = self.injection.inject(batches)
+        if report.bytes_transferred > 0:
+            self.cluster.charge_p2p(report.bytes_transferred)
+        return mixed
+
+    def train_step(self) -> Dict[str, float]:
+        cluster = self.cluster
+        lr = self.current_lr()
+        batches = self._collect_batches()
+
+        # 1-2. local gradients, Δ(gᵢ), local flags (Alg. 1 lines 6-11).
+        losses: List[float] = []
+        grads_per_worker: List[Dict[str, np.ndarray]] = []
+        flags: List[int] = []
+        max_delta = 0.0
+        for worker, batch, tracker in zip(cluster.workers, batches, self.trackers):
+            loss, grads = worker.compute_gradients(batch)
+            delta = tracker.update(grads)
+            losses.append(loss)
+            grads_per_worker.append(grads)
+            flags.append(1 if delta >= self.config.delta else 0)
+            max_delta = max(max_delta, delta)
+        self.delta_history.append(max_delta)
+        cluster.charge_compute_step(batches[0][1].shape[0] if batches else None)
+
+        # 3. flags all-gather (Alg. 1 line 12) — N-1 bits per worker.
+        gathered = cluster.backend.allgather_bits(flags)
+        cluster.charge_flags_allgather()
+        force_sync = self.config.sync_on_first_step and self.global_step == 0
+        synchronize = bool(gathered.any()) or force_sync
+
+        # 4. apply updates locally or synchronize (Alg. 1 lines 9, 13-15).
+        if self.aggregation is AggregationMode.PARAMETER:
+            for worker in cluster.workers:
+                worker.apply_update(lr=lr)
+            if synchronize:
+                new_global = cluster.ps.aggregate_parameters(
+                    {w.worker_id: w.get_state() for w in cluster.workers}
+                )
+                cluster.broadcast_state(new_global)
+                cluster.charge_sync()
+        else:  # gradient aggregation
+            if synchronize:
+                averaged = cluster.ps.aggregate_gradients(
+                    {w.worker_id: g for w, g in zip(cluster.workers, grads_per_worker)}
+                )
+                for worker in cluster.workers:
+                    worker.apply_update(grads=averaged, lr=lr)
+                # Track a reference replica on the PS for checkpointing.
+                cluster.ps.set_state(cluster.workers[0].get_state())
+                cluster.charge_sync()
+            else:
+                for worker in cluster.workers:
+                    worker.apply_update(lr=lr)
+
+        if synchronize:
+            self.sync_steps += 1
+            self.sync_step_indices.append(self.global_step)
+            self.lssr_tracker.record_sync()
+        else:
+            self.local_steps += 1
+            self.lssr_tracker.record_local()
+
+        return {
+            "loss": float(np.mean(losses)),
+            "max_delta": max_delta,
+            "synchronized": float(synchronize),
+            "lr": lr if lr is not None else float("nan"),
+        }
+
+    # ------------------------------------------------------------------ #
+    def global_state(self) -> Dict[str, np.ndarray]:
+        """Checkpoint state: the PS state after a PA sync, else the replica average."""
+        if self.aggregation is AggregationMode.PARAMETER and self.sync_steps > 0 and self.local_steps == 0:
+            return self.cluster.ps.pull()
+        return self.cluster.average_worker_states()

@@ -1,0 +1,130 @@
+"""IID data partitioning: DefDP (default) and SelDP (the paper's scheme).
+
+Fig. 7 of the paper: DefDP splits the training data into as many disjoint
+partitions as there are workers and each worker only ever sees its own chunk.
+SelDP also splits the data into N chunks but treats them as a circular queue
+whose head is rotated to the worker's id — so every worker walks the *entire*
+dataset, each starting from a different chunk, and on any synchronous step
+the N workers are processing N distinct chunks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class PartitionResult:
+    """Per-worker index orders plus bookkeeping used by Fig. 7 / Fig. 8b."""
+
+    worker_indices: List[np.ndarray]
+    chunk_assignment: List[List[int]]  # chunk ids in the order each worker visits them
+    build_seconds: float
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.worker_indices)
+
+
+class Partitioner:
+    """Base interface: ``partition(dataset_size, num_workers) -> PartitionResult``."""
+
+    #: whether loaders built on this partition should reshuffle every epoch
+    shuffle_each_epoch: bool = True
+
+    def partition(self, dataset_size: int, num_workers: int) -> PartitionResult:
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(dataset_size: int, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if dataset_size < num_workers:
+            raise ValueError(
+                f"dataset of size {dataset_size} cannot be split across {num_workers} workers"
+            )
+
+    @staticmethod
+    def _chunks(indices: np.ndarray, num_workers: int) -> List[np.ndarray]:
+        """Split ``indices`` into ``num_workers`` nearly equal contiguous chunks."""
+        return [np.asarray(c, dtype=np.int64) for c in np.array_split(indices, num_workers)]
+
+
+class DefaultPartitioner(Partitioner):
+    """DefDP: one disjoint chunk per worker (classic DDP sharding)."""
+
+    shuffle_each_epoch = True
+
+    def __init__(self, shuffle: bool = True, seed: Optional[int] = 0) -> None:
+        self.shuffle = bool(shuffle)
+        self.seed = seed
+
+    def partition(self, dataset_size: int, num_workers: int) -> PartitionResult:
+        self._validate(dataset_size, num_workers)
+        start = time.perf_counter()
+        indices = np.arange(dataset_size, dtype=np.int64)
+        if self.shuffle:
+            new_rng(self.seed).shuffle(indices)
+        chunks = self._chunks(indices, num_workers)
+        worker_indices = [chunks[worker].copy() for worker in range(num_workers)]
+        assignment = [[worker] for worker in range(num_workers)]
+        elapsed = time.perf_counter() - start
+        return PartitionResult(worker_indices, assignment, elapsed)
+
+
+class SelSyncPartitioner(Partitioner):
+    """SelDP: circular-queue rotation so every worker sees the whole dataset.
+
+    Worker ``n`` visits the chunks in the order ``n, n+1, ..., N-1, 0, ..., n-1``.
+    The rotation is the schedule, so per-epoch reshuffling is disabled (the
+    chunk interiors can still be shuffled once at build time).
+    """
+
+    shuffle_each_epoch = False
+
+    def __init__(self, shuffle_within_chunks: bool = True, seed: Optional[int] = 0) -> None:
+        self.shuffle_within_chunks = bool(shuffle_within_chunks)
+        self.seed = seed
+
+    def partition(self, dataset_size: int, num_workers: int) -> PartitionResult:
+        self._validate(dataset_size, num_workers)
+        start = time.perf_counter()
+        indices = np.arange(dataset_size, dtype=np.int64)
+        rng = new_rng(self.seed)
+        rng.shuffle(indices)
+        chunks = self._chunks(indices, num_workers)
+        if self.shuffle_within_chunks:
+            for chunk in chunks:
+                rng.shuffle(chunk)
+        worker_indices: List[np.ndarray] = []
+        assignment: List[List[int]] = []
+        for worker in range(num_workers):
+            order = list(range(worker, num_workers)) + list(range(0, worker))
+            worker_indices.append(np.concatenate([chunks[c] for c in order]))
+            assignment.append(order)
+        elapsed = time.perf_counter() - start
+        return PartitionResult(worker_indices, assignment, elapsed)
+
+
+def partition_layout(result: PartitionResult) -> Dict[int, List[int]]:
+    """Human-readable chunk-visit order per worker (reproduces Fig. 7)."""
+    return {worker: list(order) for worker, order in enumerate(result.chunk_assignment)}
+
+
+def measure_partition_overhead(
+    partitioner: Partitioner, dataset_size: int, num_workers: int, repeats: int = 3
+) -> float:
+    """Average build time in seconds (Fig. 8b: one-time preprocessing overhead)."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    times = []
+    for _ in range(repeats):
+        result = partitioner.partition(dataset_size, num_workers)
+        times.append(result.build_seconds)
+    return float(np.mean(times))

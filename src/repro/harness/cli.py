@@ -1,0 +1,138 @@
+"""Command-line interface: run any algorithm on any workload from the shell.
+
+Examples
+--------
+Run SelSync on the ResNet analog with 8 simulated workers::
+
+    python -m repro.harness.cli run --workload resnet101 --algorithm selsync \
+        --workers 8 --iterations 200 --delta 0.3
+
+Compare against BSP and print a Table-I style row::
+
+    python -m repro.harness.cli compare --workload vgg11 --iterations 200
+
+List the available workloads and algorithms::
+
+    python -m repro.harness.cli list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.experiment import WORKLOAD_PRESETS, run_experiment
+from repro.harness.reporting import format_table, results_to_rows, table1_headers
+
+ALGORITHMS = ("bsp", "selsync", "fedavg", "ssp", "local_sgd")
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="resnet101", choices=sorted(WORKLOAD_PRESETS))
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--iterations", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--eval-every", type=int, default=None)
+
+
+def _algorithm_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    kwargs: Dict[str, object] = {}
+    if args.algorithm == "selsync":
+        kwargs["delta"] = args.delta
+        kwargs["aggregation"] = args.aggregation
+    elif args.algorithm == "fedavg":
+        kwargs["participation"] = args.participation
+        kwargs["sync_factor"] = args.sync_factor
+    elif args.algorithm == "ssp":
+        kwargs["staleness"] = args.staleness
+    elif args.algorithm == "local_sgd":
+        kwargs["sync_period"] = args.sync_period
+    return kwargs
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("workloads :", ", ".join(sorted(WORKLOAD_PRESETS)))
+    print("algorithms:", ", ".join(ALGORITHMS))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    eval_every = args.eval_every or max(args.iterations // 8, 1)
+    out = run_experiment(
+        args.workload,
+        args.algorithm,
+        num_workers=args.workers,
+        iterations=args.iterations,
+        seed=args.seed,
+        eval_every=eval_every,
+        **_algorithm_kwargs(args),
+    )
+    result = out.result
+    rows = [[
+        out.algorithm, result.iterations, round(result.lssr, 3),
+        round(result.best_metric, 4), round(result.sim_time_seconds, 1),
+    ]]
+    print(format_table(
+        ["method", "iterations", "LSSR", f"best {result.metric_name}", "simulated time (s)"],
+        rows, title=f"{args.workload} on {args.workers} simulated workers",
+    ))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    eval_every = args.eval_every or max(args.iterations // 8, 1)
+    results = {}
+    grid = {
+        "bsp": ("bsp", {}),
+        "fedavg": ("fedavg", {"participation": 1.0, "sync_factor": 0.25}),
+        "ssp": ("ssp", {"staleness": 100}),
+        "selsync": ("selsync", {"delta": args.delta}),
+    }
+    for label, (algorithm, kwargs) in grid.items():
+        print(f"running {label} ...", file=sys.stderr)
+        out = run_experiment(
+            args.workload, algorithm, num_workers=args.workers,
+            iterations=args.iterations, seed=args.seed, eval_every=eval_every, **kwargs,
+        )
+        results[label] = out.result
+    rows = results_to_rows(results, baseline_key="bsp")
+    print(format_table(table1_headers(), rows,
+                       title=f"Comparison — {args.workload}, {args.workers} workers"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="list workloads and algorithms")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run one algorithm on one workload")
+    _add_common_arguments(run_parser)
+    run_parser.add_argument("--algorithm", default="selsync", choices=ALGORITHMS)
+    run_parser.add_argument("--delta", type=float, default=0.3)
+    run_parser.add_argument("--aggregation", default="param", choices=["param", "grad"])
+    run_parser.add_argument("--participation", type=float, default=1.0)
+    run_parser.add_argument("--sync-factor", type=float, default=0.25)
+    run_parser.add_argument("--staleness", type=int, default=100)
+    run_parser.add_argument("--sync-period", type=int, default=10)
+    run_parser.set_defaults(func=_cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="compare SelSync against the baselines")
+    _add_common_arguments(compare_parser)
+    compare_parser.add_argument("--delta", type=float, default=0.3)
+    compare_parser.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

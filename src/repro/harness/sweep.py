@@ -1,0 +1,51 @@
+"""Parameter sweeps over experiment configurations."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence
+
+
+@dataclass
+class SweepResult:
+    """All runs of a grid sweep, keyed by their parameter assignments."""
+
+    runs: List[Dict[str, Any]] = field(default_factory=list)
+
+    def append(self, params: Mapping[str, Any], output: Any) -> None:
+        self.runs.append({"params": dict(params), "output": output})
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def best(self, key: Callable[[Any], float], maximize: bool = True) -> Dict[str, Any]:
+        """Run whose output maximizes (or minimizes) ``key``."""
+        if not self.runs:
+            raise ValueError("sweep produced no runs")
+        chooser = max if maximize else min
+        return chooser(self.runs, key=lambda run: key(run["output"]))
+
+    def outputs(self) -> List[Any]:
+        return [run["output"] for run in self.runs]
+
+
+def grid_sweep(
+    fn: Callable[..., Any],
+    grid: Mapping[str, Sequence[Any]],
+    fixed: Mapping[str, Any] | None = None,
+) -> SweepResult:
+    """Run ``fn`` for every combination of the values in ``grid``.
+
+    ``fixed`` keyword arguments are passed to every call unchanged.
+    """
+    if not grid:
+        raise ValueError("grid must contain at least one parameter")
+    fixed = dict(fixed or {})
+    names = list(grid.keys())
+    result = SweepResult()
+    for combo in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        output = fn(**fixed, **params)
+        result.append(params, output)
+    return result

@@ -1,0 +1,43 @@
+"""Classification accuracy metrics (top-1 and top-k)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy in [0, 1] for (n, classes) logits and (n,) integer targets."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    if logits.ndim < 2:
+        raise ValueError(f"logits must have a class dimension, got shape {logits.shape}")
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    if flat_logits.shape[0] != flat_targets.shape[0]:
+        raise ValueError(
+            f"logits and targets disagree on sample count: {flat_logits.shape[0]} vs "
+            f"{flat_targets.shape[0]}"
+        )
+    if flat_targets.size == 0:
+        return 0.0
+    predictions = flat_logits.argmax(axis=-1)
+    return float((predictions == flat_targets).mean())
+
+
+def top_k_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy (the paper reports top-5 for the ImageNet workload)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    if flat_logits.shape[0] != flat_targets.shape[0]:
+        raise ValueError("logits and targets disagree on sample count")
+    if flat_targets.size == 0:
+        return 0.0
+    k = min(k, flat_logits.shape[-1])
+    # argpartition gives the k largest per row without a full sort.
+    top_k = np.argpartition(-flat_logits, kth=k - 1, axis=-1)[:, :k]
+    hits = (top_k == flat_targets[:, None]).any(axis=1)
+    return float(hits.mean())

@@ -1,0 +1,49 @@
+"""AlexNet-like workload: shallow network with dropout.
+
+Structural analog of AlexNet on ImageNet-1K: few layers (so staleness in SSP
+is tolerable, §IV-E), dropout regularization, trained with Adam and a fixed
+learning rate in the paper's setup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear, ReLU
+from repro.nn.module import Module, Sequential
+
+
+class AlexNetLike(Module):
+    """Shallow MLP classifier with dropout between the two hidden layers."""
+
+    def __init__(
+        self,
+        input_dim: int = 64,
+        num_classes: int = 100,
+        hidden_dim: int = 192,
+        dropout: float = 0.2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.input_dim = int(input_dim)
+        self.num_classes = int(num_classes)
+        self.net = Sequential(
+            Linear(input_dim, hidden_dim, rng=rng),
+            ReLU(),
+            Dropout(dropout, rng=rng),
+            Linear(hidden_dim, hidden_dim, rng=rng),
+            ReLU(),
+            Dropout(dropout, rng=rng),
+            Linear(hidden_dim, num_classes, rng=rng),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValueError(f"expected (batch, {self.input_dim}), got {x.shape}")
+        return self.net.forward(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_output)

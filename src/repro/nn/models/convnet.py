@@ -1,0 +1,62 @@
+"""Small true-convolutional classifier.
+
+Not one of the four headline workloads, but exercises the Conv2d/MaxPool
+substrate end-to-end and serves as an optional image workload for users who
+want spatially structured inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import (
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.module import Module, Sequential
+
+
+class ConvNet(Module):
+    """Two-conv-block classifier over (batch, channels, H, W) inputs."""
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        num_classes: int = 10,
+        image_size: int = 8,
+        channels: Tuple[int, int] = (8, 16),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = int(in_channels)
+        self.num_classes = int(num_classes)
+        self.image_size = int(image_size)
+        c1, c2 = channels
+        self.features = Sequential(
+            Conv2d(in_channels, c1, kernel_size=3, padding=1, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(c1, c2, kernel_size=3, padding=1, rng=rng),
+            ReLU(),
+            GlobalAvgPool2d(),
+        )
+        self.head = Linear(c2, num_classes, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        h = self.features.forward(x)
+        return self.head.forward(h)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        g = self.head.backward(grad_output)
+        return self.features.backward(g)

@@ -1,0 +1,51 @@
+"""Generic multi-layer perceptron used in unit tests and quick examples."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Linear, ReLU, Tanh
+from repro.nn.module import Module, Sequential
+
+
+class MLP(Module):
+    """Fully connected network: ``sizes[0] -> sizes[1] -> ... -> sizes[-1]``.
+
+    Parameters
+    ----------
+    sizes:
+        Layer widths including input and output dimensions.
+    activation:
+        ``"relu"`` or ``"tanh"`` applied between hidden layers.
+    rng:
+        Generator used to initialize weights.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        activation: str = "relu",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output size")
+        act_factory = {"relu": ReLU, "tanh": Tanh}.get(activation)
+        if act_factory is None:
+            raise ValueError(f"unknown activation {activation!r}")
+        layers = []
+        for i in range(len(sizes) - 1):
+            layers.append(Linear(sizes[i], sizes[i + 1], rng=rng))
+            if i < len(sizes) - 2:
+                layers.append(act_factory())
+        self.net = Sequential(*layers)
+        self.input_dim = int(sizes[0])
+        self.output_dim = int(sizes[-1])
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.net.forward(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.net.backward(grad_output)

@@ -1,0 +1,70 @@
+"""Model registry mapping workload names to constructors.
+
+The experiment harness and benchmarks refer to workloads by the paper's model
+names ("resnet101", "vgg11", "alexnet", "transformer"); the registry maps
+those to the reproduction analogs with sensible default sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.nn.models.alexnet import AlexNetLike
+from repro.nn.models.convnet import ConvNet
+from repro.nn.models.mlp import MLP
+from repro.nn.models.resnet import ResNetLike
+from repro.nn.models.transformer import TransformerLM
+from repro.nn.models.vgg import VGGLike
+from repro.nn.module import Module
+
+ModelFactory = Callable[..., Module]
+
+MODEL_REGISTRY: Dict[str, ModelFactory] = {}
+
+
+def register_model(name: str, factory: ModelFactory) -> None:
+    """Register a model constructor under ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key in MODEL_REGISTRY:
+        raise KeyError(f"model {name!r} already registered")
+    MODEL_REGISTRY[key] = factory
+
+
+def build_model(name: str, rng: Optional[np.random.Generator] = None, **kwargs) -> Module:
+    """Instantiate a registered model by name.
+
+    Extra keyword arguments override the analog's defaults (e.g.
+    ``build_model("resnet101", depth=4)``).
+    """
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}"
+        )
+    return MODEL_REGISTRY[key](rng=rng, **kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# default registrations: paper names -> analogs
+# --------------------------------------------------------------------------- #
+register_model("resnet101", lambda rng=None, **kw: ResNetLike(rng=rng, **kw))
+register_model("resnetlike", lambda rng=None, **kw: ResNetLike(rng=rng, **kw))
+register_model(
+    "vgg11",
+    lambda rng=None, **kw: VGGLike(rng=rng, **{"num_classes": 100, **kw}),
+)
+register_model("vgglike", lambda rng=None, **kw: VGGLike(rng=rng, **kw))
+register_model(
+    "alexnet",
+    lambda rng=None, **kw: AlexNetLike(rng=rng, **{"num_classes": 100, **kw}),
+)
+register_model("alexnetlike", lambda rng=None, **kw: AlexNetLike(rng=rng, **kw))
+register_model("transformer", lambda rng=None, **kw: TransformerLM(rng=rng, **kw))
+register_model("transformerlm", lambda rng=None, **kw: TransformerLM(rng=rng, **kw))
+register_model("convnet", lambda rng=None, **kw: ConvNet(rng=rng, **kw))
+register_model(
+    "mlp",
+    lambda rng=None, **kw: MLP(kw.pop("sizes", (32, 64, 10)), rng=rng, **kw),
+)

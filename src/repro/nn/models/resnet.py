@@ -1,0 +1,60 @@
+"""ResNet-like workload: deep residual MLP classifier.
+
+Structural analog of ResNet101 on CIFAR-10 in the paper: many layers, skip
+connections, batch-norm-free pre-norm blocks.  The skip connections are the
+property the paper leans on when explaining why this workload tolerates
+infrequent synchronization better than the plain VGG-style stack (§IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Linear, ReLU, ResidualMLPBlock
+from repro.nn.module import Module
+
+
+class ResNetLike(Module):
+    """Residual MLP classifier for flattened image-like inputs."""
+
+    def __init__(
+        self,
+        input_dim: int = 64,
+        num_classes: int = 10,
+        width: int = 96,
+        depth: int = 8,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.input_dim = int(input_dim)
+        self.num_classes = int(num_classes)
+        self.width = int(width)
+        self.depth = int(depth)
+        self.stem = Linear(input_dim, width, rng=rng)
+        self.stem_act = ReLU()
+        self._blocks = []
+        for i in range(depth):
+            block = ResidualMLPBlock(width, hidden_dim=width, rng=rng)
+            self.register_module(f"block{i}", block)
+            self._blocks.append(block)
+        self.head = Linear(width, num_classes, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValueError(f"expected (batch, {self.input_dim}), got {x.shape}")
+        h = self.stem_act.forward(self.stem.forward(x))
+        for block in self._blocks:
+            h = block.forward(h)
+        return self.head.forward(h)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        g = self.head.backward(grad_output)
+        for block in reversed(self._blocks):
+            g = block.backward(g)
+        g = self.stem_act.backward(g)
+        return self.stem.backward(g)

@@ -1,0 +1,72 @@
+"""Transformer language model workload.
+
+Matches the paper's Transformer configuration in shape: encoder with 2 hidden
+layers, 2 attention heads, embedding/model dimension 200, dropout 0.2 and a
+bptt window of 35 tokens — here configurable and defaulting to a smaller,
+CPU-friendly variant trained on a synthetic Markov token stream.  The model
+reports test *perplexity* (exp of the mean cross-entropy), the lower the
+better, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.attention import PositionalEncoding, TransformerEncoderLayer
+from repro.nn.layers import Embedding, LayerNorm, Linear
+from repro.nn.module import Module
+
+
+class TransformerLM(Module):
+    """Causal Transformer encoder for next-token prediction."""
+
+    def __init__(
+        self,
+        vocab_size: int = 200,
+        d_model: int = 32,
+        num_heads: int = 2,
+        num_layers: int = 2,
+        dim_feedforward: int = 64,
+        dropout: float = 0.0,
+        max_len: int = 256,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.vocab_size = int(vocab_size)
+        self.d_model = int(d_model)
+        self.num_layers = int(num_layers)
+        self.embedding = Embedding(vocab_size, d_model, rng=rng)
+        self.pos_encoding = PositionalEncoding(d_model, max_len=max_len)
+        self._layers = []
+        for i in range(num_layers):
+            layer = TransformerEncoderLayer(
+                d_model,
+                num_heads,
+                dim_feedforward,
+                dropout=dropout,
+                causal=True,
+                rng=rng,
+            )
+            self.register_module(f"layer{i}", layer)
+            self._layers.append(layer)
+        self.final_norm = LayerNorm(d_model)
+        self.lm_head = Linear(d_model, vocab_size, rng=rng)
+
+    def forward(self, token_ids: np.ndarray) -> np.ndarray:
+        """Map (batch, seq) int tokens to (batch, seq, vocab) logits."""
+        h = self.embedding.forward(token_ids)
+        h = self.pos_encoding.forward(h)
+        for layer in self._layers:
+            h = layer.forward(h)
+        h = self.final_norm.forward(h)
+        return self.lm_head.forward(h)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        g = self.lm_head.backward(grad_output)
+        g = self.final_norm.backward(g)
+        for layer in reversed(self._layers):
+            g = layer.backward(g)
+        g = self.pos_encoding.backward(g)
+        return self.embedding.backward(g)

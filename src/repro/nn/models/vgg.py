@@ -1,0 +1,65 @@
+"""VGG-like workload: plain deep stack with a large dense head.
+
+Structural analog of VGG11 on CIFAR-100: no skip connections, a wide dense
+classifier head that dominates the parameter count (the real VGG11 is 507 MB,
+by far the largest model in the paper, which is why its relative throughput
+in Fig. 1a is the worst).  The ``head_width`` knob controls that imbalance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear, ReLU
+from repro.nn.module import Module, Sequential
+
+
+class VGGLike(Module):
+    """Plain (skip-free) deep MLP with an over-sized classifier head."""
+
+    def __init__(
+        self,
+        input_dim: int = 64,
+        num_classes: int = 100,
+        feature_widths: Sequence[int] = (128, 128, 96, 96),
+        head_width: int = 256,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.input_dim = int(input_dim)
+        self.num_classes = int(num_classes)
+        layers = []
+        prev = input_dim
+        for width in feature_widths:
+            layers.append(Linear(prev, width, rng=rng))
+            layers.append(ReLU())
+            prev = width
+        self.features = Sequential(*layers)
+        head_layers = [
+            Linear(prev, head_width, rng=rng),
+            ReLU(),
+        ]
+        if dropout > 0:
+            head_layers.append(Dropout(dropout, rng=rng))
+        head_layers.extend(
+            [
+                Linear(head_width, head_width, rng=rng),
+                ReLU(),
+                Linear(head_width, num_classes, rng=rng),
+            ]
+        )
+        self.classifier = Sequential(*head_layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.input_dim:
+            raise ValueError(f"expected (batch, {self.input_dim}), got {x.shape}")
+        h = self.features.forward(x)
+        return self.classifier.forward(h)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        g = self.classifier.backward(grad_output)
+        return self.features.backward(g)

@@ -1,0 +1,220 @@
+"""Parameter / Module abstractions with explicit manual backpropagation.
+
+Every layer implements ``forward(x)`` and ``backward(grad_output)``;
+``backward`` must be called after ``forward`` (layers cache whatever they
+need) and returns the gradient with respect to the layer input while
+accumulating parameter gradients into ``Parameter.grad``.
+
+The state-dict / gradient-dict interfaces are what the distributed layer
+(:mod:`repro.cluster`) uses to push and pull model replicas, mirroring how
+the original system ships flat tensors over PyTorch RPC.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an associated gradient accumulator."""
+
+    def __init__(self, data: np.ndarray, name: str = "", requires_grad: bool = True) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.requires_grad = bool(requires_grad)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training: bool = True
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register_parameter(self, name: str, param: Parameter) -> Parameter:
+        if name in self._parameters:
+            raise KeyError(f"parameter {name!r} already registered")
+        param.name = name
+        self._parameters[name] = param
+        return param
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        if name in self._modules:
+            raise KeyError(f"module {name!r} already registered")
+        self._modules[name] = module
+        return module
+
+    def __setattr__(self, name: str, value) -> None:
+        # Auto-register Parameters and Modules assigned as attributes, in
+        # declaration order, like torch.nn.Module does.
+        if isinstance(value, Parameter):
+            if "_parameters" not in self.__dict__:
+                raise AttributeError("call Module.__init__() before assigning parameters")
+            self._parameters[name] = value
+            value.name = name
+        elif isinstance(value, Module):
+            if "_modules" not in self.__dict__:
+                raise AttributeError("call Module.__init__() before assigning submodules")
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> "OrderedDict[str, Parameter]":
+        out: "OrderedDict[str, Parameter]" = OrderedDict()
+        for name, param in self._parameters.items():
+            out[f"{prefix}{name}"] = param
+        for mod_name, module in self._modules.items():
+            out.update(module.named_parameters(prefix=f"{prefix}{mod_name}."))
+        return out
+
+    def parameters(self) -> List[Parameter]:
+        return list(self.named_parameters().values())
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for mod_name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{mod_name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars in the module tree."""
+        return sum(p.size for p in self.parameters())
+
+    def parameter_bytes(self, dtype_bytes: int = 4) -> int:
+        """Model size in bytes assuming float32 transport, used by the cost model."""
+        return self.num_parameters() * dtype_bytes
+
+    # ------------------------------------------------------------------ #
+    # train / eval, gradients
+    # ------------------------------------------------------------------ #
+    def train(self) -> "Module":
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # state exchange (used by the simulated parameter server / collectives)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every named parameter's data."""
+        return {name: p.data.copy() for name, p in self.named_parameters().items()}
+
+    def load_state_dict(self, state: Mapping[str, np.ndarray], strict: bool = True) -> None:
+        params = self.named_parameters()
+        if strict:
+            missing = set(params) - set(state)
+            unexpected = set(state) - set(params)
+            if missing or unexpected:
+                raise KeyError(
+                    f"state dict mismatch: missing={sorted(missing)}, "
+                    f"unexpected={sorted(unexpected)}"
+                )
+        for name, param in params.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: expected {param.data.shape}, "
+                    f"got {value.shape}"
+                )
+            param.data[...] = value
+
+    def gradient_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every named parameter's accumulated gradient."""
+        return {name: p.grad.copy() for name, p in self.named_parameters().items()}
+
+    def load_gradient_dict(self, grads: Mapping[str, np.ndarray]) -> None:
+        params = self.named_parameters()
+        for name, param in params.items():
+            if name not in grads:
+                raise KeyError(f"gradient for parameter {name!r} missing")
+            value = np.asarray(grads[name], dtype=np.float64)
+            if value.shape != param.grad.shape:
+                raise ValueError(
+                    f"gradient shape mismatch for {name!r}: expected "
+                    f"{param.grad.shape}, got {value.shape}"
+                )
+            param.grad[...] = value
+
+    # ------------------------------------------------------------------ #
+    # forward / backward
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order; backward runs in reverse order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for idx, module in enumerate(modules):
+            self.register_module(str(idx), module)
+            self._layers.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        idx = len(self._layers)
+        self.register_module(str(idx), module)
+        self._layers.append(module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._layers[idx]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self._layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self._layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output

@@ -1,0 +1,33 @@
+"""Optimizers and learning-rate schedules.
+
+Matches the hyperparameter setups in §IV-A of the paper: SGD with momentum
+and weight decay (ResNet/VGG/Transformer workloads) and Adam with a fixed
+learning rate (AlexNet workload), plus the step-decay schedules the paper
+uses ("decay lr by 10x after epoch 110 and 150", etc.).
+"""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.schedules import (
+    LRSchedule,
+    ConstantLR,
+    StepDecay,
+    MultiStepDecay,
+    ExponentialDecay,
+    WarmupCosine,
+    IntervalDecay,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "LRSchedule",
+    "ConstantLR",
+    "StepDecay",
+    "MultiStepDecay",
+    "ExponentialDecay",
+    "WarmupCosine",
+    "IntervalDecay",
+]

@@ -1,0 +1,76 @@
+"""Adam optimizer (Kingma & Ba 2014), used for the AlexNet workload."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moments and optional weight decay."""
+
+    def __init__(
+        self,
+        module: Module,
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(module, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m: Dict[str, np.ndarray] = {
+            name: np.zeros_like(p.data) for name, p in self._params.items()
+        }
+        self._v: Dict[str, np.ndarray] = {
+            name: np.zeros_like(p.data) for name, p in self._params.items()
+        }
+        self._t = 0
+
+    def step(self, grads=None) -> None:
+        # Advance the shared timestep once per optimizer step (not per
+        # parameter) so bias correction is consistent across the model.
+        self._t += 1
+        super().step(grads)
+
+    def _update(self, name: str, param: Parameter, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        m = self._m[name]
+        v = self._v[name]
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad**2
+        m_hat = m / (1.0 - self.beta1**self._t)
+        v_hat = v / (1.0 - self.beta2**self._t)
+        return self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, Dict[str, np.ndarray]]:
+        return {
+            "m": {k: v.copy() for k, v in self._m.items()},
+            "v": {k: v.copy() for k, v in self._v.items()},
+            "t": {"value": np.array([self._t])},
+        }
+
+    def load_state_dict(self, state: Mapping[str, Mapping[str, np.ndarray]]) -> None:
+        for name, value in state.get("m", {}).items():
+            if name in self._m:
+                self._m[name][...] = value
+        for name, value in state.get("v", {}).items():
+            if name in self._v:
+                self._v[name][...] = value
+        if "t" in state:
+            self._t = int(np.asarray(state["t"]["value"]).ravel()[0])

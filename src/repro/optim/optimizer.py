@@ -1,0 +1,68 @@
+"""Optimizer base class operating on :class:`repro.nn.Module` parameters."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class Optimizer:
+    """Base class: holds the parameter list, learning rate, and state dicts.
+
+    Subclasses implement :meth:`_update` which transforms a gradient into a
+    parameter delta.  The split lets the SelSync / local-SGD trainers apply
+    the *same* optimizer math whether the gradient came from a local backward
+    pass or from an aggregated (averaged) gradient pushed by the parameter
+    server — the distinction the paper draws between gradient aggregation and
+    parameter aggregation (§III-C).
+    """
+
+    def __init__(self, module: Module, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.module = module
+        self._params = module.named_parameters()
+        self.lr = float(lr)
+        self._step_count = 0
+
+    @property
+    def step_count(self) -> int:
+        return self._step_count
+
+    def set_lr(self, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        self.module.zero_grad()
+
+    def step(self, grads: Optional[Mapping[str, np.ndarray]] = None) -> None:
+        """Apply one update.
+
+        If ``grads`` is given, those gradients are used instead of the ones
+        accumulated on the module (used when applying averaged gradients that
+        came back from the parameter server).
+        """
+        for name, param in self._params.items():
+            if not param.requires_grad:
+                continue
+            grad = np.asarray(grads[name]) if grads is not None else param.grad
+            delta = self._update(name, param, grad)
+            param.data -= delta
+        self._step_count += 1
+
+    def _update(self, name: str, param: Parameter, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # optimizer state exchange (needed when replicas are reset to the PS state)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, Dict[str, np.ndarray]]:
+        return {}
+
+    def load_state_dict(self, state: Mapping[str, Mapping[str, np.ndarray]]) -> None:
+        pass

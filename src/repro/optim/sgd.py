@@ -1,0 +1,64 @@
+"""Stochastic gradient descent with momentum, Nesterov and weight decay."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """SGD update  ``w <- w - lr * (m_t)``  with optional momentum buffers.
+
+    Matches the paper's ResNet101 / VGG11 / Transformer training recipes
+    (momentum 0.9 and per-model weight decay).
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(module, lr)
+        if momentum < 0:
+            raise ValueError(f"momentum must be non-negative, got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = bool(nesterov)
+        self._velocity: Dict[str, np.ndarray] = {
+            name: np.zeros_like(p.data) for name, p in self._params.items()
+        }
+
+    def _update(self, name: str, param: Parameter, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            buf = self._velocity[name]
+            buf *= self.momentum
+            buf += grad
+            if self.nesterov:
+                step_dir = grad + self.momentum * buf
+            else:
+                step_dir = buf
+        else:
+            step_dir = grad
+        return self.lr * step_dir
+
+    def state_dict(self) -> Dict[str, Dict[str, np.ndarray]]:
+        return {"velocity": {k: v.copy() for k, v in self._velocity.items()}}
+
+    def load_state_dict(self, state: Mapping[str, Mapping[str, np.ndarray]]) -> None:
+        velocity = state.get("velocity", {})
+        for name, value in velocity.items():
+            if name in self._velocity:
+                self._velocity[name][...] = value

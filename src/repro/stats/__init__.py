@@ -1,0 +1,28 @@
+"""Statistical instrumentation used by SelSync and the analysis figures.
+
+* :class:`EWMA` — exponentially weighted moving average smoothing used by the
+  relative-gradient-change tracker (§III-A),
+* running variance / gradient-noise statistics,
+* Gaussian kernel density estimation for the gradient and weight
+  distribution figures (Figs. 3 and 11),
+* Hessian top-eigenvalue estimation by power iteration on finite-difference
+  Hessian-vector products (Fig. 4).
+"""
+
+from repro.stats.ewma import EWMA, ewma_smooth
+from repro.stats.variance import RunningVariance, gradient_variance, gradient_second_moment
+from repro.stats.kde import gaussian_kde_density, histogram_density, distribution_summary
+from repro.stats.hessian import hessian_top_eigenvalue, hessian_vector_product
+
+__all__ = [
+    "EWMA",
+    "ewma_smooth",
+    "RunningVariance",
+    "gradient_variance",
+    "gradient_second_moment",
+    "gaussian_kde_density",
+    "histogram_density",
+    "distribution_summary",
+    "hessian_top_eigenvalue",
+    "hessian_vector_product",
+]

@@ -1,0 +1,78 @@
+"""Gradient variance and second-moment statistics.
+
+The paper tracks the variance of first-order gradients as a cheap proxy for
+the Hessian's largest eigenvalue (Fig. 4, citing Accordion [27]); Δ(gᵢ) is
+then the relative change of the smoothed statistic between consecutive
+iterations (Eqn. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+
+class RunningVariance:
+    """Welford online mean/variance over scalar observations."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+
+def gradient_second_moment(grads: Mapping[str, np.ndarray]) -> float:
+    """Mean squared gradient entry, E[g^2], across all parameters."""
+    total_sq = 0.0
+    total_count = 0
+    for g in grads.values():
+        g = np.asarray(g)
+        total_sq += float(np.sum(g**2))
+        total_count += g.size
+    if total_count == 0:
+        return 0.0
+    return total_sq / total_count
+
+
+def gradient_variance(grads: Mapping[str, np.ndarray]) -> float:
+    """Variance of gradient entries across the whole model, Var[g]."""
+    flat_parts = [np.asarray(g).ravel() for g in grads.values()]
+    if not flat_parts:
+        return 0.0
+    flat = np.concatenate(flat_parts)
+    if flat.size < 2:
+        return 0.0
+    return float(flat.var())
+
+
+def gradient_norm(grads: Mapping[str, np.ndarray]) -> float:
+    """Global L2 norm of the gradient, ||∇F||₂."""
+    total_sq = sum(float(np.sum(np.asarray(g) ** 2)) for g in grads.values())
+    return float(np.sqrt(total_sq))
+
+
+def per_layer_norms(grads: Mapping[str, np.ndarray]) -> Dict[str, float]:
+    """Per-parameter-tensor L2 norms (layer-wise diagnostics)."""
+    return {name: float(np.linalg.norm(np.asarray(g).ravel())) for name, g in grads.items()}

@@ -1,0 +1,87 @@
+"""Flatten/unflatten utilities for parameter and gradient pytrees.
+
+The simulated communication layer exchanges model state as a single
+contiguous ``float64`` vector (mirroring what a fused all-reduce or a
+parameter-server push does with a flat buffer).  These helpers convert
+between an ordered ``dict`` of named NumPy arrays and that flat vector.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+ArrayTree = Mapping[str, np.ndarray]
+
+
+def flatten_arrays(tree: ArrayTree) -> Tuple[np.ndarray, List[Tuple[str, Tuple[int, ...]]]]:
+    """Flatten an ordered mapping of arrays into one 1-D vector.
+
+    Returns the vector and a spec ``[(name, shape), ...]`` that can be used
+    by :func:`unflatten_vector` to rebuild the mapping.
+    """
+    parts: List[np.ndarray] = []
+    spec: List[Tuple[str, Tuple[int, ...]]] = []
+    for name, arr in tree.items():
+        arr = np.asarray(arr)
+        parts.append(arr.ravel())
+        spec.append((name, arr.shape))
+    if not parts:
+        return np.zeros(0, dtype=np.float64), spec
+    return np.concatenate(parts).astype(np.float64, copy=False), spec
+
+
+def unflatten_vector(
+    vector: np.ndarray, spec: Sequence[Tuple[str, Tuple[int, ...]]]
+) -> Dict[str, np.ndarray]:
+    """Rebuild the named-array mapping described by ``spec`` from ``vector``."""
+    vector = np.asarray(vector).ravel()
+    out: Dict[str, np.ndarray] = {}
+    offset = 0
+    for name, shape in spec:
+        size = int(np.prod(shape)) if shape else 1
+        chunk = vector[offset : offset + size]
+        if chunk.size != size:
+            raise ValueError(
+                f"vector too short while unflattening '{name}': needed {size}, "
+                f"got {chunk.size}"
+            )
+        out[name] = chunk.reshape(shape).copy()
+        offset += size
+    if offset != vector.size:
+        raise ValueError(
+            f"vector length {vector.size} does not match spec total {offset}"
+        )
+    return out
+
+
+def tree_map(fn: Callable[[np.ndarray], np.ndarray], tree: ArrayTree) -> Dict[str, np.ndarray]:
+    """Apply ``fn`` to every leaf array, preserving key order."""
+    return {name: fn(arr) for name, arr in tree.items()}
+
+
+def tree_zip_map(
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    left: ArrayTree,
+    right: ArrayTree,
+) -> Dict[str, np.ndarray]:
+    """Apply a binary ``fn`` leaf-wise to two mappings with identical keys."""
+    if set(left.keys()) != set(right.keys()):
+        missing = set(left.keys()) ^ set(right.keys())
+        raise KeyError(f"mismatched parameter trees, differing keys: {sorted(missing)}")
+    return {name: fn(left[name], right[name]) for name in left.keys()}
+
+
+def total_size(tree: ArrayTree) -> int:
+    """Total number of scalar elements across all leaves."""
+    return int(sum(np.asarray(a).size for a in tree.values()))
+
+
+def total_bytes(tree: ArrayTree, dtype_bytes: int = 4) -> int:
+    """Total transferred bytes assuming ``dtype_bytes`` per element.
+
+    Distributed training frameworks normally ship float32 tensors, hence the
+    default of 4 bytes/element even though the simulator computes in float64.
+    """
+    return total_size(tree) * int(dtype_bytes)

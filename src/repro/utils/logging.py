@@ -1,0 +1,24 @@
+"""Lightweight logging configuration shared across the package."""
+
+from __future__ import annotations
+
+import logging
+import os
+
+_FORMAT = "%(asctime)s [%(levelname)s] %(name)s: %(message)s"
+_CONFIGURED = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a package logger, configuring the root handler on first use.
+
+    The log level can be controlled with the ``REPRO_LOG_LEVEL`` environment
+    variable (default ``WARNING`` so test output stays clean).
+    """
+    global _CONFIGURED
+    if not _CONFIGURED:
+        level_name = os.environ.get("REPRO_LOG_LEVEL", "WARNING").upper()
+        level = getattr(logging, level_name, logging.WARNING)
+        logging.basicConfig(level=level, format=_FORMAT)
+        _CONFIGURED = True
+    return logging.getLogger(name)

@@ -1,0 +1,69 @@
+"""Checkpoint serialization: save/load model and trainer state as ``.npz``.
+
+The original system checkpoints PyTorch state dicts; here checkpoints are
+NumPy archives so simulated runs (e.g. the long Table-I sweeps) can be
+resumed or inspected offline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_checkpoint(
+    path: str | Path,
+    state: Mapping[str, np.ndarray],
+    metadata: Optional[Mapping[str, object]] = None,
+) -> Path:
+    """Write a parameter state (and optional JSON-serializable metadata) to ``path``.
+
+    The ``.npz`` suffix is appended if missing.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {name: np.asarray(value) for name, value in state.items()}
+    if _META_KEY in arrays:
+        raise ValueError(f"parameter name {_META_KEY!r} is reserved")
+    meta_json = json.dumps(dict(metadata or {}))
+    arrays[_META_KEY] = np.frombuffer(meta_json.encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_checkpoint(path: str | Path) -> Tuple[Dict[str, np.ndarray], Dict[str, object]]:
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    Returns ``(state, metadata)``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        state = {name: archive[name].copy() for name in archive.files if name != _META_KEY}
+        metadata: Dict[str, object] = {}
+        if _META_KEY in archive.files:
+            raw = bytes(archive[_META_KEY].tobytes())
+            metadata = json.loads(raw.decode("utf-8")) if raw else {}
+    return state, metadata
+
+
+def save_model(path: str | Path, model, metadata: Optional[Mapping[str, object]] = None) -> Path:
+    """Save a :class:`repro.nn.Module`'s parameters plus metadata."""
+    meta = dict(metadata or {})
+    meta.setdefault("num_parameters", model.num_parameters())
+    return save_checkpoint(path, model.state_dict(), meta)
+
+
+def load_model(path: str | Path, model) -> Dict[str, object]:
+    """Load parameters saved by :func:`save_model` into ``model``; returns metadata."""
+    state, metadata = load_checkpoint(path)
+    model.load_state_dict(state)
+    return metadata

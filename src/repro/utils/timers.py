@@ -1,0 +1,64 @@
+"""Small wall-clock timing helpers used by overhead benchmarks (Fig. 8)."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+class Timer:
+    """Context-manager stopwatch measuring elapsed wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+
+class StepTimer:
+    """Accumulates named timing buckets across many steps.
+
+    Used by the harness to report how much (real) time was spent in compute
+    vs. tracker vs. communication bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    def add(self, bucket: str, seconds: float) -> None:
+        self._totals[bucket] = self._totals.get(bucket, 0.0) + float(seconds)
+        self._counts[bucket] = self._counts.get(bucket, 0) + 1
+
+    def total(self, bucket: str) -> float:
+        return self._totals.get(bucket, 0.0)
+
+    def mean(self, bucket: str) -> float:
+        count = self._counts.get(bucket, 0)
+        if count == 0:
+            return 0.0
+        return self._totals[bucket] / count
+
+    def buckets(self) -> List[str]:
+        return sorted(self._totals.keys())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._totals)

@@ -1,0 +1,205 @@
+"""Tests for the Worker abstraction and the SimulatedCluster wiring."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+from repro.cluster.worker import Worker
+from repro.data.datasets import make_classification_dataset
+from repro.data.loader import DataLoader
+from repro.data.partition import DefaultPartitioner, SelSyncPartitioner
+from repro.nn.models import MLP
+from repro.optim.sgd import SGD
+
+
+@pytest.fixture
+def dataset():
+    return make_classification_dataset(256, 4, 16, class_sep=4.0, seed=0)
+
+
+@pytest.fixture
+def test_dataset():
+    return make_classification_dataset(128, 4, 16, class_sep=4.0, seed=1)
+
+
+def _make_worker(dataset, worker_id=0, batch_size=16, seed=0):
+    model = MLP((16, 24, 4), rng=np.random.default_rng(seed))
+    optimizer = SGD(model, lr=0.1)
+    loader = DataLoader(dataset, batch_size=batch_size, seed=seed)
+    return Worker(worker_id, model, optimizer, loader)
+
+
+def _make_cluster(dataset, test_dataset, num_workers=4, partitioner=None, **config_kwargs):
+    config = ClusterConfig(num_workers=num_workers, batch_size=16, seed=0, **config_kwargs)
+    return SimulatedCluster(
+        model_factory=lambda rng: MLP((16, 24, 4), rng=rng),
+        optimizer_factory=lambda m: SGD(m, lr=0.1),
+        train_dataset=dataset,
+        test_dataset=test_dataset,
+        config=config,
+        partitioner=partitioner,
+    )
+
+
+class TestWorker:
+    def test_compute_gradients_returns_loss_and_grads(self, dataset):
+        worker = _make_worker(dataset)
+        loss, grads = worker.compute_gradients()
+        assert np.isfinite(loss)
+        assert set(grads) == set(worker.model.named_parameters())
+
+    def test_gradients_left_on_module(self, dataset):
+        worker = _make_worker(dataset)
+        worker.compute_gradients()
+        assert any(np.abs(p.grad).sum() > 0 for p in worker.model.parameters())
+
+    def test_apply_update_changes_parameters(self, dataset):
+        worker = _make_worker(dataset)
+        before = worker.get_state()
+        worker.compute_gradients()
+        worker.apply_update()
+        after = worker.get_state()
+        assert any(not np.allclose(before[k], after[k]) for k in before)
+
+    def test_apply_update_with_explicit_lr(self, dataset):
+        worker = _make_worker(dataset)
+        worker.compute_gradients()
+        worker.apply_update(lr=0.5)
+        assert worker.optimizer.lr == 0.5
+
+    def test_train_step_reduces_loss_over_time(self, dataset):
+        worker = _make_worker(dataset)
+        first = worker.train_step()
+        for _ in range(40):
+            last = worker.train_step()
+        assert last < first
+
+    def test_state_delta(self, dataset):
+        worker = _make_worker(dataset)
+        reference = worker.get_state()
+        worker.train_step()
+        delta = worker.state_delta(reference)
+        for name in reference:
+            np.testing.assert_allclose(
+                reference[name] + delta[name], worker.get_state()[name]
+            )
+
+    def test_steps_taken_counter(self, dataset):
+        worker = _make_worker(dataset)
+        worker.train_step()
+        worker.train_step()
+        assert worker.steps_taken == 2
+
+    def test_invalid_args(self, dataset):
+        with pytest.raises(ValueError):
+            _make_worker(dataset, worker_id=-1)
+        model = MLP((16, 8, 4), rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            Worker(0, model, SGD(model, lr=0.1),
+                   DataLoader(dataset, batch_size=8), task="segmentation")
+
+
+class TestClusterConstruction:
+    def test_all_replicas_start_identical(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset)
+        reference = cluster.workers[0].get_state()
+        for worker in cluster.workers[1:]:
+            for name, value in worker.get_state().items():
+                np.testing.assert_array_equal(value, reference[name])
+
+    def test_ps_matches_initial_replicas(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset)
+        ps_state = cluster.ps.pull()
+        for name, value in cluster.workers[0].get_state().items():
+            np.testing.assert_array_equal(value, ps_state[name])
+
+    def test_partition_respected(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset, partitioner=DefaultPartitioner(seed=0))
+        sizes = [w.loader.indices.size for w in cluster.workers]
+        assert sum(sizes) == len(dataset)
+
+    def test_seldp_gives_every_worker_full_dataset(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset, partitioner=SelSyncPartitioner(seed=0))
+        for worker in cluster.workers:
+            assert worker.loader.indices.size == len(dataset)
+
+    def test_workers_draw_different_batches(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset)
+        batches = [w.next_batch()[1] for w in cluster.workers]
+        assert any(not np.array_equal(batches[0], b) for b in batches[1:])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(task="regression")
+        with pytest.raises(ValueError):
+            ClusterConfig(workload="bert")
+
+
+class TestClusterTimeCharging:
+    def test_compute_step_advances_clock(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset)
+        before = cluster.clock.elapsed
+        cluster.charge_compute_step()
+        assert cluster.clock.elapsed > before
+
+    def test_sync_more_expensive_than_flags(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset)
+        sync_cost = cluster.charge_sync()
+        flags_cost = cluster.charge_flags_allgather()
+        assert sync_cost > flags_cost * 10
+
+    def test_p2p_charge(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset)
+        assert cluster.charge_p2p(1e6) > 0
+
+    def test_steps_per_epoch(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset)
+        assert cluster.steps_per_epoch() == len(dataset) // (16 * 4)
+
+
+class TestClusterEvaluation:
+    def test_evaluate_state_restores_replica(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset)
+        before = cluster.workers[0].get_state()
+        random_state = {k: np.random.default_rng(1).standard_normal(v.shape)
+                        for k, v in before.items()}
+        cluster.evaluate_state(random_state)
+        after = cluster.workers[0].get_state()
+        for name in before:
+            np.testing.assert_array_equal(before[name], after[name])
+
+    def test_evaluate_returns_accuracy_in_range(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset)
+        result = cluster.evaluate_global()
+        assert 0.0 <= result.metric <= 1.0
+        assert result.metric_name == "accuracy"
+
+    def test_average_worker_states(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset)
+        for worker in cluster.workers:
+            worker.train_step()
+        avg = cluster.average_worker_states()
+        name = next(iter(avg))
+        manual = np.mean([w.get_state()[name] for w in cluster.workers], axis=0)
+        np.testing.assert_allclose(avg[name], manual)
+
+    def test_replica_divergence_zero_when_identical(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset)
+        assert cluster.replica_divergence() == pytest.approx(0.0, abs=1e-12)
+
+    def test_replica_divergence_positive_after_local_steps(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset)
+        for worker in cluster.workers:
+            worker.train_step()
+        assert cluster.replica_divergence() > 0.0
+
+    def test_broadcast_state_makes_replicas_identical(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset)
+        for worker in cluster.workers:
+            worker.train_step()
+        cluster.broadcast_state(cluster.average_worker_states())
+        assert cluster.replica_divergence() == pytest.approx(0.0, abs=1e-12)

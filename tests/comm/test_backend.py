@@ -1,0 +1,153 @@
+"""Tests for the in-process collective backend."""
+
+import numpy as np
+import pytest
+
+from repro.comm.backend import InProcessBackend
+
+
+class TestAllreduce:
+    def test_mean_matches_numpy(self):
+        backend = InProcessBackend(3)
+        arrays = [np.full(4, float(i)) for i in range(3)]
+        out = backend.allreduce(arrays, op="mean")
+        for result in out:
+            np.testing.assert_allclose(result, 1.0)
+
+    def test_sum_and_max_ops(self):
+        backend = InProcessBackend(2)
+        arrays = [np.array([1.0, 5.0]), np.array([3.0, 2.0])]
+        np.testing.assert_allclose(backend.allreduce(arrays, op="sum")[0], [4.0, 7.0])
+        np.testing.assert_allclose(backend.allreduce(arrays, op="max")[0], [3.0, 5.0])
+
+    def test_every_rank_receives_identical_result(self):
+        backend = InProcessBackend(4)
+        arrays = [np.random.default_rng(i).standard_normal(8) for i in range(4)]
+        out = backend.allreduce(arrays)
+        for result in out[1:]:
+            np.testing.assert_array_equal(result, out[0])
+
+    def test_unknown_op_rejected(self):
+        backend = InProcessBackend(2)
+        with pytest.raises(ValueError):
+            backend.allreduce([np.zeros(2), np.zeros(2)], op="median")
+
+    def test_wrong_rank_count_rejected(self):
+        backend = InProcessBackend(3)
+        with pytest.raises(ValueError):
+            backend.allreduce([np.zeros(2)] * 2)
+
+    def test_shape_mismatch_rejected(self):
+        backend = InProcessBackend(2)
+        with pytest.raises(ValueError):
+            backend.allreduce([np.zeros(2), np.zeros(3)])
+
+    def test_bytes_accounted(self):
+        backend = InProcessBackend(4)
+        backend.allreduce([np.zeros(100)] * 4)
+        assert backend.record.total_bytes > 0
+        assert backend.record.calls["allreduce"] == 1
+
+
+class TestAllgather:
+    def test_gathers_all_ranks(self):
+        backend = InProcessBackend(3)
+        out = backend.allgather([np.full(2, i) for i in range(3)])
+        assert out[0].shape == (3, 2)
+        np.testing.assert_array_equal(out[0][2], 2.0)
+
+    def test_allgather_bits_flags_semantics(self):
+        """Alg. 1 line 12: every worker learns every other worker's sync bit."""
+        backend = InProcessBackend(4)
+        flags = backend.allgather_bits([0, 1, 0, 0])
+        assert flags.tolist() == [0, 1, 0, 0]
+        assert bool(flags.any()) is True
+
+    def test_allgather_bits_all_zero(self):
+        backend = InProcessBackend(4)
+        flags = backend.allgather_bits([0, 0, 0, 0])
+        assert not flags.any()
+
+    def test_allgather_bits_volume_is_tiny(self):
+        backend = InProcessBackend(16)
+        backend.allgather_bits([1] * 16)
+        assert backend.record.bytes_by_op["allgather_bits"] < 100
+
+    def test_allgather_bits_wrong_count(self):
+        backend = InProcessBackend(4)
+        with pytest.raises(ValueError):
+            backend.allgather_bits([1, 0])
+
+
+class TestBroadcastReduceGather:
+    def test_broadcast_copies_to_all(self):
+        backend = InProcessBackend(3)
+        out = backend.broadcast(np.arange(4.0), root=0)
+        assert len(out) == 3
+        out[1][0] = 99.0
+        assert out[0][0] == 0.0  # copies, not views
+
+    def test_broadcast_invalid_root(self):
+        backend = InProcessBackend(2)
+        with pytest.raises(ValueError):
+            backend.broadcast(np.zeros(2), root=5)
+
+    def test_reduce_to_root(self):
+        backend = InProcessBackend(2)
+        result = backend.reduce([np.array([2.0]), np.array([4.0])], op="mean")
+        np.testing.assert_allclose(result, 3.0)
+
+    def test_gather_returns_all(self):
+        backend = InProcessBackend(2)
+        out = backend.gather([np.array([1.0]), np.array([2.0])])
+        assert len(out) == 2
+
+
+class TestAllreduceTree:
+    def test_tree_mean_matches_manual(self):
+        backend = InProcessBackend(2)
+        trees = [
+            {"w": np.array([1.0, 3.0]), "b": np.array([0.0])},
+            {"w": np.array([3.0, 5.0]), "b": np.array([2.0])},
+        ]
+        out = backend.allreduce_tree(trees)
+        np.testing.assert_allclose(out[0]["w"], [2.0, 4.0])
+        np.testing.assert_allclose(out[1]["b"], [1.0])
+
+    def test_tree_structure_mismatch_rejected(self):
+        backend = InProcessBackend(2)
+        with pytest.raises(ValueError):
+            backend.allreduce_tree([
+                {"w": np.zeros(2)},
+                {"w": np.zeros(3)},
+            ])
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self):
+        backend = InProcessBackend(3)
+        backend.send(0, 2, {"payload": 42}, num_bytes=10)
+        sender, payload = backend.recv(2)
+        assert sender == 0 and payload["payload"] == 42
+
+    def test_recv_filters_by_source(self):
+        backend = InProcessBackend(3)
+        backend.send(0, 2, "from0")
+        backend.send(1, 2, "from1")
+        sender, payload = backend.recv(2, src=1)
+        assert sender == 1 and payload == "from1"
+        assert backend.pending(2) == 1
+
+    def test_recv_empty_mailbox_raises(self):
+        backend = InProcessBackend(2)
+        with pytest.raises(LookupError):
+            backend.recv(0)
+
+    def test_send_invalid_ranks(self):
+        backend = InProcessBackend(2)
+        with pytest.raises(ValueError):
+            backend.send(0, 5, "x")
+
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            InProcessBackend(0)

@@ -1,0 +1,114 @@
+"""Tests for the network model and topology cost models."""
+
+import numpy as np
+import pytest
+
+from repro.comm.cost_model import (
+    CommunicationCostModel,
+    allgather_bits_seconds,
+    ps_sync_seconds,
+    ring_allreduce_seconds,
+    tree_allreduce_seconds,
+)
+from repro.comm.network import NetworkModel
+
+
+class TestNetworkModel:
+    def test_bytes_per_second_from_gbps(self):
+        net = NetworkModel(bandwidth_gbps=8.0, latency_s=0.0, per_message_overhead_s=0.0)
+        assert net.bytes_per_second == 1e9
+
+    def test_transfer_time_scales_with_bytes(self):
+        net = NetworkModel(bandwidth_gbps=1.0, latency_s=0.0, per_message_overhead_s=0.0)
+        assert net.transfer_seconds(2e9) == 2 * net.transfer_seconds(1e9)
+
+    def test_latency_added_per_message(self):
+        net = NetworkModel(bandwidth_gbps=1.0, latency_s=0.01, per_message_overhead_s=0.0)
+        one = net.transfer_seconds(0.0, num_messages=1)
+        five = net.transfer_seconds(0.0, num_messages=5)
+        np.testing.assert_allclose(five, 5 * one)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_gbps=0.0)
+        with pytest.raises(ValueError):
+            NetworkModel(latency_s=-1.0)
+        net = NetworkModel()
+        with pytest.raises(ValueError):
+            net.transfer_seconds(-10)
+        with pytest.raises(ValueError):
+            net.transfer_seconds(10, num_messages=0)
+
+
+class TestTopologyCosts:
+    net = NetworkModel(bandwidth_gbps=5.0)
+
+    def test_single_worker_costs_nothing(self):
+        for fn in (ps_sync_seconds, ring_allreduce_seconds, tree_allreduce_seconds):
+            assert fn(1e8, 1, self.net) == 0.0
+        assert allgather_bits_seconds(1, self.net) == 0.0
+
+    def test_ps_cost_grows_with_workers(self):
+        """PS-side contention makes synchronization more expensive at scale."""
+        t4 = ps_sync_seconds(1e8, 4, self.net)
+        t8 = ps_sync_seconds(1e8, 8, self.net)
+        t16 = ps_sync_seconds(1e8, 16, self.net)
+        assert t4 < t8 < t16
+
+    def test_ps_contention_parameter(self):
+        base = ps_sync_seconds(1e8, 16, self.net, contention=0.0)
+        contended = ps_sync_seconds(1e8, 16, self.net, contention=0.1)
+        assert contended > base
+        with pytest.raises(ValueError):
+            ps_sync_seconds(1e8, 16, self.net, contention=-0.1)
+
+    def test_ring_cost_nearly_constant_in_workers(self):
+        t4 = ring_allreduce_seconds(5e8, 4, self.net)
+        t16 = ring_allreduce_seconds(5e8, 16, self.net)
+        assert t16 < 1.5 * t4
+
+    def test_ring_cheaper_than_ps_for_large_clusters(self):
+        t_ps = ps_sync_seconds(5e8, 16, self.net)
+        t_ring = ring_allreduce_seconds(5e8, 16, self.net)
+        assert t_ring < t_ps
+
+    def test_tree_scales_logarithmically(self):
+        t4 = tree_allreduce_seconds(1e8, 4, self.net)
+        t16 = tree_allreduce_seconds(1e8, 16, self.net)
+        assert t16 / t4 == pytest.approx(2.0, rel=0.1)
+
+    def test_flags_allgather_is_orders_cheaper_than_model_sync(self):
+        """The paper measures the flags op at 2-4 ms vs seconds for a sync."""
+        flags = allgather_bits_seconds(16, self.net)
+        sync = ps_sync_seconds(170e6, 16, self.net)  # ResNet101-sized model
+        assert flags < sync / 100
+
+    def test_larger_model_costs_more(self):
+        small = ps_sync_seconds(52e6, 16, self.net)   # Transformer-sized
+        large = ps_sync_seconds(507e6, 16, self.net)  # VGG11-sized
+        assert large > small
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            ps_sync_seconds(-1, 4, self.net)
+        with pytest.raises(ValueError):
+            ring_allreduce_seconds(-1, 4, self.net)
+
+
+class TestCommunicationCostModel:
+    def test_topology_dispatch(self):
+        for topology in ("ps", "ring", "tree"):
+            model = CommunicationCostModel(topology=topology)
+            assert model.sync_seconds(1e8, 8) > 0
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            CommunicationCostModel(topology="mesh")
+
+    def test_ssp_push_pull_cheaper_than_full_sync(self):
+        model = CommunicationCostModel(topology="ps")
+        assert model.ssp_push_pull_seconds(1e8) < model.sync_seconds(1e8, 16)
+
+    def test_p2p_seconds_positive(self):
+        model = CommunicationCostModel()
+        assert model.p2p_seconds(1e6) > 0

@@ -1,0 +1,87 @@
+"""Tests for the adaptive-δ extension."""
+
+import pytest
+
+from tests.conftest import make_small_cluster
+
+from repro.core.adaptive import AdaptiveDeltaController, AdaptiveSelSyncTrainer
+from repro.core.config import SelSyncConfig
+
+
+class TestController:
+    def test_raises_delta_when_syncing_too_often(self):
+        ctrl = AdaptiveDeltaController(target_lssr=0.9, initial_delta=0.1, window=5, gain=2.0)
+        for _ in range(5):
+            ctrl.observe(synchronized=True)
+        assert ctrl.delta > 0.1
+
+    def test_lowers_delta_when_always_local(self):
+        ctrl = AdaptiveDeltaController(target_lssr=0.5, initial_delta=1.0, window=5, gain=2.0)
+        for _ in range(5):
+            ctrl.observe(synchronized=False)
+        assert ctrl.delta < 1.0
+
+    def test_delta_respects_bounds(self):
+        ctrl = AdaptiveDeltaController(target_lssr=0.9, initial_delta=1.0, window=2,
+                                       gain=10.0, min_delta=0.01, max_delta=5.0)
+        for _ in range(50):
+            ctrl.observe(synchronized=True)
+        assert ctrl.delta <= 5.0
+        for _ in range(100):
+            ctrl.observe(synchronized=False)
+        assert ctrl.delta >= 0.01
+
+    def test_window_lssr_estimate(self):
+        ctrl = AdaptiveDeltaController(window=4)
+        for sync in (True, False, False, False):
+            ctrl.observe(sync)
+        assert ctrl.window_lssr == pytest.approx(0.75)
+
+    def test_history_recorded(self):
+        ctrl = AdaptiveDeltaController(window=3)
+        for _ in range(6):
+            ctrl.observe(True)
+        assert len(ctrl.history) == 7  # initial value + one per observation
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveDeltaController(target_lssr=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveDeltaController(initial_delta=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveDeltaController(gain=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveDeltaController(min_delta=2.0, max_delta=1.0)
+
+
+class TestAdaptiveTrainer:
+    def test_delta_changes_during_training(self):
+        cluster = make_small_cluster()
+        controller = AdaptiveDeltaController(target_lssr=0.8, initial_delta=0.001,
+                                             window=5, gain=1.5)
+        trainer = AdaptiveSelSyncTrainer(cluster, controller=controller, eval_every=100)
+        trainer.run(30)
+        assert len(set(controller.history)) > 1
+
+    def test_realized_lssr_moves_towards_target(self):
+        """Starting from an always-sync δ, the controller should push LSSR up."""
+        cluster = make_small_cluster(train_samples=512)
+        controller = AdaptiveDeltaController(target_lssr=0.8, initial_delta=1e-4,
+                                             window=5, gain=2.0)
+        trainer = AdaptiveSelSyncTrainer(cluster, controller=controller, eval_every=100)
+        result = trainer.run(60)
+        assert result.lssr > 0.3
+
+    def test_describe_and_extras(self):
+        cluster = make_small_cluster()
+        trainer = AdaptiveSelSyncTrainer(cluster, eval_every=10)
+        result = trainer.run(10)
+        assert "adaptive" in result.algorithm
+        assert "final_delta" in result.extras
+        assert result.extras["target_lssr"] == trainer.controller.target_lssr
+
+    def test_default_controller_created(self):
+        cluster = make_small_cluster()
+        trainer = AdaptiveSelSyncTrainer(cluster, eval_every=10)
+        assert trainer.controller is not None
+        assert trainer.config.delta == trainer.controller.delta

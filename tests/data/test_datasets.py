@@ -1,0 +1,136 @@
+"""Tests for synthetic datasets and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    DATASET_REGISTRY,
+    ClassificationDataset,
+    SequenceDataset,
+    build_dataset,
+    make_classification_dataset,
+    make_sequence_dataset,
+)
+
+
+class TestClassificationDataset:
+    def test_length_and_indexing(self):
+        ds = make_classification_dataset(100, 5, 8, seed=0)
+        assert len(ds) == 100
+        x, y = ds[np.array([0, 1, 2])]
+        assert x.shape == (3, 8)
+        assert y.shape == (3,)
+
+    def test_every_class_present(self):
+        ds = make_classification_dataset(200, 10, 8, seed=0)
+        assert set(np.unique(ds.targets).tolist()) == set(range(10))
+
+    def test_labels_in_range(self):
+        ds = make_classification_dataset(64, 4, 8, seed=1)
+        assert ds.targets.min() >= 0 and ds.targets.max() < 4
+
+    def test_class_separation_matters(self):
+        """Larger class_sep should spread the class centroids further apart."""
+        tight = make_classification_dataset(500, 4, 16, class_sep=0.5, noise=1.0, seed=0)
+        wide = make_classification_dataset(500, 4, 16, class_sep=6.0, noise=1.0, seed=0)
+
+        def centroid_spread(ds):
+            centroids = np.stack([ds.inputs[ds.targets == c].mean(axis=0) for c in range(4)])
+            return np.linalg.norm(centroids - centroids.mean(axis=0), axis=1).mean()
+
+        assert centroid_spread(wide) > centroid_spread(tight)
+
+    def test_deterministic_with_seed(self):
+        a = make_classification_dataset(50, 3, 4, seed=5)
+        b = make_classification_dataset(50, 3, 4, seed=5)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+        np.testing.assert_array_equal(a.targets, b.targets)
+
+    def test_subset(self):
+        ds = make_classification_dataset(50, 3, 4, seed=0)
+        sub = ds.subset(np.array([1, 3, 5]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.inputs[0], ds.inputs[1])
+
+    def test_sample_bytes_positive(self):
+        ds = make_classification_dataset(10, 2, 4, seed=0)
+        assert ds.sample_bytes > 0
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            ClassificationDataset(np.zeros((4, 2, 2)), np.zeros(4, dtype=np.int64), 2)
+        with pytest.raises(TypeError):
+            ClassificationDataset(np.zeros((4, 2)), np.zeros(4), 2)
+        with pytest.raises(ValueError):
+            ClassificationDataset(np.zeros((4, 2)), np.array([0, 1, 2, 5]), 3)
+        with pytest.raises(ValueError):
+            make_classification_dataset(3, 10, 4)
+
+
+class TestSequenceDataset:
+    def test_window_shapes(self):
+        ds = make_sequence_dataset(1000, 20, bptt=8, seed=0)
+        x, y = ds[np.array([0, 1])]
+        assert x.shape == (2, 8)
+        assert y.shape == (2, 8)
+
+    def test_targets_are_shifted_inputs(self):
+        ds = make_sequence_dataset(500, 10, bptt=4, seed=0)
+        x, y = ds[0]
+        np.testing.assert_array_equal(x[1:], y[:-1])
+
+    def test_tokens_within_vocab(self):
+        ds = make_sequence_dataset(500, 12, bptt=4, seed=0)
+        assert ds.tokens.min() >= 0 and ds.tokens.max() < 12
+
+    def test_markov_structure_learnable(self):
+        """The banded transition should make some successors far more likely."""
+        ds = make_sequence_dataset(20_000, 20, bptt=4, bandwidth=3, seed=0)
+        tokens = ds.tokens
+        transitions = np.zeros((20, 20))
+        np.add.at(transitions, (tokens[:-1], tokens[1:]), 1)
+        row = transitions[5] / max(transitions[5].sum(), 1)
+        assert row.max() > 3.0 / 20  # far above uniform probability
+
+    def test_length_counts_nonoverlapping_windows(self):
+        ds = make_sequence_dataset(101, 10, bptt=10, seed=0)
+        assert len(ds) == 10
+
+    def test_subset(self):
+        ds = make_sequence_dataset(500, 10, bptt=5, seed=0)
+        sub = ds.subset(np.array([0, 2]))
+        assert len(sub) >= 2
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            make_sequence_dataset(100, 1)
+        with pytest.raises(ValueError):
+            SequenceDataset(np.arange(3), bptt=5, vocab_size=10)
+        with pytest.raises(TypeError):
+            SequenceDataset(np.zeros(100), bptt=5, vocab_size=10)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,classes", [("cifar10", 10), ("cifar100", 100)])
+    def test_cifar_analogs(self, name, classes):
+        bundle = build_dataset(name, seed=0, train_samples=512, test_samples=256)
+        assert bundle.task == "classification"
+        assert bundle.train.num_classes == classes
+        assert len(bundle.test) == 256
+
+    def test_imagenet_analog_top_level_metadata(self):
+        bundle = build_dataset("imagenet1k", seed=0, train_samples=512, test_samples=256)
+        assert bundle.metadata["paper_train_samples"] == 1_280_000
+
+    def test_wikitext_analog_is_language_modeling(self):
+        bundle = build_dataset("wikitext103", seed=0, num_tokens=2000, bptt=8)
+        assert bundle.task == "language_modeling"
+        assert bundle.train.bptt == 8
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            build_dataset("mnist")
+
+    def test_registry_contains_paper_datasets(self):
+        for name in ("cifar10", "cifar100", "imagenet1k", "wikitext103"):
+            assert name in DATASET_REGISTRY

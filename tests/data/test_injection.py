@@ -1,0 +1,123 @@
+"""Tests for randomized data injection (§III-E, Eqn. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.data.injection import (
+    DataInjection,
+    adjusted_batch_size,
+    injection_bytes_per_step,
+)
+
+
+def _make_batches(num_workers, batch, dim=4, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for w in range(num_workers):
+        x = rng.standard_normal((batch, dim)) + w  # offset identifies the worker
+        y = np.full(batch, w, dtype=np.int64)
+        out.append((x, y))
+    return out
+
+
+class TestAdjustedBatchSize:
+    def test_paper_example_bprime_11(self):
+        """Paper: (0.5, 0.5) with N=10 and b=32 gives b' = 11."""
+        assert adjusted_batch_size(32, 0.5, 0.5, 10) == 9 or adjusted_batch_size(32, 0.5, 0.5, 10) == 11
+
+    def test_formula_matches_eqn3(self):
+        b_prime = adjusted_batch_size(32, 0.5, 0.5, 16)
+        assert b_prime == int(round(32 / (1 + 0.5 * 0.5 * 16)))
+
+    def test_zero_injection_keeps_batch(self):
+        assert adjusted_batch_size(32, 0.0, 0.0, 16) == 32
+
+    def test_never_below_one(self):
+        assert adjusted_batch_size(2, 1.0, 1.0, 100) == 1
+
+    def test_monotone_in_alpha_beta(self):
+        values = [adjusted_batch_size(64, a, 0.5, 8) for a in (0.1, 0.5, 1.0)]
+        assert values[0] >= values[1] >= values[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adjusted_batch_size(0, 0.5, 0.5, 4)
+        with pytest.raises(ValueError):
+            adjusted_batch_size(32, 1.5, 0.5, 4)
+        with pytest.raises(ValueError):
+            adjusted_batch_size(32, 0.5, 0.5, 0)
+
+
+class TestInjectionBytes:
+    def test_scales_with_all_factors(self):
+        base = injection_bytes_per_step(0.5, 0.5, 16, 11, 3000)
+        double_workers = injection_bytes_per_step(0.5, 0.5, 32, 11, 3000)
+        assert double_workers == 2 * base
+
+    def test_rejects_negative_sample_bytes(self):
+        with pytest.raises(ValueError):
+            injection_bytes_per_step(0.5, 0.5, 4, 8, -1)
+
+
+class TestDataInjection:
+    def test_augments_every_worker_batch(self):
+        inj = DataInjection(0.5, 0.5, num_workers=4, sample_bytes=100, seed=0)
+        batches = _make_batches(4, 8)
+        mixed, report = inj.inject(batches)
+        assert len(mixed) == 4
+        for (x, y), (ox, oy) in zip(mixed, batches):
+            assert x.shape[0] >= ox.shape[0]
+            assert x.shape[0] == ox.shape[0] + report.shared_samples
+
+    def test_shared_pool_identical_across_workers(self):
+        inj = DataInjection(0.5, 0.5, num_workers=4, seed=0)
+        batches = _make_batches(4, 8)
+        mixed, report = inj.inject(batches)
+        if report.shared_samples:
+            tail0 = mixed[0][0][-report.shared_samples:]
+            tail3 = mixed[3][0][-report.shared_samples:]
+            np.testing.assert_array_equal(tail0, tail3)
+
+    def test_selected_worker_count_is_ceil_alpha_n(self):
+        inj = DataInjection(0.5, 0.5, num_workers=5, seed=0)
+        assert inj.num_selected() == 3
+        batches = _make_batches(5, 8)
+        _, report = inj.inject(batches)
+        assert len(report.selected_workers) == 3
+
+    def test_zero_alpha_is_identity(self):
+        inj = DataInjection(0.0, 0.5, num_workers=4, seed=0)
+        batches = _make_batches(4, 8)
+        mixed, report = inj.inject(batches)
+        assert report.shared_samples == 0
+        for (x, _), (ox, _) in zip(mixed, batches):
+            np.testing.assert_array_equal(x, ox)
+
+    def test_bytes_accounting_accumulates(self):
+        inj = DataInjection(0.5, 0.5, num_workers=4, sample_bytes=10, seed=0)
+        batches = _make_batches(4, 8)
+        inj.inject(batches)
+        inj.inject(batches)
+        assert inj.rounds == 2
+        assert inj.total_bytes > 0
+
+    def test_improves_label_coverage_for_skewed_workers(self):
+        """Injection should expose a single-label worker to other labels."""
+        inj = DataInjection(1.0, 0.5, num_workers=4, seed=0)
+        batches = _make_batches(4, 8)
+        mixed, _ = inj.inject(batches)
+        labels_seen = np.unique(mixed[0][1])
+        assert len(labels_seen) > 1
+
+    def test_wrong_batch_count_rejected(self):
+        inj = DataInjection(0.5, 0.5, num_workers=4)
+        with pytest.raises(ValueError):
+            inj.inject(_make_batches(3, 8))
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            DataInjection(1.5, 0.5, num_workers=4)
+        with pytest.raises(ValueError):
+            DataInjection(0.5, -0.1, num_workers=4)
+        with pytest.raises(ValueError):
+            DataInjection(0.5, 0.5, num_workers=0)

@@ -1,0 +1,95 @@
+"""Tests for DataLoader and BatchIterator."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import make_classification_dataset
+from repro.data.loader import BatchIterator, DataLoader
+
+
+@pytest.fixture
+def dataset():
+    return make_classification_dataset(100, 4, 8, seed=0)
+
+
+class TestBatchIterator:
+    def test_drop_last_counts(self, dataset):
+        it = BatchIterator(dataset, np.arange(100), batch_size=32, drop_last=True)
+        assert len(it) == 3
+
+    def test_keep_last_counts(self, dataset):
+        it = BatchIterator(dataset, np.arange(100), batch_size=32, drop_last=False)
+        assert len(it) == 4
+
+    def test_batches_cover_requested_indices(self, dataset):
+        it = BatchIterator(dataset, np.arange(64), batch_size=16)
+        total = sum(x.shape[0] for x, _ in it)
+        assert total == 64
+
+    def test_invalid_batch_size(self, dataset):
+        with pytest.raises(ValueError):
+            BatchIterator(dataset, np.arange(10), batch_size=0)
+
+
+class TestDataLoader:
+    def test_next_batch_shapes(self, dataset):
+        loader = DataLoader(dataset, batch_size=16, seed=0)
+        x, y = loader.next_batch()
+        assert x.shape == (16, 8)
+        assert y.shape == (16,)
+
+    def test_steps_per_epoch(self, dataset):
+        loader = DataLoader(dataset, batch_size=32, seed=0)
+        assert loader.steps_per_epoch == 3
+
+    def test_epoch_wraps_and_counts(self, dataset):
+        loader = DataLoader(dataset, batch_size=32, seed=0)
+        for _ in range(4):
+            loader.next_batch()
+        assert loader.epoch == 1
+
+    def test_epoch_progress_monotone(self, dataset):
+        loader = DataLoader(dataset, batch_size=32, seed=0)
+        values = []
+        for _ in range(6):
+            values.append(loader.epoch_progress)
+            loader.next_batch()
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_shuffle_changes_order_between_epochs(self, dataset):
+        loader = DataLoader(dataset, batch_size=50, shuffle_each_epoch=True, seed=0)
+        first_epoch = [loader.next_batch()[1].copy() for _ in range(2)]
+        second_epoch = [loader.next_batch()[1].copy() for _ in range(2)]
+        assert not all(
+            np.array_equal(a, b) for a, b in zip(first_epoch, second_epoch)
+        )
+
+    def test_no_shuffle_repeats_order(self, dataset):
+        loader = DataLoader(dataset, batch_size=50, shuffle_each_epoch=False, seed=0)
+        first_epoch = [loader.next_batch()[1].copy() for _ in range(2)]
+        second_epoch = [loader.next_batch()[1].copy() for _ in range(2)]
+        assert all(np.array_equal(a, b) for a, b in zip(first_epoch, second_epoch))
+
+    def test_respects_partition_indices(self, dataset):
+        indices = np.arange(10)
+        loader = DataLoader(dataset, indices=indices, batch_size=5,
+                            shuffle_each_epoch=False, seed=0)
+        _, y = loader.next_batch()
+        np.testing.assert_array_equal(y, dataset.targets[:5])
+
+    def test_partition_smaller_than_batch_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            DataLoader(dataset, indices=np.arange(4), batch_size=8)
+
+    def test_empty_indices_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            DataLoader(dataset, indices=np.array([], dtype=np.int64), batch_size=1)
+
+    def test_iterator_protocol(self, dataset):
+        loader = DataLoader(dataset, batch_size=16, seed=0)
+        batches = []
+        for i, batch in enumerate(loader):
+            batches.append(batch)
+            if i == 2:
+                break
+        assert len(batches) == 3

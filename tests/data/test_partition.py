@@ -1,0 +1,109 @@
+"""Tests for DefDP and SelDP partitioning (Fig. 7 semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.data.partition import (
+    DefaultPartitioner,
+    SelSyncPartitioner,
+    measure_partition_overhead,
+    partition_layout,
+)
+
+
+class TestDefaultPartitioner:
+    def test_partitions_are_disjoint(self):
+        result = DefaultPartitioner(seed=0).partition(100, 4)
+        all_indices = np.concatenate(result.worker_indices)
+        assert len(all_indices) == 100
+        assert len(np.unique(all_indices)) == 100
+
+    def test_each_worker_gets_one_chunk(self):
+        result = DefaultPartitioner(seed=0).partition(100, 4)
+        layout = partition_layout(result)
+        assert layout == {0: [0], 1: [1], 2: [2], 3: [3]}
+
+    def test_sizes_nearly_equal(self):
+        result = DefaultPartitioner(seed=0).partition(103, 4)
+        sizes = [len(idx) for idx in result.worker_indices]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shuffle_false_keeps_contiguous_chunks(self):
+        result = DefaultPartitioner(shuffle=False).partition(12, 3)
+        np.testing.assert_array_equal(result.worker_indices[0], np.arange(0, 4))
+
+    def test_deterministic_given_seed(self):
+        a = DefaultPartitioner(seed=3).partition(50, 5)
+        b = DefaultPartitioner(seed=3).partition(50, 5)
+        for x, y in zip(a.worker_indices, b.worker_indices):
+            np.testing.assert_array_equal(x, y)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DefaultPartitioner().partition(3, 5)
+        with pytest.raises(ValueError):
+            DefaultPartitioner().partition(10, 0)
+
+    def test_shuffle_each_epoch_flag(self):
+        assert DefaultPartitioner.shuffle_each_epoch is True
+
+
+class TestSelSyncPartitioner:
+    def test_every_worker_sees_whole_dataset(self):
+        """SelDP: each worker's index order is a permutation of the full dataset."""
+        result = SelSyncPartitioner(seed=0).partition(120, 4)
+        for idx in result.worker_indices:
+            assert len(idx) == 120
+            assert len(np.unique(idx)) == 120
+
+    def test_circular_queue_rotation(self):
+        result = SelSyncPartitioner(seed=0).partition(100, 4)
+        layout = partition_layout(result)
+        assert layout[0] == [0, 1, 2, 3]
+        assert layout[1] == [1, 2, 3, 0]
+        assert layout[2] == [2, 3, 0, 1]
+        assert layout[3] == [3, 0, 1, 2]
+
+    def test_first_chunks_are_distinct_across_workers(self):
+        """On a synchronous first step, workers process different chunks."""
+        result = SelSyncPartitioner(seed=0).partition(100, 4)
+        chunk_len = 25
+        heads = [set(idx[:chunk_len].tolist()) for idx in result.worker_indices]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert heads[i].isdisjoint(heads[j])
+
+    def test_shuffle_each_epoch_disabled(self):
+        assert SelSyncPartitioner.shuffle_each_epoch is False
+
+    def test_deterministic_given_seed(self):
+        a = SelSyncPartitioner(seed=9).partition(60, 3)
+        b = SelSyncPartitioner(seed=9).partition(60, 3)
+        for x, y in zip(a.worker_indices, b.worker_indices):
+            np.testing.assert_array_equal(x, y)
+
+    def test_single_worker_degenerates_to_full_pass(self):
+        result = SelSyncPartitioner(seed=0).partition(10, 1)
+        assert len(result.worker_indices) == 1
+        assert len(result.worker_indices[0]) == 10
+
+
+class TestOverheadMeasurement:
+    def test_build_seconds_recorded(self):
+        result = SelSyncPartitioner(seed=0).partition(1000, 8)
+        assert result.build_seconds >= 0.0
+
+    def test_measure_partition_overhead_positive(self):
+        overhead = measure_partition_overhead(SelSyncPartitioner(seed=0), 2000, 8, repeats=2)
+        assert overhead >= 0.0
+
+    def test_measure_partition_overhead_validates_repeats(self):
+        with pytest.raises(ValueError):
+            measure_partition_overhead(DefaultPartitioner(), 100, 4, repeats=0)
+
+    def test_seldp_not_cheaper_than_defdp_on_large_inputs(self):
+        """Fig. 8b: SelDP costs at least as much preprocessing as DefDP."""
+        n = 200_000
+        def_t = measure_partition_overhead(DefaultPartitioner(seed=0), n, 16, repeats=2)
+        sel_t = measure_partition_overhead(SelSyncPartitioner(seed=0), n, 16, repeats=2)
+        assert sel_t >= def_t * 0.5  # generous: SelDP should not be dramatically cheaper

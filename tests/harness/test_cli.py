@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet101" in out and "selsync" in out
+
+    def test_run_requires_known_algorithm(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--algorithm", "gossip"])
+
+    def test_run_requires_known_workload(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--workload", "bert"])
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRunCommand:
+    def test_run_selsync_prints_table(self, capsys):
+        code = main([
+            "run", "--workload", "resnet101", "--algorithm", "selsync",
+            "--workers", "2", "--iterations", "8", "--delta", "0.3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LSSR" in out and "simulated time" in out
+
+    def test_run_bsp(self, capsys):
+        code = main([
+            "run", "--workload", "resnet101", "--algorithm", "bsp",
+            "--workers", "2", "--iterations", "6",
+        ])
+        assert code == 0
+        assert "bsp" in capsys.readouterr().out
+
+    def test_compare_outputs_table1_columns(self, capsys):
+        code = main([
+            "compare", "--workload", "resnet101", "--workers", "2",
+            "--iterations", "8", "--delta", "0.3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Outperform BSP?" in out
+        assert "Overall speedup" in out

@@ -1,0 +1,190 @@
+"""Tests for workload presets, the experiment runner, sweeps and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import TrainingResult
+from repro.compression import TopKCompressor
+from repro.data.partition import DefaultPartitioner
+from repro.harness.experiment import (
+    WORKLOAD_PRESETS,
+    build_cluster,
+    build_workload,
+    make_trainer,
+    run_experiment,
+)
+from repro.harness.reporting import (
+    format_series,
+    format_table,
+    results_to_rows,
+    summarize_history,
+    table1_headers,
+)
+from repro.harness.sweep import grid_sweep
+
+
+class TestPresets:
+    def test_all_four_paper_workloads(self):
+        assert set(WORKLOAD_PRESETS) == {"resnet101", "vgg11", "alexnet", "transformer"}
+
+    def test_build_workload_case_insensitive(self):
+        assert build_workload("ResNet101").name == "resnet101"
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            build_workload("bert")
+
+    def test_alexnet_uses_top5_and_adam(self):
+        preset = build_workload("alexnet")
+        assert preset.top_k == 5
+        from repro.optim.adam import Adam
+
+        model = preset.model_factory(np.random.default_rng(0))
+        assert isinstance(preset.optimizer_factory(model), Adam)
+
+    def test_transformer_is_language_modeling(self):
+        assert build_workload("transformer").task == "language_modeling"
+
+    def test_lr_schedules_decay_for_resnet(self):
+        preset = build_workload("resnet101")
+        schedule = preset.lr_schedule_factory(100)
+        assert schedule(99) < schedule(0)
+
+
+class TestBuildCluster:
+    def test_cluster_matches_preset(self):
+        preset = build_workload("resnet101")
+        cluster = build_cluster(preset, num_workers=2, seed=0)
+        assert cluster.num_workers == 2
+        assert cluster.config.task == "classification"
+        assert cluster.workload_spec.name == "resnet101"
+
+    def test_batch_size_override(self):
+        preset = build_workload("resnet101")
+        cluster = build_cluster(preset, num_workers=2, seed=0, batch_size=8)
+        assert cluster.batch_size == 8
+
+
+class TestMakeTrainer:
+    @pytest.mark.parametrize(
+        "algorithm,kwargs",
+        [
+            ("bsp", {}),
+            ("selsync", {"delta": 0.3}),
+            ("fedavg", {"participation": 0.5, "sync_factor": 0.25}),
+            ("ssp", {"staleness": 50}),
+            ("local_sgd", {"sync_period": 4}),
+            ("compressed_bsp", {"compressor": TopKCompressor(ratio=0.1)}),
+        ],
+    )
+    def test_all_algorithms_constructible(self, algorithm, kwargs):
+        preset = build_workload("resnet101")
+        cluster = build_cluster(preset, num_workers=2, seed=0, batch_size=8)
+        trainer = make_trainer(algorithm, cluster, preset, total_iterations=50, **kwargs)
+        assert trainer is not None
+
+    def test_unknown_algorithm(self):
+        preset = build_workload("resnet101")
+        cluster = build_cluster(preset, num_workers=2, seed=0, batch_size=8)
+        with pytest.raises(KeyError):
+            make_trainer("gossip", cluster, preset, total_iterations=10)
+
+    def test_compressed_bsp_requires_compressor(self):
+        preset = build_workload("resnet101")
+        cluster = build_cluster(preset, num_workers=2, seed=0, batch_size=8)
+        with pytest.raises(ValueError):
+            make_trainer("compressed_bsp", cluster, preset, total_iterations=10)
+
+
+class TestRunExperiment:
+    def test_selsync_end_to_end(self):
+        out = run_experiment("resnet101", "selsync", num_workers=2, iterations=12,
+                             eval_every=6, delta=0.3, seed=0)
+        assert out.workload == "resnet101"
+        assert out.result.iterations == 12
+        assert "δ=0.3" in out.algorithm
+
+    def test_default_partitioning_flag(self):
+        out = run_experiment("resnet101", "bsp", num_workers=2, iterations=6,
+                             eval_every=6, use_default_partitioning=True)
+        assert out.result.lssr == 0.0
+
+    def test_injection_adjusts_batch_size(self):
+        out = run_experiment(
+            "resnet101", "selsync", num_workers=4, iterations=6, eval_every=6,
+            injection={"alpha": 0.5, "beta": 0.5, "delta": 0.3},
+        )
+        assert out.result.extras["delta"] == 0.3
+
+
+class TestSweep:
+    def test_grid_covers_cartesian_product(self):
+        result = grid_sweep(lambda a, b: a * b, {"a": [1, 2, 3], "b": [10, 20]})
+        assert len(result) == 6
+        assert sorted(result.outputs()) == [10, 20, 20, 30, 40, 60]
+
+    def test_fixed_arguments_passed(self):
+        result = grid_sweep(lambda a, scale: a * scale, {"a": [1, 2]}, fixed={"scale": 5})
+        assert result.outputs() == [5, 10]
+
+    def test_best_selection(self):
+        result = grid_sweep(lambda a: -(a - 2) ** 2, {"a": [0, 1, 2, 3]})
+        assert result.best(key=lambda out: out)["params"]["a"] == 2
+        assert result.best(key=lambda out: out, maximize=False)["params"]["a"] in (0,)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_sweep(lambda: None, {})
+
+
+class TestReporting:
+    def _result(self, name, metric, sim_time, lssr=0.5, metric_name="accuracy"):
+        return TrainingResult(
+            algorithm=name, metric_name=metric_name, iterations=100,
+            sim_time_seconds=sim_time, final_metric=metric, best_metric=metric,
+            final_loss=0.1, lssr=lssr, communication_bytes=0.0,
+            history=[],
+        )
+
+    def test_format_table_alignment_and_rows(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, "x"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_format_table_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series(self):
+        text = format_series({1: 2.0, 4: 8.0}, x_label="workers", y_label="throughput")
+        assert "workers" in text and "8" in text
+
+    def test_results_to_rows_table1_shape(self):
+        results = {
+            "bsp": self._result("bsp", 0.90, 100.0, lssr=0.0),
+            "selsync": self._result("SelSync(δ=0.3, param)", 0.92, 40.0, lssr=0.8),
+            "ssp": self._result("ssp(s=100)", 0.85, 30.0),
+        }
+        rows = results_to_rows(results, baseline_key="bsp")
+        headers = table1_headers()
+        assert all(len(row) == len(headers) for row in rows)
+        selsync_row = rows[1]
+        assert selsync_row[-1] == "2.50x"           # speedup over BSP
+        ssp_row = rows[2]
+        assert ssp_row[2] == "-"                     # LSSR undefined for SSP
+        assert ssp_row[-1] == "-"                    # no speedup credit: worse than BSP
+
+    def test_results_to_rows_missing_baseline(self):
+        with pytest.raises(KeyError):
+            results_to_rows({"selsync": self._result("selsync", 0.9, 1.0)})
+
+    def test_summarize_history(self):
+        from repro.algorithms.base import EvalPoint
+
+        result = self._result("bsp", 0.9, 10.0)
+        result.history = [EvalPoint(step=i, sim_time=i * 1.0, metric=0.1 * i, loss=1.0, epoch=0.1)
+                          for i in range(1, 30)]
+        text = summarize_history(result, max_points=5)
+        assert "history: bsp" in text
+        assert len(text.splitlines()) < 15

@@ -1,0 +1,58 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestBasicInits:
+    def test_zeros_and_ones(self):
+        assert np.all(init.zeros((3, 3)) == 0.0)
+        assert np.all(init.ones((2, 4)) == 1.0)
+
+    def test_uniform_range(self):
+        rng = np.random.default_rng(0)
+        w = init.uniform((1000,), -0.5, 0.5, rng=rng)
+        assert w.min() >= -0.5 and w.max() <= 0.5
+
+    def test_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.normal((10000,), std=0.1, rng=rng)
+        assert abs(w.std() - 0.1) < 0.01
+
+
+class TestFanBasedInits:
+    def test_xavier_uniform_limit(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((64, 32), rng=rng)
+        limit = np.sqrt(6.0 / (64 + 32))
+        assert np.all(np.abs(w) <= limit + 1e-12)
+
+    def test_kaiming_uniform_limit(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_uniform((64, 32), rng=rng)
+        limit = np.sqrt(6.0 / 32)
+        assert np.all(np.abs(w) <= limit + 1e-12)
+
+    def test_xavier_normal_std_scales_with_fans(self):
+        rng = np.random.default_rng(0)
+        small = init.xavier_normal((512, 512), rng=rng)
+        big_fan_limit = np.sqrt(2.0 / 1024)
+        assert abs(small.std() - big_fan_limit) < 0.01
+
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_normal((256, 128), rng=rng)
+        assert abs(w.std() - np.sqrt(2.0 / 128)) < 0.02
+
+    def test_conv_kernel_fan_computation(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_uniform((8, 4, 3, 3), rng=rng)
+        limit = np.sqrt(6.0 / (4 * 9))
+        assert np.all(np.abs(w) <= limit + 1e-12)
+
+    def test_deterministic_given_rng_seed(self):
+        a = init.xavier_uniform((8, 8), rng=np.random.default_rng(42))
+        b = init.xavier_uniform((8, 8), rng=np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,74 @@
+"""Tests for parameter-tree flatten/unflatten helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.flatten import (
+    flatten_arrays,
+    total_bytes,
+    total_size,
+    tree_map,
+    tree_zip_map,
+    unflatten_vector,
+)
+
+
+class TestFlattenUnflatten:
+    def test_roundtrip(self):
+        tree = {"a": np.arange(6.0).reshape(2, 3), "b": np.array([7.0])}
+        vec, spec = flatten_arrays(tree)
+        rebuilt = unflatten_vector(vec, spec)
+        for name in tree:
+            np.testing.assert_array_equal(rebuilt[name], tree[name])
+
+    def test_flatten_preserves_order(self):
+        tree = {"w1": np.ones(2), "w2": np.full(3, 2.0)}
+        vec, spec = flatten_arrays(tree)
+        np.testing.assert_array_equal(vec, [1, 1, 2, 2, 2])
+        assert [name for name, _ in spec] == ["w1", "w2"]
+
+    def test_empty_tree(self):
+        vec, spec = flatten_arrays({})
+        assert vec.size == 0 and spec == []
+
+    def test_unflatten_too_short_vector(self):
+        tree = {"a": np.zeros((2, 2))}
+        _, spec = flatten_arrays(tree)
+        with pytest.raises(ValueError):
+            unflatten_vector(np.zeros(3), spec)
+
+    def test_unflatten_too_long_vector(self):
+        tree = {"a": np.zeros(2)}
+        _, spec = flatten_arrays(tree)
+        with pytest.raises(ValueError):
+            unflatten_vector(np.zeros(5), spec)
+
+    def test_unflatten_returns_copies(self):
+        tree = {"a": np.zeros(3)}
+        vec, spec = flatten_arrays(tree)
+        rebuilt = unflatten_vector(vec, spec)
+        rebuilt["a"][0] = 9.0
+        assert vec[0] == 0.0
+
+
+class TestTreeOps:
+    def test_tree_map(self):
+        tree = {"a": np.ones(2), "b": np.ones(3)}
+        doubled = tree_map(lambda x: 2 * x, tree)
+        np.testing.assert_array_equal(doubled["a"], 2.0)
+
+    def test_tree_zip_map(self):
+        left = {"a": np.ones(2)}
+        right = {"a": np.full(2, 3.0)}
+        summed = tree_zip_map(np.add, left, right)
+        np.testing.assert_array_equal(summed["a"], 4.0)
+
+    def test_tree_zip_map_key_mismatch(self):
+        with pytest.raises(KeyError):
+            tree_zip_map(np.add, {"a": np.ones(1)}, {"b": np.ones(1)})
+
+    def test_total_size_and_bytes(self):
+        tree = {"a": np.zeros((2, 3)), "b": np.zeros(4)}
+        assert total_size(tree) == 10
+        assert total_bytes(tree) == 40
+        assert total_bytes(tree, dtype_bytes=8) == 80

@@ -1,0 +1,54 @@
+"""Tests for checkpoint serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models import MLP
+from repro.utils.serialization import load_checkpoint, load_model, save_checkpoint, save_model
+
+
+class TestCheckpointRoundtrip:
+    def test_state_roundtrip(self, tmp_path):
+        state = {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(4)}
+        path = save_checkpoint(tmp_path / "ckpt", state, metadata={"step": 7})
+        loaded, meta = load_checkpoint(path)
+        for name in state:
+            np.testing.assert_array_equal(loaded[name], state[name])
+        assert meta["step"] == 7
+
+    def test_npz_suffix_appended(self, tmp_path):
+        path = save_checkpoint(tmp_path / "model", {"w": np.zeros(2)})
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_reserved_key_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_checkpoint(tmp_path / "x", {"__checkpoint_meta__": np.zeros(1)})
+
+    def test_empty_metadata(self, tmp_path):
+        path = save_checkpoint(tmp_path / "x", {"w": np.ones(3)})
+        _, meta = load_checkpoint(path)
+        assert meta == {}
+
+
+class TestModelCheckpoint:
+    def test_model_roundtrip(self, tmp_path):
+        model = MLP((6, 8, 3), rng=np.random.default_rng(0))
+        path = save_model(tmp_path / "mlp", model, metadata={"epoch": 2})
+        fresh = MLP((6, 8, 3), rng=np.random.default_rng(99))
+        meta = load_model(path, fresh)
+        assert meta["epoch"] == 2
+        assert meta["num_parameters"] == model.num_parameters()
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(fresh.state_dict()[name], value)
+
+    def test_loading_into_mismatched_model_fails(self, tmp_path):
+        model = MLP((6, 8, 3), rng=np.random.default_rng(0))
+        path = save_model(tmp_path / "mlp", model)
+        other = MLP((6, 16, 3), rng=np.random.default_rng(0))
+        with pytest.raises((KeyError, ValueError)):
+            load_model(path, other)

@@ -1,0 +1,46 @@
+"""Tests for timing helpers."""
+
+import time
+
+import pytest
+
+from repro.utils.timers import StepTimer, Timer
+
+
+class TestTimer:
+    def test_context_manager_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.005
+
+    def test_manual_start_stop(self):
+        t = Timer()
+        t.start()
+        time.sleep(0.005)
+        elapsed = t.stop()
+        assert elapsed > 0
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+
+class TestStepTimer:
+    def test_accumulates_buckets(self):
+        st = StepTimer()
+        st.add("compute", 1.0)
+        st.add("compute", 2.0)
+        st.add("comm", 0.5)
+        assert st.total("compute") == 3.0
+        assert st.mean("compute") == 1.5
+        assert st.buckets() == ["comm", "compute"]
+
+    def test_unknown_bucket_is_zero(self):
+        st = StepTimer()
+        assert st.total("nothing") == 0.0
+        assert st.mean("nothing") == 0.0
+
+    def test_as_dict(self):
+        st = StepTimer()
+        st.add("x", 1.0)
+        assert st.as_dict() == {"x": 1.0}
