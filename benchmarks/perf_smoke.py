@@ -1,0 +1,131 @@
+"""Engine micro-benchmark: simulator steps/sec for BSP and SelSync.
+
+Unlike the figure benchmarks (which regenerate paper results), this file
+tracks the *simulator's own* per-step overhead — the quantity the flat-buffer
+engine optimizes — so future PRs can see the perf trajectory.  It is gated
+behind ``--run-perf`` to keep tier-1 fast:
+
+    PYTHONPATH=src python -m pytest benchmarks/perf_smoke.py --run-perf -q -s
+
+The run writes ``BENCH_engine.json`` at the repo root with the measured
+steps/sec next to the recorded pre-refactor baseline (measured at the seed
+commit with this exact harness and configuration).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+#: Benchmark configuration: N=8 workers on an 8-layer MLP analog.  Deep and
+#: narrow on purpose — per-tensor framework overhead (the engine's target) is
+#: proportional to layer count, while the raw matmul work stays small.
+NUM_WORKERS = 8
+BATCH_SIZE = 16
+MLP_SIZES = (32, 48, 48, 48, 48, 48, 48, 8)
+DELTA = 0.05
+STEPS = 200
+WARMUP = 20
+REPEATS = 5
+
+#: Steps/sec of this exact harness at the pre-refactor seed commit
+#: (8f9a305, dict-of-named-arrays hot path), recorded when the engine
+#: landed.  Used as the denominator for the speedup gate below.
+BASELINE_STEPS_PER_SEC = {"bsp": 208.0, "selsync": 194.6}
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def build_cluster(seed: int = 0):
+    from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+    from repro.data.datasets import make_classification_splits
+    from repro.data.partition import SelSyncPartitioner
+    from repro.nn.models import MLP
+    from repro.optim.sgd import SGD
+
+    train, test = make_classification_splits(
+        2048, 256, MLP_SIZES[-1], MLP_SIZES[0], class_sep=3.0, noise=0.6, seed=seed
+    )
+    config = ClusterConfig(num_workers=NUM_WORKERS, batch_size=BATCH_SIZE, seed=seed)
+    return SimulatedCluster(
+        model_factory=lambda rng: MLP(MLP_SIZES, rng=rng),
+        optimizer_factory=lambda m: SGD(m, lr=0.05, momentum=0.9),
+        train_dataset=train,
+        test_dataset=test,
+        config=config,
+        partitioner=SelSyncPartitioner(seed=seed),
+    )
+
+
+def _make_trainer(name: str, cluster):
+    if name == "bsp":
+        from repro.algorithms.bsp import BSPTrainer
+
+        return BSPTrainer(cluster, eval_every=10_000)
+    from repro.core.config import SelSyncConfig
+    from repro.core.selsync import SelSyncTrainer
+
+    return SelSyncTrainer(cluster, SelSyncConfig(delta=DELTA), eval_every=10_000)
+
+
+def measure_steps_per_sec(name: str) -> float:
+    """Best-of-``REPEATS`` steady-state training steps per wall-clock second."""
+    best = 0.0
+    for _ in range(REPEATS):
+        cluster = build_cluster()
+        trainer = _make_trainer(name, cluster)
+        for _ in range(WARMUP):
+            trainer.train_step()
+            trainer.global_step += 1
+            cluster.global_step = trainer.global_step
+        start = time.perf_counter()
+        for _ in range(STEPS):
+            trainer.train_step()
+            trainer.global_step += 1
+            cluster.global_step = trainer.global_step
+        best = max(best, STEPS / (time.perf_counter() - start))
+    return best
+
+
+def run_benchmark() -> dict:
+    current = {name: measure_steps_per_sec(name) for name in ("bsp", "selsync")}
+    return {
+        "config": {
+            "num_workers": NUM_WORKERS,
+            "batch_size": BATCH_SIZE,
+            "mlp_sizes": list(MLP_SIZES),
+            "delta": DELTA,
+            "steps": STEPS,
+            "warmup": WARMUP,
+            "repeats": REPEATS,
+        },
+        "baseline_steps_per_sec": BASELINE_STEPS_PER_SEC,
+        "current_steps_per_sec": current,
+        "speedup_over_baseline": {
+            name: current[name] / BASELINE_STEPS_PER_SEC[name] for name in current
+        },
+    }
+
+
+@pytest.mark.perf
+def test_perf_smoke(request):
+    if not request.config.getoption("--run-perf"):
+        pytest.skip("perf smoke runs only with --run-perf")
+    report = run_benchmark()
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    lines = [
+        f"{name}: {report['current_steps_per_sec'][name]:.0f} steps/s "
+        f"({report['speedup_over_baseline'][name]:.2f}x over seed baseline)"
+        for name in report["current_steps_per_sec"]
+    ]
+    print("\n" + "\n".join(lines) + f"\n[saved to {RESULT_PATH}]")
+    # The engine milestone's acceptance gate: >= 3x over the seed hot path.
+    assert report["speedup_over_baseline"]["selsync"] >= 3.0
+    assert report["speedup_over_baseline"]["bsp"] >= 3.0
+
+
+if __name__ == "__main__":  # standalone: python benchmarks/perf_smoke.py
+    print(json.dumps(run_benchmark(), indent=2))

@@ -1,0 +1,18 @@
+"""Root pytest configuration shared by the test and benchmark suites."""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-perf",
+        action="store_true",
+        default=False,
+        help="run the engine perf smoke benchmark (writes BENCH_engine.json)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "perf: engine perf-tracking benchmarks, gated behind --run-perf"
+    )

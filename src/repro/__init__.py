@@ -12,12 +12,14 @@ subpackages for the full API:
 * :mod:`repro.data`        — synthetic datasets, SelDP/DefDP, data injection
 * :mod:`repro.comm`        — simulated PS / collectives / cost models
 * :mod:`repro.cluster`     — simulated workers, clocks, compute models
+* :mod:`repro.engine`      — flat-buffer execution engine (FlatBuffer, WorkerMatrix)
 * :mod:`repro.stats`       — EWMA, KDE, Hessian eigenvalue estimation
 * :mod:`repro.metrics`     — accuracy/perplexity, LSSR, throughput, convergence
 * :mod:`repro.harness`     — workload presets, experiment runner, reporting
 """
 
 from repro.core import SelSyncConfig, SelSyncTrainer, GradientChangeTracker
+from repro.engine import FlatBuffer, ParamSpec, WorkerMatrix
 from repro.algorithms import (
     BSPTrainer,
     FedAvgTrainer,
@@ -33,6 +35,9 @@ __all__ = [
     "SelSyncConfig",
     "SelSyncTrainer",
     "GradientChangeTracker",
+    "FlatBuffer",
+    "ParamSpec",
+    "WorkerMatrix",
     "BSPTrainer",
     "FedAvgTrainer",
     "SSPTrainer",

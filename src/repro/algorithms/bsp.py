@@ -33,21 +33,18 @@ class BSPTrainer(BaseTrainer):
     def train_step(self) -> Dict[str, float]:
         cluster = self.cluster
         lr = self.current_lr()
-        losses = []
-        grads_per_worker = []
-        for worker in cluster.workers:
-            loss, grads = worker.compute_gradients()
-            losses.append(loss)
-            grads_per_worker.append(grads)
+        batches = [worker.next_batch() for worker in cluster.workers]
+        losses = cluster.compute_gradients_all(batches)
         cluster.charge_compute_step()
 
-        averaged_list = cluster.backend.allreduce_tree(grads_per_worker, op="mean")
+        # Gradients already live as rows of the (N, D) worker matrix, so the
+        # all-reduce is one fused mean over it.
+        averaged = cluster.backend.allreduce_matrix(cluster.matrix.grads, op="mean")
         cluster.charge_sync()
-        for worker, averaged in zip(cluster.workers, averaged_list):
-            worker.apply_update(grads=averaged, lr=lr)
+        cluster.apply_local_updates(lr=lr, grads=averaged)
         # Keep the PS state in line with the (identical) replicas so the
         # global checkpoint matches what a PS deployment would serve.
-        cluster.ps.set_state(cluster.workers[0].get_state())
+        cluster.ps.set_state(cluster.workers[0].param_vector)
         self.lssr_tracker.record_sync()
         return {"loss": float(np.mean(losses)), "synchronized": 1.0}
 

@@ -68,17 +68,21 @@ class FedAvgTrainer(BaseTrainer):
     def train_step(self) -> Dict[str, float]:
         cluster = self.cluster
         lr = self.current_lr()
-        losses = []
-        for worker in cluster.workers:
-            losses.append(worker.train_step(lr=lr))
+        batches = [worker.next_batch() for worker in cluster.workers]
+        losses = cluster.compute_gradients_all(batches)
+        cluster.apply_local_updates(lr=lr)
         cluster.charge_compute_step()
 
         synchronize = (self.global_step + 1) % self.sync_interval == 0
         if synchronize:
             participants = self._select_participants()
-            new_global = cluster.ps.aggregate_parameters(
-                {wid: cluster.workers[wid].get_state() for wid in participants}
-            )
+            # Row-select the participating replicas from the worker matrix;
+            # full participation pushes the matrix itself (no copy).
+            if len(participants) == cluster.num_workers:
+                rows = cluster.matrix.params
+            else:
+                rows = cluster.matrix.params[participants]
+            new_global = cluster.ps.push_matrix_parameters(rows)
             cluster.broadcast_state(new_global)
             cluster.charge_sync()
             self.aggregation_rounds += 1

@@ -13,7 +13,6 @@ import numpy as np
 
 from repro.algorithms.base import BaseTrainer
 from repro.cluster.cluster import SimulatedCluster
-from repro.core.aggregation import aggregate_parameters
 from repro.optim.schedules import LRSchedule
 
 
@@ -40,16 +39,14 @@ class LocalSGDTrainer(BaseTrainer):
     def train_step(self) -> Dict[str, float]:
         cluster = self.cluster
         lr = self.current_lr()
-        losses = []
-        for worker in cluster.workers:
-            losses.append(worker.train_step(lr=lr))
+        batches = [worker.next_batch() for worker in cluster.workers]
+        losses = cluster.compute_gradients_all(batches)
+        cluster.apply_local_updates(lr=lr)
         cluster.charge_compute_step()
 
         synchronize = (self.global_step + 1) % self.sync_period == 0
         if synchronize:
-            new_global = cluster.ps.aggregate_parameters(
-                {w.worker_id: w.get_state() for w in cluster.workers}
-            )
+            new_global = cluster.ps.push_matrix_parameters(cluster.matrix.params)
             cluster.broadcast_state(new_global)
             cluster.charge_sync()
             self.lssr_tracker.record_sync()

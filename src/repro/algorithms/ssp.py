@@ -43,8 +43,10 @@ class SSPTrainer(BaseTrainer):
             raise ValueError(f"staleness must be non-negative, got {staleness}")
         self.staleness = int(staleness)
         self.blocked_steps = 0
-        # Each worker starts from the PS state (pullFromPS).
-        initial = cluster.ps.pull()
+        # Each worker starts from the PS state (pullFromPS).  Pulled states
+        # are kept as flat vectors so the per-step delta push is one fused
+        # subtraction on the worker's parameter row.
+        initial = cluster.ps.pull_vector()
         cluster.broadcast_state(initial)
         self._last_pulled = [initial for _ in range(cluster.num_workers)]
 
@@ -70,10 +72,10 @@ class SSPTrainer(BaseTrainer):
                     cluster.clock.advance_worker(worker.worker_id, wait, bucket="other")
 
             reference = self._last_pulled[worker.worker_id]
-            loss, _ = worker.compute_gradients()
+            loss, _ = worker.compute_gradients_flat()
             worker.apply_update(lr=lr)
-            delta = worker.state_delta(reference)
-            new_global = cluster.ps.async_apply_delta(worker.worker_id, delta)
+            delta = worker.state_delta_vector(reference)
+            new_global = cluster.ps.async_apply_delta_vector(worker.worker_id, delta)
             worker.set_state(new_global)
             self._last_pulled[worker.worker_id] = new_global
             losses.append(loss)

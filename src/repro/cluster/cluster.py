@@ -27,6 +27,7 @@ from repro.cluster.worker import Worker
 from repro.comm.backend import InProcessBackend
 from repro.comm.cost_model import CommunicationCostModel
 from repro.comm.parameter_server import ParameterServer
+from repro.engine import BatchedReplicaExecutor, FusedSGDUpdate, WorkerMatrix
 from repro.data.loader import DataLoader
 from repro.data.partition import DefaultPartitioner, Partitioner
 from repro.metrics.evaluation import EvalResult, evaluate_model
@@ -92,15 +93,22 @@ class SimulatedCluster:
         # Build worker 0's model first and copy its weights to every other
         # replica, mirroring the initial pullFromPS of Alg. 1 (line 3).
         reference_model = model_factory(rngs[0])
+        reference_model.flatten_parameters()
         initial_state = reference_model.state_dict()
 
         partition = self.partitioner.partition(len(train_dataset), n)
         self.partition_result = partition
 
+        # All worker replicas live as rows of one (N, D) matrix: parameters
+        # and gradients are zero-copy views into it, so aggregation,
+        # broadcast and Δ(gᵢ) tracking are single vectorized operations.
+        self.matrix = WorkerMatrix(n, reference_model.flat_spec)
+
         self.workers: List[Worker] = []
         for worker_id in range(n):
-            model = model_factory(rngs[worker_id]) if worker_id == 0 else model_factory(rngs[worker_id])
-            model.load_state_dict(initial_state)
+            model = model_factory(rngs[worker_id])
+            self.matrix.adopt(worker_id, model)
+            model.load_param_vector(reference_model.param_vector)
             optimizer = optimizer_factory(model)
             loader = DataLoader(
                 train_dataset,
@@ -114,6 +122,17 @@ class SimulatedCluster:
             )
 
         self.ps = ParameterServer(initial_state, num_workers=n)
+        # Fused all-replica forward/backward when the model family supports
+        # it (None otherwise; compute_gradients_all falls back to the loop).
+        self.replica_exec = (
+            BatchedReplicaExecutor.build(self.matrix, self.workers[0].model)
+            if config.task == "classification"
+            else None
+        )
+        # Fused all-worker optimizer stepping when every worker runs the
+        # same SGD configuration (None otherwise; apply_local_updates then
+        # loops over the per-worker optimizers).
+        self.fused_update = FusedSGDUpdate.build(self.workers, self.matrix)
         self.backend = InProcessBackend(world_size=n)
         self.clock = SimulatedClock(num_workers=n)
         self.comm_model = CommunicationCostModel(topology=config.topology)
@@ -139,15 +158,50 @@ class SimulatedCluster:
         return max(len(self.train_dataset) // (self.batch_size * self.num_workers), 1)
 
     # ------------------------------------------------------------------ #
+    # gradient computation
+    # ------------------------------------------------------------------ #
+    def compute_gradients_all(self, batches) -> List[float]:
+        """Forward + backward for every worker; returns per-worker losses.
+
+        Uses the engine's fused batched-replica executor when available
+        (one set of batched matmuls for the whole cluster, gradients written
+        straight into the matrix rows), otherwise the per-worker loop.
+        ``batches`` holds one ``(inputs, targets)`` pair per worker.
+        """
+        if self.replica_exec is not None:
+            losses = self.replica_exec.step(batches)
+            if losses is not None:
+                norms = self.replica_exec.grad_norms()
+                for worker, loss, norm in zip(self.workers, losses, norms):
+                    worker.last_loss = float(loss)
+                    worker.last_grad_norm = float(norm)
+                return [float(l) for l in losses]
+        return [
+            worker.compute_gradients_flat(batch)[0]
+            for worker, batch in zip(self.workers, batches)
+        ]
+
+    def apply_local_updates(
+        self, lr: Optional[float] = None, grads: Optional[np.ndarray] = None
+    ) -> None:
+        """One optimizer step on every worker (fused matrix form when possible).
+
+        ``grads=None`` applies each worker's own gradients; a flat ``(D,)``
+        vector applies the same aggregated gradient to every replica.
+        """
+        if self.fused_update is not None and self.fused_update.apply(lr=lr, grads=grads):
+            return
+        for worker in self.workers:
+            worker.apply_update(grads=grads, lr=lr)
+
+    # ------------------------------------------------------------------ #
     # simulated-time charging
     # ------------------------------------------------------------------ #
     def charge_compute_step(self, batch_size: Optional[int] = None) -> np.ndarray:
         """Charge one parallel compute phase; returns per-worker durations."""
         b = batch_size or self.batch_size
         speeds = self.speed_model.speed_factors(self.num_workers, self.global_step)
-        durations = np.array(
-            [self.compute_model.step_seconds(b, speed) for speed in speeds]
-        )
+        durations = self.compute_model.step_seconds_batch(b, speeds)
         self.clock.advance_all(durations, bucket="compute")
         return durations
 
@@ -174,11 +228,17 @@ class SimulatedCluster:
     # ------------------------------------------------------------------ #
     # evaluation
     # ------------------------------------------------------------------ #
-    def evaluate_state(self, state: Dict[str, np.ndarray]) -> EvalResult:
-        """Evaluate a (global) parameter state on the held-out test set."""
+    def evaluate_state(self, state) -> EvalResult:
+        """Evaluate a (global) parameter state on the held-out test set.
+
+        ``state`` may be a named dict or an already-flat parameter vector.
+        """
         model = self.workers[0].model
-        backup = model.state_dict()
-        model.load_state_dict(state)
+        backup = model.param_vector.copy()
+        if isinstance(state, np.ndarray):
+            model.load_param_vector(state)
+        else:
+            model.load_state_dict(state)
         try:
             result = evaluate_model(
                 model,
@@ -189,7 +249,7 @@ class SimulatedCluster:
                 top_k=self.config.top_k,
             )
         finally:
-            model.load_state_dict(backup)
+            model.load_param_vector(backup)
         return result
 
     def evaluate_worker_average(self) -> EvalResult:
@@ -199,12 +259,7 @@ class SimulatedCluster:
         synchronized right now; it is the checkpoint metric used in the
         convergence curves (Figs. 9, 10, 12).
         """
-        states = [w.get_state() for w in self.workers]
-        names = states[0].keys()
-        averaged = {
-            name: np.mean([s[name] for s in states], axis=0) for name in names
-        }
-        return self.evaluate_state(averaged)
+        return self.evaluate_state(self.average_worker_vector())
 
     def evaluate_global(self) -> EvalResult:
         """Evaluate the parameter-server state."""
@@ -213,25 +268,23 @@ class SimulatedCluster:
     # ------------------------------------------------------------------ #
     # misc helpers
     # ------------------------------------------------------------------ #
-    def broadcast_state(self, state: Dict[str, np.ndarray]) -> None:
-        """Load ``state`` into every worker replica (a model broadcast)."""
-        for worker in self.workers:
-            worker.set_state(state)
+    def broadcast_state(self, state) -> None:
+        """Load a global state into every replica by one matrix row assignment.
+
+        ``state`` may be a named dict or an already-flat parameter vector.
+        """
+        if not isinstance(state, np.ndarray):
+            state = self.matrix.spec.flatten_tree(state)
+        self.matrix.broadcast(state)
 
     def average_worker_states(self) -> Dict[str, np.ndarray]:
-        states = [w.get_state() for w in self.workers]
-        names = states[0].keys()
-        return {name: np.mean([s[name] for s in states], axis=0) for name in names}
+        """Named replica average (one fused mean over the worker matrix)."""
+        return self.matrix.mean_state_dict()
+
+    def average_worker_vector(self) -> np.ndarray:
+        """Flat replica average — the engine-level form of PA aggregation."""
+        return self.matrix.mean_params()
 
     def replica_divergence(self) -> float:
         """Mean L2 distance of worker replicas from their average (drift diagnostic)."""
-        states = [w.get_state() for w in self.workers]
-        avg = self.average_worker_states()
-        total = 0.0
-        for state in states:
-            sq = 0.0
-            for name, value in state.items():
-                diff = value - avg[name]
-                sq += float(np.sum(diff**2))
-            total += np.sqrt(sq)
-        return total / len(states)
+        return self.matrix.divergence()

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -115,6 +117,13 @@ class ComputeCostModel:
         variable_ms = self.spec.base_compute_ms * ratio**self.scaling_exponent
         total_ms = self.spec.compute_setup_ms + variable_ms
         return total_ms / 1000.0 / speed_factor
+
+    def step_seconds_batch(self, batch_size: int, speed_factors) -> np.ndarray:
+        """Vectorized :meth:`step_seconds` over per-worker speed factors."""
+        speed_factors = np.asarray(speed_factors, dtype=np.float64)
+        if np.any(speed_factors <= 0):
+            raise ValueError("speed factors must be positive")
+        return self.step_seconds(batch_size, 1.0) / speed_factors
 
     def throughput_samples_per_second(
         self, batch_size: int, speed_factor: float = 1.0

@@ -56,7 +56,21 @@ class Worker:
 
         Gradients are left on the module (``Parameter.grad``) *and* returned
         as a copy, because the SelSync trainer needs them both to apply the
-        local update and to measure Δ(gᵢ).
+        local update and to measure Δ(gᵢ).  Internal callers on the hot path
+        use :meth:`compute_gradients_flat` instead, which skips the dict
+        snapshot entirely.
+        """
+        loss, _ = self.compute_gradients_flat(batch)
+        return loss, self.model.gradient_dict()
+
+    def compute_gradients_flat(
+        self, batch: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    ) -> Tuple[float, np.ndarray]:
+        """Forward + backward; returns (loss, live flat gradient view).
+
+        The returned vector aliases the worker's gradient buffer (a row of
+        the cluster's WorkerMatrix): it is valid until the next
+        ``zero_grad``/backward and must be copied if kept longer.
         """
         if batch is None:
             batch = self.next_batch()
@@ -65,12 +79,10 @@ class Worker:
         logits = self.model.forward(inputs)
         loss, dlogits = cross_entropy_with_logits(logits, targets)
         self.model.backward(dlogits)
-        grads = self.model.gradient_dict()
+        grad_vector = self.model.grad_vector
         self.last_loss = loss
-        self.last_grad_norm = float(
-            np.sqrt(sum(float(np.sum(g**2)) for g in grads.values()))
-        )
-        return loss, grads
+        self.last_grad_norm = float(np.sqrt(grad_vector @ grad_vector))
+        return loss, grad_vector
 
     def apply_update(
         self,
@@ -96,16 +108,34 @@ class Worker:
     # ------------------------------------------------------------------ #
     # state exchange
     # ------------------------------------------------------------------ #
+    @property
+    def param_vector(self) -> np.ndarray:
+        """Live flat view of the replica's parameters (WorkerMatrix row)."""
+        return self.model.param_vector
+
+    @property
+    def grad_vector(self) -> np.ndarray:
+        """Live flat view of the replica's accumulated gradients."""
+        return self.model.grad_vector
+
     def get_state(self) -> Dict[str, np.ndarray]:
         return self.model.state_dict()
 
-    def set_state(self, state: Mapping[str, np.ndarray]) -> None:
-        self.model.load_state_dict(state)
+    def set_state(self, state) -> None:
+        """Load a replica state: a named dict or an already-flat vector."""
+        if isinstance(state, np.ndarray):
+            self.model.load_param_vector(state)
+        else:
+            self.model.load_state_dict(state)
 
     def state_delta(self, reference: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Difference between the local replica and a reference state (SSP pushes)."""
         current = self.model.state_dict()
         return {name: current[name] - np.asarray(reference[name]) for name in current}
+
+    def state_delta_vector(self, reference: np.ndarray) -> np.ndarray:
+        """Flat difference between the local replica and a reference vector."""
+        return self.model.param_vector - np.asarray(reference, dtype=np.float64).ravel()
 
     @property
     def epoch_progress(self) -> float:

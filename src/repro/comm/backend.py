@@ -15,7 +15,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.utils.flatten import flatten_arrays, tree_zip_map, unflatten_vector
+from repro.utils.flatten import WIRE_DTYPE_BYTES, flatten_arrays, tree_zip_map, unflatten_vector
 
 
 @dataclass
@@ -36,7 +36,7 @@ class InProcessBackend:
     """Collective operations across ``world_size`` simulated ranks."""
 
     #: bytes per element assumed for transport accounting (float32 on the wire)
-    DTYPE_BYTES = 4
+    DTYPE_BYTES = WIRE_DTYPE_BYTES
 
     def __init__(self, world_size: int) -> None:
         if world_size < 1:
@@ -129,6 +129,32 @@ class InProcessBackend:
             "gather", float(arrays[0].size * self.DTYPE_BYTES * (self.world_size - 1))
         )
         return [a.copy() for a in arrays]
+
+    def allreduce_matrix(self, matrix: np.ndarray, op: str = "mean") -> np.ndarray:
+        """All-reduce the rows of an ``(N, D)`` worker matrix in one pass.
+
+        The engine-level form of :meth:`allreduce_tree`: row ``i`` is rank
+        ``i``'s flat buffer, so the reduction is one fused NumPy call and no
+        per-rank copies are made.  Transfer accounting matches
+        :meth:`allreduce`.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != self.world_size:
+            raise ValueError(
+                f"expected a ({self.world_size}, D) matrix, got shape {matrix.shape}"
+            )
+        if op == "mean":
+            reduced = matrix.mean(axis=0)
+        elif op == "sum":
+            reduced = matrix.sum(axis=0)
+        elif op == "max":
+            reduced = matrix.max(axis=0)
+        else:
+            raise ValueError(f"unsupported allreduce op {op!r}")
+        per_element = matrix.shape[1] * self.DTYPE_BYTES
+        # Ring all-reduce moves ~2x the payload per rank.
+        self.record.record("allreduce", 2.0 * per_element * self.world_size)
+        return reduced
 
     # ------------------------------------------------------------------ #
     # collectives over parameter trees (named state dicts)

@@ -24,6 +24,19 @@ import math
 from dataclasses import dataclass
 
 from repro.comm.network import NetworkModel
+from repro.utils.flatten import WIRE_DTYPE_BYTES
+
+
+def wire_bytes(num_elements: int, dtype_bytes: int = WIRE_DTYPE_BYTES) -> float:
+    """On-wire size of ``num_elements`` tensor entries.
+
+    All ``model_bytes`` arguments below are expected in wire bytes computed
+    with the same :data:`~repro.utils.flatten.WIRE_DTYPE_BYTES` constant the
+    flatten utilities, the backend and the compression layer charge with, so
+    a future float16/quantized transport mode changes the clock consistently
+    everywhere.
+    """
+    return float(num_elements) * float(dtype_bytes)
 
 
 def ps_sync_seconds(

@@ -11,15 +11,22 @@ Implements the ``pullFromPS`` / ``pushToPS`` interface of Alg. 1:
 * **Asynchronous updates (SSP)** — a worker can apply its own update to the
   global state without waiting for others; the server tracks per-worker
   clocks so the stale-synchronous bound can be enforced.
+
+The global state lives in one contiguous flat buffer
+(:class:`repro.engine.FlatBuffer`); the named-dict API is preserved through
+zero-copy views, and the cluster's hot path pushes whole ``(N, D)`` worker
+matrices (:meth:`push_matrix_parameters` / :meth:`push_matrix_gradients`)
+instead of re-flattening dicts every synchronization round.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
-from repro.utils.flatten import total_bytes, tree_zip_map
+from repro.engine.flat_buffer import FlatBuffer, ParamSpec
+from repro.utils.flatten import WIRE_DTYPE_BYTES
 
 
 class ParameterServer:
@@ -28,10 +35,10 @@ class ParameterServer:
     def __init__(self, initial_state: Mapping[str, np.ndarray], num_workers: int) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
-        self._state: Dict[str, np.ndarray] = {
-            name: np.asarray(value, dtype=np.float64).copy()
-            for name, value in initial_state.items()
-        }
+        self._buffer = FlatBuffer.from_tree(initial_state)
+        self.spec: ParamSpec = self._buffer.spec
+        # Named zero-copy views into the flat buffer (the legacy dict API).
+        self._state: Dict[str, np.ndarray] = self._buffer.as_dict(copy=False)
         self.num_workers = int(num_workers)
         self.version = 0
         self.worker_clocks = np.zeros(num_workers, dtype=np.int64)
@@ -46,12 +53,24 @@ class ParameterServer:
         """Return a copy of the global model state (``pullFromPS``)."""
         if worker_id is not None and not 0 <= worker_id < self.num_workers:
             raise ValueError(f"worker_id {worker_id} out of range")
-        self.total_pulled_bytes += total_bytes(self._state)
-        return {name: value.copy() for name, value in self._state.items()}
+        self.total_pulled_bytes += self.state_bytes()
+        return self._buffer.as_dict(copy=True)
+
+    def pull_vector(self, worker_id: Optional[int] = None, copy: bool = True) -> np.ndarray:
+        """Flat-vector ``pullFromPS``; ``copy=False`` returns the live buffer."""
+        if worker_id is not None and not 0 <= worker_id < self.num_workers:
+            raise ValueError(f"worker_id {worker_id} out of range")
+        self.total_pulled_bytes += self.state_bytes()
+        return self._buffer.copy_vector() if copy else self._buffer.vector
+
+    @property
+    def state_vector(self) -> np.ndarray:
+        """Live flat view of the global state (no transfer accounting)."""
+        return self._buffer.vector
 
     def state_bytes(self) -> int:
         """Model size in transported bytes (float32 wire format)."""
-        return total_bytes(self._state)
+        return self._buffer.size * WIRE_DTYPE_BYTES
 
     def aggregate_parameters(
         self, worker_states: Mapping[int, Mapping[str, np.ndarray]]
@@ -60,15 +79,28 @@ class ParameterServer:
         if not worker_states:
             raise ValueError("no worker states to aggregate")
         self._validate_tree_shapes(worker_states)
-        names = list(self._state.keys())
-        count = len(worker_states)
-        for name in names:
-            stacked = np.stack([np.asarray(ws[name], dtype=np.float64) for ws in worker_states.values()])
-            self._state[name] = stacked.mean(axis=0)
-        self.total_pushed_bytes += self.state_bytes() * count
+        stacked = np.stack(
+            [self.spec.flatten_tree(ws) for ws in worker_states.values()]
+        )
+        self._buffer.load_vector(stacked.mean(axis=0))
+        self.total_pushed_bytes += self.state_bytes() * len(worker_states)
         self.version += 1
         self.aggregations += 1
         return self.pull()
+
+    def push_matrix_parameters(self, params_matrix: np.ndarray) -> np.ndarray:
+        """PA push of the whole ``(N, D)`` worker matrix in one fused mean.
+
+        Mirrors :meth:`aggregate_parameters` + one pull in accounting
+        (each worker pushes its replica, the averaged state goes back out),
+        and returns the new global flat state.
+        """
+        matrix = self._check_matrix(params_matrix)
+        self._buffer.load_vector(matrix.mean(axis=0))
+        self.total_pushed_bytes += self.state_bytes() * matrix.shape[0]
+        self.version += 1
+        self.aggregations += 1
+        return self.pull_vector()
 
     def aggregate_gradients(
         self, worker_grads: Mapping[int, Mapping[str, np.ndarray]]
@@ -82,44 +114,80 @@ class ParameterServer:
         if not worker_grads:
             raise ValueError("no worker gradients to aggregate")
         self._validate_tree_shapes(worker_grads)
-        names = list(self._state.keys())
-        averaged: Dict[str, np.ndarray] = {}
-        for name in names:
-            stacked = np.stack([np.asarray(g[name], dtype=np.float64) for g in worker_grads.values()])
-            averaged[name] = stacked.mean(axis=0)
+        stacked = np.stack(
+            [self.spec.flatten_tree(g) for g in worker_grads.values()]
+        )
+        averaged = stacked.mean(axis=0)
         self.total_pushed_bytes += self.state_bytes() * len(worker_grads)
         self.total_pulled_bytes += self.state_bytes() * len(worker_grads)
         self.version += 1
         self.aggregations += 1
+        return self.spec.unflatten(averaged, copy=False)
+
+    def push_matrix_gradients(self, grads_matrix: np.ndarray) -> np.ndarray:
+        """GA push of the whole ``(N, D)`` gradient matrix in one fused mean.
+
+        Matches :meth:`aggregate_gradients` accounting (every worker pushes
+        its gradient and pulls the average back); the global state is not
+        modified.  Returns the averaged flat gradient.
+        """
+        matrix = self._check_matrix(grads_matrix)
+        averaged = matrix.mean(axis=0)
+        self.total_pushed_bytes += self.state_bytes() * matrix.shape[0]
+        self.total_pulled_bytes += self.state_bytes() * matrix.shape[0]
+        self.version += 1
+        self.aggregations += 1
         return averaged
 
-    def set_state(self, state: Mapping[str, np.ndarray]) -> None:
-        """Overwrite the global state (used after GA so the PS tracks a reference replica)."""
-        self._validate_tree_shapes({0: state})
-        for name in self._state:
-            self._state[name] = np.asarray(state[name], dtype=np.float64).copy()
+    def set_state(self, state: Union[Mapping[str, np.ndarray], np.ndarray]) -> None:
+        """Overwrite the global state (used after GA so the PS tracks a reference replica).
+
+        Accepts a named dict or an already-flat vector.
+        """
+        if isinstance(state, np.ndarray):
+            self._buffer.load_vector(state)
+        else:
+            self._validate_tree_shapes({0: state})
+            self._buffer.load_tree(state)
         self.version += 1
 
     # ------------------------------------------------------------------ #
     # asynchronous path (SSP)
     # ------------------------------------------------------------------ #
     def async_apply_delta(
-        self, worker_id: int, delta: Mapping[str, np.ndarray]
+        self, worker_id: int, delta: Union[Mapping[str, np.ndarray], np.ndarray]
     ) -> Dict[str, np.ndarray]:
         """Apply one worker's parameter delta to the global state without a barrier.
 
         Returns the post-update global state (the worker pulls it immediately,
         as SSP workers do on every step).
         """
+        self._apply_delta(worker_id, delta)
+        return self.pull(worker_id)
+
+    def async_apply_delta_vector(
+        self, worker_id: int, delta: Union[Mapping[str, np.ndarray], np.ndarray]
+    ) -> np.ndarray:
+        """Flat-vector variant of :meth:`async_apply_delta` (engine hot path)."""
+        self._apply_delta(worker_id, delta)
+        return self.pull_vector(worker_id)
+
+    def _apply_delta(self, worker_id: int, delta) -> None:
         if not 0 <= worker_id < self.num_workers:
             raise ValueError(f"worker_id {worker_id} out of range")
-        self._validate_tree_shapes({worker_id: delta})
-        for name in self._state:
-            self._state[name] = self._state[name] + np.asarray(delta[name], dtype=np.float64)
+        if isinstance(delta, np.ndarray):
+            flat = delta.ravel()
+            if flat.size != self._buffer.size:
+                raise ValueError(
+                    f"delta has length {flat.size}, expected {self._buffer.size}"
+                )
+        else:
+            self._validate_tree_shapes({worker_id: delta})
+            flat = self.spec.flatten_tree(delta)
+        self._buffer.vector += flat
         self.worker_clocks[worker_id] += 1
         self.total_pushed_bytes += self.state_bytes()
         self.version += 1
-        return self.pull(worker_id)
 
     def staleness(self, worker_id: int) -> int:
         """How many iterations this worker is ahead of the slowest worker."""
@@ -133,6 +201,18 @@ class ParameterServer:
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
+    def _check_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] < 1:
+            raise ValueError(
+                f"expected a non-empty (N, D) matrix, got shape {matrix.shape}"
+            )
+        if matrix.shape[1] != self._buffer.size:
+            raise ValueError(
+                f"matrix row length {matrix.shape[1]} does not match model D={self._buffer.size}"
+            )
+        return matrix
+
     def _validate_tree_shapes(self, trees: Mapping[int, Mapping[str, np.ndarray]]) -> None:
         for worker_id, tree in trees.items():
             missing = set(self._state) - set(tree)

@@ -13,6 +13,8 @@ from typing import Dict
 
 import numpy as np
 
+from repro.utils.flatten import WIRE_DTYPE_BYTES
+
 
 @dataclass
 class CompressedPayload:
@@ -24,7 +26,7 @@ class CompressedPayload:
 
     @property
     def original_bytes(self) -> float:
-        return float(self.original_size * 4)  # float32 wire format
+        return float(self.original_size * WIRE_DTYPE_BYTES)  # float32 wire format
 
     @property
     def compression_ratio(self) -> float:
@@ -44,7 +46,7 @@ class Compressor:
         return CompressedPayload(
             data={"dense": vector.copy()},
             original_size=vector.size,
-            compressed_bytes=float(vector.size * 4),
+            compressed_bytes=float(vector.size * WIRE_DTYPE_BYTES),
         )
 
     def decompress(self, payload: CompressedPayload) -> np.ndarray:

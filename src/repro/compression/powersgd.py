@@ -12,6 +12,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.utils.flatten import WIRE_DTYPE_BYTES
 from repro.compression.base import CompressedPayload, Compressor
 from repro.utils.rng import new_rng
 
@@ -60,7 +61,7 @@ class PowerSGDCompressor(Compressor):
         q_new = matrix.T @ p              # (cols, rank)
         self._warm_q = q_new.copy()
 
-        compressed_bytes = float((p.size + q_new.size) * 4)
+        compressed_bytes = float((p.size + q_new.size) * WIRE_DTYPE_BYTES)
         return CompressedPayload(
             data={
                 "p": p,

@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.utils.flatten import WIRE_DTYPE_BYTES
 from repro.compression.base import CompressedPayload, Compressor
 from repro.utils.rng import new_rng
 
@@ -34,7 +35,7 @@ class RandomKCompressor(Compressor):
         return CompressedPayload(
             data={"indices": idx.astype(np.int64), "values": values, "size": np.array([vector.size])},
             original_size=vector.size,
-            compressed_bytes=float(k * (4 + 4)),
+            compressed_bytes=float(k * (WIRE_DTYPE_BYTES + WIRE_DTYPE_BYTES)),
         )
 
     def decompress(self, payload: CompressedPayload) -> np.ndarray:

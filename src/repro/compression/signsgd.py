@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.flatten import WIRE_DTYPE_BYTES
 from repro.compression.base import CompressedPayload, Compressor
 
 
@@ -22,7 +23,7 @@ class SignSGDCompressor(Compressor):
         scale = float(np.mean(np.abs(vector)))
         signs = np.sign(vector).astype(np.int8)
         # Zero entries keep sign 0; they transmit as zeros.
-        compressed_bytes = vector.size / 8.0 + 4.0
+        compressed_bytes = vector.size / 8.0 + WIRE_DTYPE_BYTES
         return CompressedPayload(
             data={"signs": signs, "scale": np.array([scale])},
             original_size=vector.size,

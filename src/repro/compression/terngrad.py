@@ -6,6 +6,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.utils.flatten import WIRE_DTYPE_BYTES
 from repro.compression.base import CompressedPayload, Compressor
 from repro.utils.rng import new_rng
 
@@ -31,7 +32,7 @@ class TernGradCompressor(Compressor):
             keep = self._rng.random(vector.size) < prob
             ternary = (np.sign(vector) * keep).astype(np.int8)
         # 2 bits per entry plus the scale.
-        compressed_bytes = vector.size / 4.0 + 4.0
+        compressed_bytes = vector.size / 4.0 + WIRE_DTYPE_BYTES
         return CompressedPayload(
             data={"ternary": ternary, "scale": np.array([scale])},
             original_size=vector.size,

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.flatten import WIRE_DTYPE_BYTES
 from repro.compression.base import CompressedPayload, Compressor
 
 
@@ -26,8 +27,8 @@ class TopKCompressor(Compressor):
         # argpartition selects the k largest magnitudes in O(n).
         idx = np.argpartition(np.abs(vector), vector.size - k)[-k:]
         values = vector[idx]
-        # 4 bytes per float value + 4 bytes per int32 index.
-        compressed_bytes = float(k * (4 + 4))
+        # One wire-width float value + one equally wide int32 index per entry.
+        compressed_bytes = float(k * (WIRE_DTYPE_BYTES + WIRE_DTYPE_BYTES))
         return CompressedPayload(
             data={"indices": idx.astype(np.int64), "values": values, "size": np.array([vector.size])},
             original_size=vector.size,

@@ -18,7 +18,6 @@ from repro.algorithms.base import BaseTrainer
 from repro.cluster.cluster import SimulatedCluster
 from repro.compression.base import Compressor
 from repro.optim.schedules import LRSchedule
-from repro.utils.flatten import flatten_arrays, unflatten_vector
 
 
 class CompressedBSPTrainer(BaseTrainer):
@@ -50,14 +49,14 @@ class CompressedBSPTrainer(BaseTrainer):
     def train_step(self) -> Dict[str, float]:
         cluster = self.cluster
         lr = self.current_lr()
-        losses = []
+        batches = [worker.next_batch() for worker in cluster.workers]
+        losses = cluster.compute_gradients_all(batches)
         compressed_vectors = []
-        spec = None
         total_ratio = 0.0
         for worker in cluster.workers:
-            loss, grads = worker.compute_gradients()
-            losses.append(loss)
-            flat, spec = flatten_arrays(grads)
+            # Gradients arrive as the worker's flat buffer row — compressors
+            # operate on flat vectors, so no per-step re-flattening happens.
+            flat = worker.grad_vector
             if self.error_feedback and self._residuals[worker.worker_id] is not None:
                 flat = flat + self._residuals[worker.worker_id]
             payload = self.compressor.compress(flat)
@@ -70,8 +69,7 @@ class CompressedBSPTrainer(BaseTrainer):
 
         mean_ratio = total_ratio / cluster.num_workers
         self._ratio_history.append(mean_ratio)
-        averaged_flat = np.mean(compressed_vectors, axis=0)
-        averaged = unflatten_vector(averaged_flat, spec)
+        averaged = np.mean(compressed_vectors, axis=0)
 
         # Charge a full sync scaled down by the achieved compression ratio.
         seconds = cluster.comm_model.sync_seconds(
@@ -84,9 +82,8 @@ class CompressedBSPTrainer(BaseTrainer):
             * cluster.num_workers,
         )
 
-        for worker in cluster.workers:
-            worker.apply_update(grads=averaged, lr=lr)
-        cluster.ps.set_state(cluster.workers[0].get_state())
+        cluster.apply_local_updates(lr=lr, grads=averaged)
+        cluster.ps.set_state(cluster.workers[0].param_vector)
         self.lssr_tracker.record_sync()
         return {"loss": float(np.mean(losses)), "compression_ratio": mean_ratio}
 

@@ -72,22 +72,41 @@ class GradientChangeTracker:
     def alpha(self) -> float:
         return self._ewma.alpha
 
-    def _reduce(self, grads: Mapping[str, np.ndarray]) -> float:
+    def _reduce(self, grads) -> float:
         if self.statistic == "variance":
             return gradient_variance(grads)
         if self.statistic == "second_moment":
             return gradient_second_moment(grads)
         return gradient_norm(grads)
 
-    def update(self, grads: Mapping[str, np.ndarray]) -> float:
+    def update(self, grads) -> float:
         """Ingest this iteration's gradients and return Δ(gᵢ).
 
+        ``grads`` may be a named mapping or an already-flat gradient vector.
         The first iteration has no predecessor, so Δ is defined as 0 there
         (the SelSync trainer forces a synchronization on the first step
         anyway to establish a common starting state).
         """
         start = time.perf_counter()
         raw = self._reduce(grads)
+        delta = self._ingest(raw)
+        self.last_compute_seconds = time.perf_counter() - start
+        return delta
+
+    def update_scalar(self, raw: float) -> float:
+        """Ingest an externally reduced statistic and return Δ(gᵢ).
+
+        Used by the vectorized SelSync path: the per-worker reductions are
+        computed in one pass over the cluster's ``(N, D)`` gradient matrix
+        (:func:`repro.stats.variance.batch_gradient_statistic`), then each
+        tracker only performs the cheap scalar EWMA/Δ bookkeeping.
+        """
+        start = time.perf_counter()
+        delta = self._ingest(float(raw))
+        self.last_compute_seconds = time.perf_counter() - start
+        return delta
+
+    def _ingest(self, raw: float) -> float:
         smoothed = self._ewma.update(raw)
         if self._previous_smoothed is None:
             delta = 0.0
@@ -95,7 +114,6 @@ class GradientChangeTracker:
             denom = max(abs(self._previous_smoothed), self.eps)
             delta = abs(smoothed - self._previous_smoothed) / denom
         self._previous_smoothed = smoothed
-        self.last_compute_seconds = time.perf_counter() - start
         self.raw_history.append(raw)
         self.history.append(delta)
         return delta
@@ -133,7 +151,9 @@ class TrackerOverheadProbe:
             raise ValueError(f"parameter_count must be >= 1, got {parameter_count}")
         self.parameter_count = int(parameter_count)
         rng = np.random.default_rng(seed)
-        self._fake_grads = {"flat": rng.standard_normal(self.parameter_count)}
+        # Measured on the flat-vector path, matching how the SelSync engine
+        # feeds gradients to trackers.
+        self._fake_grads = rng.standard_normal(self.parameter_count)
 
     def measure_ms(self, window: int, steps: int = 50, alpha: float = 0.16) -> float:
         """Mean per-iteration tracker overhead in milliseconds."""

@@ -27,15 +27,12 @@ import numpy as np
 
 from repro.algorithms.base import BaseTrainer
 from repro.cluster.cluster import SimulatedCluster
-from repro.core.aggregation import (
-    AggregationMode,
-    aggregate_gradients,
-    aggregate_parameters,
-)
+from repro.core.aggregation import AggregationMode
 from repro.core.config import SelSyncConfig
 from repro.core.gradient_tracker import GradientChangeTracker
 from repro.data.injection import DataInjection
 from repro.optim.schedules import LRSchedule
+from repro.stats.variance import batch_gradient_statistic
 
 
 class SelSyncTrainer(BaseTrainer):
@@ -76,6 +73,7 @@ class SelSyncTrainer(BaseTrainer):
         self.local_steps = 0
         self.sync_step_indices: List[int] = []
         self.delta_history: List[float] = []
+        self._last_step_synced = False
 
     # ------------------------------------------------------------------ #
     def describe(self) -> str:
@@ -107,18 +105,24 @@ class SelSyncTrainer(BaseTrainer):
         lr = self.current_lr()
         batches = self._collect_batches()
 
-        # 1-2. local gradients, Δ(gᵢ), local flags (Alg. 1 lines 6-11).
-        losses: List[float] = []
-        grads_per_worker: List[Dict[str, np.ndarray]] = []
+        # 1. local gradients straight into the (N, D) worker matrix
+        #    (Alg. 1 lines 6-9): fused batched-replica execution when the
+        #    model supports it, no dict snapshots on the hot path.
+        losses = cluster.compute_gradients_all(batches)
+
+        # 2. Δ(gᵢ) for all workers in one vectorized pass over the gradient
+        #    matrix; per-tracker work is scalar EWMA bookkeeping only
+        #    (Alg. 1 lines 10-11).
+        raw_stats = batch_gradient_statistic(
+            cluster.matrix.grads, self.config.statistic
+        )
         flags: List[int] = []
         max_delta = 0.0
-        for worker, batch, tracker in zip(cluster.workers, batches, self.trackers):
-            loss, grads = worker.compute_gradients(batch)
-            delta = tracker.update(grads)
-            losses.append(loss)
-            grads_per_worker.append(grads)
+        for tracker, raw in zip(self.trackers, raw_stats):
+            delta = tracker.update_scalar(raw)
             flags.append(1 if delta >= self.config.delta else 0)
-            max_delta = max(max_delta, delta)
+            if delta > max_delta:
+                max_delta = delta
         self.delta_history.append(max_delta)
         cluster.charge_compute_step(batches[0][1].shape[0] if batches else None)
 
@@ -130,27 +134,20 @@ class SelSyncTrainer(BaseTrainer):
 
         # 4. apply updates locally or synchronize (Alg. 1 lines 9, 13-15).
         if self.aggregation is AggregationMode.PARAMETER:
-            for worker in cluster.workers:
-                worker.apply_update(lr=lr)
+            cluster.apply_local_updates(lr=lr)
             if synchronize:
-                new_global = cluster.ps.aggregate_parameters(
-                    {w.worker_id: w.get_state() for w in cluster.workers}
-                )
+                new_global = cluster.ps.push_matrix_parameters(cluster.matrix.params)
                 cluster.broadcast_state(new_global)
                 cluster.charge_sync()
         else:  # gradient aggregation
             if synchronize:
-                averaged = cluster.ps.aggregate_gradients(
-                    {w.worker_id: g for w, g in zip(cluster.workers, grads_per_worker)}
-                )
-                for worker in cluster.workers:
-                    worker.apply_update(grads=averaged, lr=lr)
+                averaged = cluster.ps.push_matrix_gradients(cluster.matrix.grads)
+                cluster.apply_local_updates(lr=lr, grads=averaged)
                 # Track a reference replica on the PS for checkpointing.
-                cluster.ps.set_state(cluster.workers[0].get_state())
+                cluster.ps.set_state(cluster.workers[0].param_vector)
                 cluster.charge_sync()
             else:
-                for worker in cluster.workers:
-                    worker.apply_update(lr=lr)
+                cluster.apply_local_updates(lr=lr)
 
         if synchronize:
             self.sync_steps += 1
@@ -159,6 +156,7 @@ class SelSyncTrainer(BaseTrainer):
         else:
             self.local_steps += 1
             self.lssr_tracker.record_local()
+        self._last_step_synced = synchronize
 
         return {
             "loss": float(np.mean(losses)),
@@ -169,7 +167,17 @@ class SelSyncTrainer(BaseTrainer):
 
     # ------------------------------------------------------------------ #
     def global_state(self) -> Dict[str, np.ndarray]:
-        """Checkpoint state: the PS state after a PA sync, else the replica average."""
-        if self.aggregation is AggregationMode.PARAMETER and self.sync_steps > 0 and self.local_steps == 0:
+        """Checkpoint state: the PS state after a PA sync, else the replica average.
+
+        Under PA the parameter-server copy is authoritative whenever the
+        *most recent* step synchronized (all replicas equal the PS state
+        then); after any trailing local steps the replicas have moved on, so
+        the checkpoint is their average.
+        """
+        if (
+            self.aggregation is AggregationMode.PARAMETER
+            and self.sync_steps > 0
+            and self._last_step_synced
+        ):
             return self.cluster.ps.pull()
         return self.cluster.average_worker_states()

@@ -1,0 +1,20 @@
+"""Flat-buffer execution engine.
+
+Contiguous parameter/gradient storage (:class:`FlatBuffer`), layout
+descriptors (:class:`ParamSpec`) and the cluster-level ``(N, D)``
+:class:`WorkerMatrix` that turns aggregation, tracking, broadcast and
+consistency checks into single vectorized NumPy operations.
+"""
+
+from repro.engine.flat_buffer import FlatBuffer, ParamSpec
+from repro.engine.fused_optim import FusedSGDUpdate
+from repro.engine.replica_exec import BatchedReplicaExecutor
+from repro.engine.worker_matrix import WorkerMatrix
+
+__all__ = [
+    "BatchedReplicaExecutor",
+    "FlatBuffer",
+    "FusedSGDUpdate",
+    "ParamSpec",
+    "WorkerMatrix",
+]

@@ -1,0 +1,109 @@
+"""Fused whole-cluster optimizer updates.
+
+When every worker runs the same optimizer family with identical
+hyperparameters (the lockstep simulator's normal configuration), the N
+per-worker flat updates collapse further into a handful of ``(N, D)``
+matrix operations: the velocity buffers of all workers are rows of one
+matrix, exactly like the parameter and gradient buffers.
+
+Per-worker optimizers stay fully functional — their state is *re-bound*
+onto the fused rows, so mixing fused steps (the trainers' hot path) with
+individual ``optimizer.step()`` calls (SSP's sequential path, tests) keeps
+one consistent state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.engine.worker_matrix import WorkerMatrix
+
+
+class FusedSGDUpdate:
+    """All workers' SGD steps as a few fused ``(N, D)`` matrix operations."""
+
+    def __init__(self, workers: Sequence[object], matrix: WorkerMatrix) -> None:
+        self._workers = list(workers)
+        self._optimizers = [w.optimizer for w in workers]
+        self._matrix = matrix
+        ref = self._optimizers[0]
+        self.momentum = ref.momentum
+        self.weight_decay = ref.weight_decay
+        self.nesterov = ref.nesterov
+        if self.momentum:
+            self.velocity = np.zeros_like(matrix.params)
+            for row, opt in zip(self.velocity, self._optimizers):
+                opt.rebind_velocity(row)
+        else:
+            self.velocity = None
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls, workers: Sequence[object], matrix: WorkerMatrix
+    ) -> Optional["FusedSGDUpdate"]:
+        """Build a fused updater, or None when workers aren't uniform SGD."""
+        from repro.optim.sgd import SGD
+
+        optimizers = [getattr(w, "optimizer", None) for w in workers]
+        if not optimizers or any(type(o) is not SGD for o in optimizers):
+            return None
+        ref = optimizers[0]
+        for opt in optimizers[1:]:
+            if (
+                opt.momentum != ref.momentum
+                or opt.weight_decay != ref.weight_decay
+                or opt.nesterov != ref.nesterov
+            ):
+                return None
+        if any(o._trainable_mask is not None for o in optimizers):
+            return None
+        return cls(workers, matrix)
+
+    # ------------------------------------------------------------------ #
+    def apply(
+        self,
+        lr: Optional[float] = None,
+        grads: Optional[np.ndarray] = None,
+    ) -> bool:
+        """One optimizer step for every worker.
+
+        ``grads=None`` uses each worker's own gradient row; a flat ``(D,)``
+        vector applies the same (aggregated) gradient to every replica.
+        Returns False when the fused step cannot run (diverged per-worker
+        learning rates) and the caller must fall back to the loop.
+        """
+        optimizers = self._optimizers
+        if lr is not None:
+            for opt in optimizers:
+                opt.set_lr(lr)
+        lr_value = optimizers[0].lr
+        if any(opt.lr != lr_value for opt in optimizers[1:]):
+            return False
+
+        params = self._matrix.params
+        if grads is None:
+            grad_rows: np.ndarray = self._matrix.grads
+        else:
+            grad_rows = np.asarray(grads, dtype=np.float64).reshape(1, -1)
+        if self.weight_decay:
+            grad_rows = grad_rows + self.weight_decay * params
+        if self.momentum:
+            buf = self.velocity
+            buf *= self.momentum
+            buf += grad_rows
+            if self.nesterov:
+                step_dir: Union[np.ndarray, float] = grad_rows + self.momentum * buf
+            else:
+                step_dir = buf
+        else:
+            step_dir = grad_rows
+        params -= lr_value * step_dir
+
+        for opt in optimizers:
+            opt._step_count += 1
+        for worker in self._workers:
+            worker.steps_taken += 1
+        return True

@@ -1,0 +1,209 @@
+"""Vectorized multi-replica execution over the worker matrix.
+
+Because every replica's parameters are rows of one ``(N, D)`` matrix with an
+identical layout, the per-layer weights of *all* workers are zero-copy
+``(N, out, in)`` views into that matrix.  :class:`BatchedReplicaExecutor`
+exploits this to run the forward pass, loss and backward pass of the entire
+cluster as batched NumPy matmuls — one fused call per layer instead of one
+Python call per layer *per worker* — writing gradients straight into the
+gradient matrix rows.
+
+The executor supports the MLP family (chains of Linear / ReLU / Tanh on a
+classification head), which covers the simulator's hot benchmarks; clusters
+with unsupported models fall back to the per-worker loop transparently.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.worker_matrix import WorkerMatrix
+
+
+class _BatchedLinear:
+    """All workers' copies of one Linear layer as (N, out, in) views."""
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        weight_grad: np.ndarray,
+        bias: Optional[np.ndarray],
+        bias_grad: Optional[np.ndarray],
+    ) -> None:
+        self.weight = weight          # (N, out, in) view into params matrix
+        self.weight_grad = weight_grad
+        self.bias = bias              # (N, out) view or None
+        self.bias_grad = bias_grad
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        out = np.matmul(x, self.weight.transpose(0, 2, 1))
+        if self.bias is not None:
+            out += self.bias[:, None, :]
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        # Accumulate-from-zero semantics: one batched write per tensor.
+        np.matmul(grad_out.transpose(0, 2, 1), self._x, out=self.weight_grad)
+        if self.bias_grad is not None:
+            self.bias_grad[...] = grad_out.sum(axis=1)
+        return np.matmul(grad_out, self.weight)
+
+
+class _BatchedReLU:
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class _BatchedTanh:
+    def __init__(self) -> None:
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (1.0 - self._out**2)
+
+
+_INDEX_CACHE: dict = {}
+
+
+def _index_grids(n_workers: int, batch: int) -> Tuple[np.ndarray, np.ndarray]:
+    key = (n_workers, batch)
+    grids = _INDEX_CACHE.get(key)
+    if grids is None:
+        grids = (np.arange(n_workers)[:, None], np.arange(batch)[None, :])
+        _INDEX_CACHE[key] = grids
+    return grids
+
+
+def _batched_cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-replica mean cross-entropy and logits gradient.
+
+    Same arithmetic as :func:`repro.nn.losses.cross_entropy_with_logits`
+    (stable log-softmax, mean over the local batch), evaluated for all
+    replicas in one pass over the ``(N, B, C)`` logits block.
+    """
+    n_workers, batch, _ = logits.shape
+    shifted = logits - logits.max(axis=2, keepdims=True)
+    logp = shifted - np.log(np.exp(shifted).sum(axis=2, keepdims=True))
+    probs = np.exp(logp)
+    rows, cols = _index_grids(n_workers, batch)
+    losses = -logp[rows, cols, targets].mean(axis=1)
+    grad = probs
+    grad[rows, cols, targets] -= 1.0
+    grad /= batch
+    return losses, grad
+
+
+class BatchedReplicaExecutor:
+    """Fused forward/backward for every replica of a worker matrix at once."""
+
+    def __init__(self, layers: Sequence[object], matrix: WorkerMatrix) -> None:
+        self._layers = list(layers)
+        self._matrix = matrix
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, matrix: WorkerMatrix, module) -> Optional["BatchedReplicaExecutor"]:
+        """Build an executor for ``module`` or return None if unsupported.
+
+        ``module`` must be the already-adopted replica of worker 0; its
+        architecture (shared by all workers) defines the layer chain.
+        """
+        # Imported here: the engine stays importable without the nn layer
+        # stack, and nn itself only lazily imports the engine.
+        from repro.nn.layers import Linear, ReLU, Tanh
+        from repro.nn.models.mlp import MLP
+
+        # Exact-type check: an MLP subclass may override forward (skip
+        # connections, extra parameters), which the batched chain below
+        # would silently ignore — such models must use the fallback loop.
+        if type(module) is not MLP:
+            return None
+        spec = matrix.spec
+        n = matrix.num_workers
+        covered = 0
+        layers: List[object] = []
+        for idx, layer in enumerate(module.net):
+            prefix = f"net.{idx}."
+            if isinstance(layer, Linear):
+                w_name = prefix + "weight"
+                if w_name not in spec:
+                    return None
+                w_shape = spec.shape_of(w_name)
+                w_sl = spec.slice_of(w_name)
+                weight = matrix.params[:, w_sl].reshape((n,) + w_shape)
+                weight_grad = matrix.grads[:, w_sl].reshape((n,) + w_shape)
+                covered += w_sl.stop - w_sl.start
+                bias = bias_grad = None
+                b_name = prefix + "bias"
+                if layer.use_bias:
+                    if b_name not in spec:
+                        return None
+                    b_sl = spec.slice_of(b_name)
+                    bias = matrix.params[:, b_sl]
+                    bias_grad = matrix.grads[:, b_sl]
+                    covered += b_sl.stop - b_sl.start
+                layers.append(_BatchedLinear(weight, weight_grad, bias, bias_grad))
+            elif isinstance(layer, ReLU):
+                layers.append(_BatchedReLU())
+            elif isinstance(layer, Tanh):
+                layers.append(_BatchedTanh())
+            else:
+                return None
+        if not layers:
+            return None
+        # Every parameter in the layout must belong to the chain we walk;
+        # anything left over would silently never receive gradients.
+        if covered != spec.total_size:
+            return None
+        return cls(layers, matrix)
+
+    # ------------------------------------------------------------------ #
+    def step(
+        self, batches: Sequence[Tuple[np.ndarray, np.ndarray]]
+    ) -> Optional[np.ndarray]:
+        """One fused gradient computation for all replicas.
+
+        ``batches`` holds one ``(inputs, targets)`` pair per worker; all
+        batches must share one shape (the lockstep cluster guarantees this —
+        if not, the caller falls back to the per-worker loop).  Gradients
+        are written directly into the matrix gradient rows (replacing the
+        previous step's contents, i.e. zero-then-accumulate semantics) and
+        the per-replica mean losses are returned.
+        """
+        if len(batches) != self._matrix.num_workers:
+            return None
+        first_x, first_y = batches[0]
+        if any(b[0].shape != first_x.shape or b[1].shape != first_y.shape for b in batches):
+            return None
+        x = np.stack([np.asarray(b[0], dtype=np.float64) for b in batches])
+        targets = np.stack([b[1] for b in batches])
+        if x.ndim != 3 or not np.issubdtype(targets.dtype, np.integer):
+            return None
+        for layer in self._layers:
+            x = layer.forward(x)
+        losses, grad = _batched_cross_entropy(x, targets)
+        for layer in reversed(self._layers):
+            grad = layer.backward(grad)
+        return losses
+
+    def grad_norms(self) -> np.ndarray:
+        """Per-replica gradient L2 norms in one pass over the gradient matrix."""
+        g = self._matrix.grads
+        return np.sqrt(np.einsum("ij,ij->i", g, g))

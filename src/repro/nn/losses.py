@@ -49,16 +49,18 @@ def cross_entropy_with_logits(
     n = flat_logits.shape[0]
     logp = log_softmax(flat_logits, axis=-1)
     probs = np.exp(logp)
+    rows = np.arange(n)
     if label_smoothing > 0.0:
         smooth = label_smoothing / num_classes
         target_dist = np.full_like(logp, smooth)
-        target_dist[np.arange(n), flat_targets] += 1.0 - label_smoothing
+        target_dist[rows, flat_targets] += 1.0 - label_smoothing
         loss = -(target_dist * logp).sum(axis=-1).mean()
         grad = (probs - target_dist) / n
     else:
-        loss = -logp[np.arange(n), flat_targets].mean()
-        grad = probs.copy()
-        grad[np.arange(n), flat_targets] -= 1.0
+        loss = -logp[rows, flat_targets].mean()
+        # probs is a fresh array; mutate it in place instead of copying.
+        grad = probs
+        grad[rows, flat_targets] -= 1.0
         grad /= n
     return float(loss), grad.reshape(logits.shape)
 

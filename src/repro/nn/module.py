@@ -17,6 +17,8 @@ from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.utils.flatten import WIRE_DTYPE_BYTES
+
 
 class Parameter:
     """A trainable tensor with an associated gradient accumulator."""
@@ -49,6 +51,9 @@ class Module:
         self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
         self._modules: "OrderedDict[str, Module]" = OrderedDict()
         self.training: bool = True
+        # Flat-buffer engine state, populated by flatten_parameters().
+        self._flat_params = None
+        self._flat_grads = None
 
     # ------------------------------------------------------------------ #
     # registration
@@ -67,6 +72,11 @@ class Module:
         return module
 
     def __setattr__(self, name: str, value) -> None:
+        # Fast path for hot-loop attribute writes (layer activation caches,
+        # masks): plain arrays and None can never need auto-registration.
+        if value is None or type(value) is np.ndarray:
+            object.__setattr__(self, name, value)
+            return
         # Auto-register Parameters and Modules assigned as attributes, in
         # declaration order, like torch.nn.Module does.
         if isinstance(value, Parameter):
@@ -101,11 +111,98 @@ class Module:
 
     def num_parameters(self) -> int:
         """Total number of trainable scalars in the module tree."""
+        if self._flat_params is not None:
+            return self._flat_params.size
         return sum(p.size for p in self.parameters())
 
-    def parameter_bytes(self, dtype_bytes: int = 4) -> int:
+    def parameter_bytes(self, dtype_bytes: int = WIRE_DTYPE_BYTES) -> int:
         """Model size in bytes assuming float32 transport, used by the cost model."""
         return self.num_parameters() * dtype_bytes
+
+    # ------------------------------------------------------------------ #
+    # flat-buffer engine integration
+    # ------------------------------------------------------------------ #
+    def flatten_parameters(
+        self,
+        param_vector: Optional[np.ndarray] = None,
+        grad_vector: Optional[np.ndarray] = None,
+    ) -> None:
+        """Consolidate every parameter and gradient into contiguous buffers.
+
+        After this call each ``Parameter.data`` / ``Parameter.grad`` is a
+        zero-copy reshaped view into one flat ``float64`` vector, so whole-
+        model operations (optimizer steps, aggregation, norms) run as single
+        fused NumPy calls.  ``param_vector`` / ``grad_vector`` may donate the
+        storage (e.g. rows of the cluster's WorkerMatrix); current values are
+        copied into the donated storage.
+
+        Calling this again with new storage *moves* the buffers (the current
+        contents are preserved).  Only flatten the root of a module tree:
+        flattening a submodule afterwards would re-bind its parameters away
+        from the root's buffer.
+        """
+        from repro.engine.flat_buffer import FlatBuffer, ParamSpec
+
+        params = self.named_parameters()
+        if self._flat_params is not None:
+            if param_vector is not None:
+                self._flat_params.rebind(param_vector)
+            if grad_vector is not None:
+                self._flat_grads.rebind(grad_vector)
+        else:
+            spec = ParamSpec([(name, p.data.shape) for name, p in params.items()])
+            flat_p = FlatBuffer(spec, param_vector)
+            flat_g = FlatBuffer(spec, grad_vector)
+            spec.flatten_tree({n: p.data for n, p in params.items()}, out=flat_p.vector)
+            spec.flatten_tree({n: p.grad for n, p in params.items()}, out=flat_g.vector)
+            self._flat_params = flat_p
+            self._flat_grads = flat_g
+        for name, param in params.items():
+            param.data = self._flat_params[name]
+            param.grad = self._flat_grads[name]
+
+    @property
+    def is_flat(self) -> bool:
+        return self._flat_params is not None
+
+    @property
+    def flat_spec(self):
+        """Flat layout descriptor (flattens the module on first access)."""
+        if self._flat_params is None:
+            self.flatten_parameters()
+        return self._flat_params.spec
+
+    @property
+    def param_vector(self) -> np.ndarray:
+        """Live flat view of all parameters (mutations hit the model)."""
+        if self._flat_params is None:
+            self.flatten_parameters()
+        return self._flat_params.vector
+
+    @property
+    def grad_vector(self) -> np.ndarray:
+        """Live flat view of all accumulated gradients."""
+        if self._flat_params is None:
+            self.flatten_parameters()
+        return self._flat_grads.vector
+
+    def load_param_vector(self, vector: np.ndarray) -> None:
+        """Overwrite all parameters from a flat vector (one memcpy)."""
+        if self._flat_params is None:
+            self.flatten_parameters()
+        self._flat_params.load_vector(vector)
+
+    def state_view(self) -> Dict[str, np.ndarray]:
+        """Zero-copy named views of the parameters (aliases the flat buffer)."""
+        if self._flat_params is None:
+            self.flatten_parameters()
+        return self._flat_params.as_dict(copy=False)
+
+    def grad_view(self) -> Dict[str, np.ndarray]:
+        """Zero-copy named views of the gradients (aliases the flat buffer)."""
+        if self._flat_params is None:
+            self.flatten_parameters()
+        return self._flat_grads.as_dict(copy=False)
 
     # ------------------------------------------------------------------ #
     # train / eval, gradients
@@ -123,6 +220,9 @@ class Module:
         return self
 
     def zero_grad(self) -> None:
+        if self._flat_grads is not None:
+            self._flat_grads.fill(0.0)
+            return
         for param in self.parameters():
             param.zero_grad()
 
@@ -130,7 +230,13 @@ class Module:
     # state exchange (used by the simulated parameter server / collectives)
     # ------------------------------------------------------------------ #
     def state_dict(self) -> Dict[str, np.ndarray]:
-        """Copy of every named parameter's data."""
+        """Copy of every named parameter's data.
+
+        On a flattened module this is one contiguous memcpy (the returned
+        arrays are views into that private snapshot, never into the model).
+        """
+        if self._flat_params is not None:
+            return self._flat_params.as_dict(copy=True)
         return {name: p.data.copy() for name, p in self.named_parameters().items()}
 
     def load_state_dict(self, state: Mapping[str, np.ndarray], strict: bool = True) -> None:
@@ -155,7 +261,13 @@ class Module:
             param.data[...] = value
 
     def gradient_dict(self) -> Dict[str, np.ndarray]:
-        """Copy of every named parameter's accumulated gradient."""
+        """Copy of every named parameter's accumulated gradient.
+
+        On a flattened module this is one contiguous memcpy (the returned
+        arrays are views into that private snapshot, never into the model).
+        """
+        if self._flat_grads is not None:
+            return self._flat_grads.as_dict(copy=True)
         return {name: p.grad.copy() for name, p in self.named_parameters().items()}
 
     def load_gradient_dict(self, grads: Mapping[str, np.ndarray]) -> None:

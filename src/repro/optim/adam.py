@@ -6,12 +6,16 @@ from typing import Dict, Mapping
 
 import numpy as np
 
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module
 from repro.optim.optimizer import Optimizer
 
 
 class Adam(Optimizer):
-    """Adam with bias-corrected first/second moments and optional weight decay."""
+    """Adam with bias-corrected first/second moments and optional weight decay.
+
+    Both moment buffers are flat vectors aliased by named views, so one step
+    is a constant number of fused NumPy operations over the whole model.
+    """
 
     def __init__(
         self,
@@ -31,29 +35,25 @@ class Adam(Optimizer):
         self.beta2 = float(beta2)
         self.eps = float(eps)
         self.weight_decay = float(weight_decay)
-        self._m: Dict[str, np.ndarray] = {
-            name: np.zeros_like(p.data) for name, p in self._params.items()
-        }
-        self._v: Dict[str, np.ndarray] = {
-            name: np.zeros_like(p.data) for name, p in self._params.items()
-        }
+        self._m_vector = np.zeros(self._spec.total_size, dtype=np.float64)
+        self._v_vector = np.zeros(self._spec.total_size, dtype=np.float64)
+        # Named views into the flat moments, for state exchange and tests.
+        self._m: Dict[str, np.ndarray] = dict(self._spec.views(self._m_vector))
+        self._v: Dict[str, np.ndarray] = dict(self._spec.views(self._v_vector))
         self._t = 0
 
-    def step(self, grads=None) -> None:
+    def _update_flat(self, grad_vector: np.ndarray) -> np.ndarray:
         # Advance the shared timestep once per optimizer step (not per
         # parameter) so bias correction is consistent across the model.
         self._t += 1
-        super().step(grads)
-
-    def _update(self, name: str, param: Parameter, grad: np.ndarray) -> np.ndarray:
         if self.weight_decay:
-            grad = grad + self.weight_decay * param.data
-        m = self._m[name]
-        v = self._v[name]
+            grad_vector = grad_vector + self.weight_decay * self._param_vector
+        m = self._m_vector
+        v = self._v_vector
         m *= self.beta1
-        m += (1.0 - self.beta1) * grad
+        m += (1.0 - self.beta1) * grad_vector
         v *= self.beta2
-        v += (1.0 - self.beta2) * grad**2
+        v += (1.0 - self.beta2) * grad_vector**2
         m_hat = m / (1.0 - self.beta1**self._t)
         v_hat = v / (1.0 - self.beta2**self._t)
         return self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

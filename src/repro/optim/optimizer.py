@@ -1,32 +1,66 @@
-"""Optimizer base class operating on :class:`repro.nn.Module` parameters."""
+"""Optimizer base class operating on flat parameter buffers.
+
+Constructing an optimizer flattens its module (see
+:meth:`repro.nn.module.Module.flatten_parameters`), so one update is a
+handful of fused NumPy operations over the whole ``(D,)`` parameter vector
+instead of a Python loop over named tensors.  The named-dict ``step(grads)``
+signature is preserved: a mapping is flattened once through the module's
+layout before the fused update.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module
 
 
 class Optimizer:
-    """Base class: holds the parameter list, learning rate, and state dicts.
+    """Base class: holds the flat parameter buffer, learning rate and state.
 
-    Subclasses implement :meth:`_update` which transforms a gradient into a
-    parameter delta.  The split lets the SelSync / local-SGD trainers apply
-    the *same* optimizer math whether the gradient came from a local backward
-    pass or from an aggregated (averaged) gradient pushed by the parameter
-    server — the distinction the paper draws between gradient aggregation and
-    parameter aggregation (§III-C).
+    Subclasses implement :meth:`_update_flat`, which transforms the flat
+    gradient vector into a flat parameter delta.  The split lets the SelSync
+    / local-SGD trainers apply the *same* optimizer math whether the gradient
+    came from a local backward pass or from an aggregated (averaged) gradient
+    pushed by the parameter server — the distinction the paper draws between
+    gradient aggregation and parameter aggregation (§III-C).
     """
 
     def __init__(self, module: Module, lr: float) -> None:
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
         self.module = module
+        module.flatten_parameters()
         self._params = module.named_parameters()
+        self._spec = module.flat_spec
+        # Mask of trainable entries; None when every parameter trains (the
+        # common case), so the fused update touches the whole vector.
+        frozen = [n for n, p in self._params.items() if not p.requires_grad]
+        if frozen:
+            mask = np.zeros(self._spec.total_size, dtype=bool)
+            for name, param in self._params.items():
+                if param.requires_grad:
+                    mask[self._spec.slice_of(name)] = True
+            self._trainable_mask: Optional[np.ndarray] = mask
+        else:
+            self._trainable_mask = None
+        # Cache the FlatBuffer objects, not their vectors: a later re-bind
+        # of the module's storage (WorkerMatrix adoption) swaps the vector
+        # *inside* these same buffer objects, so reads stay current.
+        self._param_buffer = module._flat_params
+        self._grad_buffer = module._flat_grads
         self.lr = float(lr)
         self._step_count = 0
+
+    @property
+    def _param_vector(self) -> np.ndarray:
+        return self._param_buffer.vector
+
+    @property
+    def _grad_vector(self) -> np.ndarray:
+        return self._grad_buffer.vector
 
     @property
     def step_count(self) -> int:
@@ -40,22 +74,42 @@ class Optimizer:
     def zero_grad(self) -> None:
         self.module.zero_grad()
 
-    def step(self, grads: Optional[Mapping[str, np.ndarray]] = None) -> None:
+    def _coerce_grad_vector(
+        self, grads: Optional[Union[Mapping[str, np.ndarray], np.ndarray]]
+    ) -> np.ndarray:
+        """Resolve the gradient source for one step as a flat ``(D,)`` vector."""
+        if grads is None:
+            return self._grad_vector
+        if isinstance(grads, np.ndarray):
+            grads = grads.ravel()
+            if grads.size != self._spec.total_size:
+                raise ValueError(
+                    f"flat gradient has length {grads.size}, "
+                    f"expected {self._spec.total_size}"
+                )
+            return grads
+        return self._spec.flatten_tree(grads)
+
+    def step(
+        self, grads: Optional[Union[Mapping[str, np.ndarray], np.ndarray]] = None
+    ) -> None:
         """Apply one update.
 
-        If ``grads`` is given, those gradients are used instead of the ones
-        accumulated on the module (used when applying averaged gradients that
-        came back from the parameter server).
+        ``grads`` may be ``None`` (use the gradients accumulated on the
+        module), a named mapping, or an already-flat ``(D,)`` vector (the
+        zero-copy hot path used when applying averaged gradients that came
+        back from the parameter server).
         """
-        for name, param in self._params.items():
-            if not param.requires_grad:
-                continue
-            grad = np.asarray(grads[name]) if grads is not None else param.grad
-            delta = self._update(name, param, grad)
-            param.data -= delta
+        grad_vector = self._coerce_grad_vector(grads)
+        delta = self._update_flat(grad_vector)
+        if self._trainable_mask is None:
+            self._param_buffer.vector[...] -= delta
+        else:
+            self._param_buffer.vector[...] -= np.where(self._trainable_mask, delta, 0.0)
         self._step_count += 1
 
-    def _update(self, name: str, param: Parameter, grad: np.ndarray) -> np.ndarray:
+    def _update_flat(self, grad_vector: np.ndarray) -> np.ndarray:
+        """Map the flat gradient to the flat parameter delta (fused math)."""
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #

@@ -6,7 +6,7 @@ from typing import Dict, Mapping
 
 import numpy as np
 
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module
 from repro.optim.optimizer import Optimizer
 
 
@@ -14,7 +14,9 @@ class SGD(Optimizer):
     """SGD update  ``w <- w - lr * (m_t)``  with optional momentum buffers.
 
     Matches the paper's ResNet101 / VGG11 / Transformer training recipes
-    (momentum 0.9 and per-model weight decay).
+    (momentum 0.9 and per-model weight decay).  The velocity buffer is one
+    flat vector aliased by named views, so a step is 2-3 fused NumPy
+    operations regardless of how many tensors the model has.
     """
 
     def __init__(
@@ -35,23 +37,35 @@ class SGD(Optimizer):
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
         self.nesterov = bool(nesterov)
-        self._velocity: Dict[str, np.ndarray] = {
-            name: np.zeros_like(p.data) for name, p in self._params.items()
-        }
+        self._velocity_vector = np.zeros(self._spec.total_size, dtype=np.float64)
+        # Named views into the flat velocity, for state exchange and tests.
+        self._velocity: Dict[str, np.ndarray] = dict(
+            self._spec.views(self._velocity_vector)
+        )
 
-    def _update(self, name: str, param: Parameter, grad: np.ndarray) -> np.ndarray:
+    def rebind_velocity(self, vector: np.ndarray) -> None:
+        """Move the velocity buffer onto donated storage (a fused-update row).
+
+        The current contents are preserved; the named views are regenerated,
+        so per-parameter state exchange keeps working after the move.
+        """
+        vector[:] = self._velocity_vector
+        self._velocity_vector = vector
+        self._velocity = dict(self._spec.views(vector))
+
+    def _update_flat(self, grad_vector: np.ndarray) -> np.ndarray:
         if self.weight_decay:
-            grad = grad + self.weight_decay * param.data
+            grad_vector = grad_vector + self.weight_decay * self._param_vector
         if self.momentum:
-            buf = self._velocity[name]
+            buf = self._velocity_vector
             buf *= self.momentum
-            buf += grad
+            buf += grad_vector
             if self.nesterov:
-                step_dir = grad + self.momentum * buf
+                step_dir = grad_vector + self.momentum * buf
             else:
                 step_dir = buf
         else:
-            step_dir = grad
+            step_dir = grad_vector
         return self.lr * step_dir
 
     def state_dict(self) -> Dict[str, Dict[str, np.ndarray]]:

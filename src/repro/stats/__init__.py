@@ -10,7 +10,12 @@
 """
 
 from repro.stats.ewma import EWMA, ewma_smooth
-from repro.stats.variance import RunningVariance, gradient_variance, gradient_second_moment
+from repro.stats.variance import (
+    RunningVariance,
+    batch_gradient_statistic,
+    gradient_variance,
+    gradient_second_moment,
+)
 from repro.stats.kde import gaussian_kde_density, histogram_density, distribution_summary
 from repro.stats.hessian import hessian_top_eigenvalue, hessian_vector_product
 
@@ -18,6 +23,7 @@ __all__ = [
     "EWMA",
     "ewma_smooth",
     "RunningVariance",
+    "batch_gradient_statistic",
     "gradient_variance",
     "gradient_second_moment",
     "gaussian_kde_density",

@@ -7,6 +7,7 @@ cluster) before computing the relative gradient change Δ(gᵢ) (§III-A).
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Deque, Iterable, List, Optional
 
@@ -39,7 +40,7 @@ class EWMA:
     def update(self, value: float) -> float:
         """Add one observation and return the new smoothed value."""
         value = float(value)
-        if not np.isfinite(value):
+        if not math.isfinite(value):
             raise ValueError(f"EWMA observation must be finite, got {value}")
         self._values.append(value)
         if self._smoothed is None:

@@ -5,7 +5,13 @@ subpackage can import them without cycles.
 """
 
 from repro.utils.rng import SeedSequenceFactory, new_rng, spawn_rngs
-from repro.utils.flatten import flatten_arrays, unflatten_vector, tree_map, tree_zip_map
+from repro.utils.flatten import (
+    WIRE_DTYPE_BYTES,
+    flatten_arrays,
+    unflatten_vector,
+    tree_map,
+    tree_zip_map,
+)
 from repro.utils.timers import Timer, StepTimer
 from repro.utils.logging import get_logger
 from repro.utils.serialization import (
@@ -23,6 +29,7 @@ __all__ = [
     "SeedSequenceFactory",
     "new_rng",
     "spawn_rngs",
+    "WIRE_DTYPE_BYTES",
     "flatten_arrays",
     "unflatten_vector",
     "tree_map",

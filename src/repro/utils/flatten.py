@@ -14,6 +14,13 @@ import numpy as np
 
 ArrayTree = Mapping[str, np.ndarray]
 
+#: Bytes per element on the simulated wire.  Distributed frameworks ship
+#: float32 tensors, so every byte-accounting site (cost models, compression
+#: ratios, backend records) charges 4 bytes/element even though the simulator
+#: computes in float64.  A future float16/quantized transport mode only needs
+#: to change this one constant to keep the clock consistent everywhere.
+WIRE_DTYPE_BYTES = 4
+
 
 def flatten_arrays(tree: ArrayTree) -> Tuple[np.ndarray, List[Tuple[str, Tuple[int, ...]]]]:
     """Flatten an ordered mapping of arrays into one 1-D vector.
@@ -78,10 +85,10 @@ def total_size(tree: ArrayTree) -> int:
     return int(sum(np.asarray(a).size for a in tree.values()))
 
 
-def total_bytes(tree: ArrayTree, dtype_bytes: int = 4) -> int:
+def total_bytes(tree: ArrayTree, dtype_bytes: int = WIRE_DTYPE_BYTES) -> int:
     """Total transferred bytes assuming ``dtype_bytes`` per element.
 
-    Distributed training frameworks normally ship float32 tensors, hence the
-    default of 4 bytes/element even though the simulator computes in float64.
+    Defaults to :data:`WIRE_DTYPE_BYTES` (float32 transport), shared with the
+    communication cost models and the compression layer.
     """
     return total_size(tree) * int(dtype_bytes)

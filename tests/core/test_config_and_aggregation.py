@@ -102,3 +102,28 @@ class TestAggregation:
     def test_mode_enum_round_trip(self):
         assert AggregationMode("param") is AggregationMode.PARAMETER
         assert AggregationMode("grad") is AggregationMode.GRADIENT
+
+    def test_aggregate_matrix_matches_dict_form(self):
+        from repro.engine import ParamSpec
+        from repro.core.aggregation import aggregate_matrix
+
+        states = self._states()
+        spec = ParamSpec.from_tree(states[0])
+        matrix = np.stack([spec.flatten_tree(s) for s in states])
+        mean_vec = aggregate_matrix(matrix)
+        mean_dict = aggregate_parameters(states)
+        np.testing.assert_array_equal(mean_vec, spec.flatten_tree(mean_dict))
+        with pytest.raises(ValueError):
+            aggregate_matrix(np.zeros(3))
+
+    def test_consistency_error_matrix_form_matches_dict_form(self):
+        from repro.engine import ParamSpec
+
+        states = self._states()
+        spec = ParamSpec.from_tree(states[0])
+        matrix = np.stack([spec.flatten_tree(s) for s in states])
+        np.testing.assert_allclose(
+            replica_consistency_error(matrix),
+            replica_consistency_error(states),
+            rtol=1e-12,
+        )

@@ -102,6 +102,47 @@ class TestEquivalences:
             assert different
 
 
+class TestGlobalStateCheckpoint:
+    """Regression tests for the PA checkpoint-source rule.
+
+    The PS copy is authoritative exactly when the *most recent* step was a
+    synchronization (the historical rule required that no local step had
+    *ever* happened, so any mixed run silently stopped trusting the PS).
+    """
+
+    def test_ps_trusted_when_last_step_synced_after_local_steps(self):
+        cluster = make_small_cluster(seed=11)
+        trainer = SelSyncTrainer(
+            cluster, SelSyncConfig(delta=1e9, aggregation="param"), eval_every=100
+        )
+        trainer.run(6)  # forced first-step sync, then local steps
+        assert trainer.local_steps > 0
+        trainer.config.delta = 0.0  # force the next step to synchronize
+        trainer.run(1)
+        assert trainer._last_step_synced and trainer.local_steps > 0
+        # Perturb one replica after the final sync (simulating external
+        # drift): the checkpoint must still be the PS state, not the now
+        # perturbed replica average.
+        cluster.workers[1].param_vector[0] += 123.0
+        state = trainer.global_state()
+        ps_state = cluster.ps.pull()
+        for name in ps_state:
+            np.testing.assert_array_equal(state[name], ps_state[name])
+
+    def test_replica_average_when_last_step_local(self):
+        cluster = make_small_cluster(seed=3)
+        trainer = SelSyncTrainer(
+            cluster, SelSyncConfig(delta=1e9, aggregation="param"), eval_every=100
+        )
+        trainer.run(10)  # forced first-step sync, then all-local
+        assert trainer.sync_steps == 1 and trainer.local_steps == 9
+        assert not trainer._last_step_synced
+        state = trainer.global_state()
+        expected = cluster.average_worker_states()
+        for name in expected:
+            np.testing.assert_array_equal(state[name], expected[name])
+
+
 class TestMechanics:
     def test_flags_allgather_called_every_step(self):
         cluster = make_small_cluster()

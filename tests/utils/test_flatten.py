@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.utils.flatten import (
+    WIRE_DTYPE_BYTES,
     flatten_arrays,
     total_bytes,
     total_size,
@@ -50,6 +51,36 @@ class TestFlattenUnflatten:
         rebuilt["a"][0] = 9.0
         assert vec[0] == 0.0
 
+    def test_empty_tree_roundtrip(self):
+        vec, spec = flatten_arrays({})
+        assert vec.dtype == np.float64
+        assert unflatten_vector(vec, spec) == {}
+
+    def test_scalar_zero_d_parameter_roundtrip(self):
+        tree = {"scale": np.array(2.5), "w": np.ones(2)}
+        vec, spec = flatten_arrays(tree)
+        assert vec.size == 3
+        rebuilt = unflatten_vector(vec, spec)
+        assert rebuilt["scale"].shape == ()
+        assert float(rebuilt["scale"]) == 2.5
+
+    def test_dtype_normalized_to_float64(self):
+        tree = {"a": np.ones(3, dtype=np.float32), "b": np.arange(2, dtype=np.int64)}
+        vec, spec = flatten_arrays(tree)
+        assert vec.dtype == np.float64
+        rebuilt = unflatten_vector(vec, spec)
+        assert all(arr.dtype == np.float64 for arr in rebuilt.values())
+        np.testing.assert_array_equal(rebuilt["a"], np.ones(3))
+        np.testing.assert_array_equal(rebuilt["b"], [0.0, 1.0])
+
+    def test_roundtrip_values_bitexact(self):
+        rng = np.random.default_rng(0)
+        tree = {"w": rng.standard_normal((3, 4)), "b": rng.standard_normal(4)}
+        vec, spec = flatten_arrays(tree)
+        rebuilt = unflatten_vector(vec, spec)
+        for name in tree:
+            np.testing.assert_array_equal(rebuilt[name], tree[name])
+
 
 class TestTreeOps:
     def test_tree_map(self):
@@ -72,3 +103,14 @@ class TestTreeOps:
         assert total_size(tree) == 10
         assert total_bytes(tree) == 40
         assert total_bytes(tree, dtype_bytes=8) == 80
+
+    def test_wire_dtype_constant_shared(self):
+        """One dtype-width constant drives every byte-accounting site."""
+        from repro.comm.backend import InProcessBackend
+        from repro.compression.base import CompressedPayload
+
+        tree = {"a": np.zeros(10)}
+        assert total_bytes(tree) == 10 * WIRE_DTYPE_BYTES
+        assert InProcessBackend.DTYPE_BYTES == WIRE_DTYPE_BYTES
+        payload = CompressedPayload(data={}, original_size=10, compressed_bytes=1.0)
+        assert payload.original_bytes == 10 * WIRE_DTYPE_BYTES
