@@ -3,8 +3,11 @@
 Every benchmark regenerates one table or figure of the paper: it runs the
 corresponding experiment once (through ``benchmark.pedantic`` so
 pytest-benchmark records the wall-clock cost of regenerating it), asserts the
-qualitative *shape* the paper reports, and writes the rows/series to
-``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote them.
+qualitative *shape* the paper reports, and echoes the rows/series so
+EXPERIMENTS.md can quote them.  Persisting the report to
+``benchmarks/results/<name>.txt`` is opt-in via ``pytest --write-results``
+(see the root ``conftest.py``) so plain test runs never dirty the working
+tree.
 
 Set ``REPRO_FULL=1`` to run the full-scale versions (all four workloads,
 more iterations); the default configuration is sized to finish in a few
@@ -15,8 +18,13 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
+from typing import Optional
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Session-wide default for report persistence; the root ``conftest.py``
+#: flips this to True when pytest runs with ``--write-results``.
+WRITE_RESULTS = False
 
 
 def full_scale() -> bool:
@@ -24,10 +32,19 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_FULL", "0") == "1"
 
 
-def save_report(name: str, text: str) -> Path:
-    """Persist a benchmark report and echo it to stdout."""
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+def save_report(name: str, text: str, write: Optional[bool] = None) -> Path:
+    """Echo a benchmark report; persist it only when writing is enabled.
+
+    ``write=None`` (the default used by the figure benchmarks) defers to the
+    session-wide ``--write-results`` flag.
+    """
+    if write is None:
+        write = WRITE_RESULTS
     path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text + "\n")
-    print(f"\n{text}\n[saved to {path}]")
+    if write:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+    else:
+        print(f"\n{text}\n[not persisted; pass --write-results to update {path}]")
     return path

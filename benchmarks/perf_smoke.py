@@ -7,9 +7,15 @@ behind ``--run-perf`` to keep tier-1 fast:
 
     PYTHONPATH=src python -m pytest benchmarks/perf_smoke.py --run-perf -q -s
 
-The run writes ``BENCH_engine.json`` at the repo root with the measured
-steps/sec next to the recorded pre-refactor baseline (measured at the seed
-commit with this exact harness and configuration).
+The run writes ``BENCH_engine.json`` at the repo root with three sections:
+
+* ``current_steps_per_sec`` — BSP / SelSync on the deep-narrow N=8 MLP loop,
+  gated at >= 3x over the recorded pre-engine seed baseline;
+* ``dtype_mode`` — float32 vs float64 BSP steps/sec on a compute-dominated
+  N=8 MLP (wide layers, so BLAS width rather than Python overhead sets the
+  pace), gated at float32 >= 1.5x float64;
+* ``fused_adam`` — BSP steps/sec with every worker on Adam (the fused (N, D)
+  moment-matrix path) in both dtypes, recorded for trend tracking.
 """
 
 from __future__ import annotations
@@ -31,6 +37,15 @@ STEPS = 200
 WARMUP = 20
 REPEATS = 5
 
+#: Dtype-mode configuration: same N=8 cluster, but wide layers so the step is
+#: compute-dominated and the float32/float64 contrast measures arithmetic
+#: width instead of Python overhead.
+DTYPE_MLP_SIZES = (64, 512, 512, 8)
+DTYPE_BATCH_SIZE = 32
+DTYPE_STEPS = 100
+DTYPE_WARMUP = 10
+DTYPE_REPEATS = 3
+
 #: Steps/sec of this exact harness at the pre-refactor seed commit
 #: (8f9a305, dict-of-named-arrays hot path), recorded when the engine
 #: landed.  Used as the denominator for the speedup gate below.
@@ -39,20 +54,33 @@ BASELINE_STEPS_PER_SEC = {"bsp": 208.0, "selsync": 194.6}
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
-def build_cluster(seed: int = 0):
+def build_cluster(
+    seed: int = 0,
+    dtype: str = "float64",
+    optimizer: str = "sgd",
+    mlp_sizes=MLP_SIZES,
+    batch_size: int = BATCH_SIZE,
+):
     from repro.cluster.cluster import ClusterConfig, SimulatedCluster
     from repro.data.datasets import make_classification_splits
     from repro.data.partition import SelSyncPartitioner
     from repro.nn.models import MLP
+    from repro.optim.adam import Adam
     from repro.optim.sgd import SGD
 
     train, test = make_classification_splits(
-        2048, 256, MLP_SIZES[-1], MLP_SIZES[0], class_sep=3.0, noise=0.6, seed=seed
+        2048, 256, mlp_sizes[-1], mlp_sizes[0], class_sep=3.0, noise=0.6, seed=seed
     )
-    config = ClusterConfig(num_workers=NUM_WORKERS, batch_size=BATCH_SIZE, seed=seed)
+    config = ClusterConfig(
+        num_workers=NUM_WORKERS, batch_size=batch_size, seed=seed, dtype=dtype
+    )
+    if optimizer == "sgd":
+        optimizer_factory = lambda m: SGD(m, lr=0.05, momentum=0.9)  # noqa: E731
+    else:
+        optimizer_factory = lambda m: Adam(m, lr=1e-3)  # noqa: E731
     return SimulatedCluster(
-        model_factory=lambda rng: MLP(MLP_SIZES, rng=rng),
-        optimizer_factory=lambda m: SGD(m, lr=0.05, momentum=0.9),
+        model_factory=lambda rng: MLP(mlp_sizes, rng=rng),
+        optimizer_factory=optimizer_factory,
         train_dataset=train,
         test_dataset=test,
         config=config,
@@ -71,27 +99,51 @@ def _make_trainer(name: str, cluster):
     return SelSyncTrainer(cluster, SelSyncConfig(delta=DELTA), eval_every=10_000)
 
 
+def _time_trainer(cluster, trainer, steps: int, warmup: int) -> float:
+    for _ in range(warmup):
+        trainer.train_step()
+        trainer.global_step += 1
+        cluster.global_step = trainer.global_step
+    start = time.perf_counter()
+    for _ in range(steps):
+        trainer.train_step()
+        trainer.global_step += 1
+        cluster.global_step = trainer.global_step
+    return steps / (time.perf_counter() - start)
+
+
 def measure_steps_per_sec(name: str) -> float:
     """Best-of-``REPEATS`` steady-state training steps per wall-clock second."""
     best = 0.0
     for _ in range(REPEATS):
         cluster = build_cluster()
         trainer = _make_trainer(name, cluster)
-        for _ in range(WARMUP):
-            trainer.train_step()
-            trainer.global_step += 1
-            cluster.global_step = trainer.global_step
-        start = time.perf_counter()
-        for _ in range(STEPS):
-            trainer.train_step()
-            trainer.global_step += 1
-            cluster.global_step = trainer.global_step
-        best = max(best, STEPS / (time.perf_counter() - start))
+        best = max(best, _time_trainer(cluster, trainer, STEPS, WARMUP))
+    return best
+
+
+def measure_variant(dtype: str, optimizer: str, mlp_sizes, batch_size: int) -> float:
+    """Best-of-``DTYPE_REPEATS`` BSP steps/sec for one engine configuration."""
+    best = 0.0
+    for _ in range(DTYPE_REPEATS):
+        cluster = build_cluster(
+            dtype=dtype, optimizer=optimizer, mlp_sizes=mlp_sizes, batch_size=batch_size
+        )
+        trainer = _make_trainer("bsp", cluster)
+        best = max(best, _time_trainer(cluster, trainer, DTYPE_STEPS, DTYPE_WARMUP))
     return best
 
 
 def run_benchmark() -> dict:
     current = {name: measure_steps_per_sec(name) for name in ("bsp", "selsync")}
+    dtype_mode = {
+        dtype: measure_variant(dtype, "sgd", DTYPE_MLP_SIZES, DTYPE_BATCH_SIZE)
+        for dtype in ("float64", "float32")
+    }
+    fused_adam = {
+        dtype: measure_variant(dtype, "adam", MLP_SIZES, BATCH_SIZE)
+        for dtype in ("float64", "float32")
+    }
     return {
         "config": {
             "num_workers": NUM_WORKERS,
@@ -101,11 +153,23 @@ def run_benchmark() -> dict:
             "steps": STEPS,
             "warmup": WARMUP,
             "repeats": REPEATS,
+            "dtype_mlp_sizes": list(DTYPE_MLP_SIZES),
+            "dtype_batch_size": DTYPE_BATCH_SIZE,
+            "dtype_steps": DTYPE_STEPS,
+            "dtype_repeats": DTYPE_REPEATS,
         },
         "baseline_steps_per_sec": BASELINE_STEPS_PER_SEC,
         "current_steps_per_sec": current,
         "speedup_over_baseline": {
             name: current[name] / BASELINE_STEPS_PER_SEC[name] for name in current
+        },
+        "dtype_mode": {
+            "steps_per_sec": dtype_mode,
+            "float32_speedup_over_float64": dtype_mode["float32"] / dtype_mode["float64"],
+        },
+        "fused_adam": {
+            "steps_per_sec": fused_adam,
+            "float32_speedup_over_float64": fused_adam["float32"] / fused_adam["float64"],
         },
     }
 
@@ -121,10 +185,31 @@ def test_perf_smoke(request):
         f"({report['speedup_over_baseline'][name]:.2f}x over seed baseline)"
         for name in report["current_steps_per_sec"]
     ]
+    dtype_mode = report["dtype_mode"]
+    lines.append(
+        "dtype mode (wide MLP): "
+        + ", ".join(
+            f"{d}: {dtype_mode['steps_per_sec'][d]:.0f} steps/s"
+            for d in ("float64", "float32")
+        )
+        + f" ({dtype_mode['float32_speedup_over_float64']:.2f}x)"
+    )
+    fused_adam = report["fused_adam"]
+    lines.append(
+        "fused Adam: "
+        + ", ".join(
+            f"{d}: {fused_adam['steps_per_sec'][d]:.0f} steps/s"
+            for d in ("float64", "float32")
+        )
+        + f" ({fused_adam['float32_speedup_over_float64']:.2f}x)"
+    )
     print("\n" + "\n".join(lines) + f"\n[saved to {RESULT_PATH}]")
     # The engine milestone's acceptance gate: >= 3x over the seed hot path.
     assert report["speedup_over_baseline"]["selsync"] >= 3.0
     assert report["speedup_over_baseline"]["bsp"] >= 3.0
+    # The dtype milestone's acceptance gate: float32 >= 1.5x float64 on the
+    # compute-dominated N=8 MLP loop.
+    assert dtype_mode["float32_speedup_over_float64"] >= 1.5
 
 
 if __name__ == "__main__":  # standalone: python benchmarks/perf_smoke.py

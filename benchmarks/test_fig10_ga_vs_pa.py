@@ -30,7 +30,11 @@ def _run(workload: str, aggregation: str, iterations: int, seed: int = 0):
 
 def _experiment():
     iterations = 300 if full_scale() else 120
-    workloads = ["resnet101", "vgg11", "alexnet", "transformer"] if full_scale() else ["resnet101", "transformer"]
+    workloads = (
+        ["resnet101", "vgg11", "alexnet", "transformer"]
+        if full_scale()
+        else ["resnet101", "transformer"]
+    )
     results = {}
     for workload in workloads:
         results[workload] = {

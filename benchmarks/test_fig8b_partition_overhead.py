@@ -33,8 +33,12 @@ def _experiment():
         if not full_scale():
             size = min(size, 400_000)
         out[name] = {
-            "defdp": measure_partition_overhead(DefaultPartitioner(seed=0), size, NUM_WORKERS, repeats),
-            "seldp": measure_partition_overhead(SelSyncPartitioner(seed=0), size, NUM_WORKERS, repeats),
+            "defdp": measure_partition_overhead(
+                DefaultPartitioner(seed=0), size, NUM_WORKERS, repeats
+            ),
+            "seldp": measure_partition_overhead(
+                SelSyncPartitioner(seed=0), size, NUM_WORKERS, repeats
+            ),
             "size": size,
         }
     return out

@@ -1,4 +1,16 @@
-"""Root pytest configuration shared by the test and benchmark suites."""
+"""Root pytest configuration shared by the test and benchmark suites.
+
+This is the single registration point for the suite's custom markers and
+command-line flags, so ``pytest --strict-markers`` (enforced in CI) passes
+from any invocation directory:
+
+* ``perf`` marker / ``--run-perf`` — engine perf-tracking benchmarks
+  (``benchmarks/perf_smoke.py``), skipped unless explicitly requested.
+  ``--run-perf`` also (re)writes ``BENCH_engine.json`` at the repo root.
+* ``--write-results`` — opt-in persistence of the figure benchmarks'
+  ``benchmarks/results/*.txt`` reports.  Plain test runs never touch the
+  working tree; CI and result-regeneration runs pass the flag.
+"""
 
 from __future__ import annotations
 
@@ -10,9 +22,23 @@ def pytest_addoption(parser):
         default=False,
         help="run the engine perf smoke benchmark (writes BENCH_engine.json)",
     )
+    parser.addoption(
+        "--write-results",
+        action="store_true",
+        default=False,
+        help="persist figure-benchmark reports to benchmarks/results/*.txt",
+    )
 
 
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "perf: engine perf-tracking benchmarks, gated behind --run-perf"
     )
+    # Propagate the opt-in to the benchmark helpers (the figure benchmarks
+    # call save_report directly, not through a fixture).
+    try:
+        from benchmarks import _helpers
+    except ImportError:  # benchmarks/ absent in stripped-down checkouts
+        pass
+    else:
+        _helpers.WRITE_RESULTS = config.getoption("--write-results")

@@ -14,9 +14,8 @@
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -27,7 +26,7 @@ from repro.cluster.worker import Worker
 from repro.comm.backend import InProcessBackend
 from repro.comm.cost_model import CommunicationCostModel
 from repro.comm.parameter_server import ParameterServer
-from repro.engine import BatchedReplicaExecutor, FusedSGDUpdate, WorkerMatrix
+from repro.engine import BatchedReplicaExecutor, WorkerMatrix, build_fused_update, resolve_dtype
 from repro.data.loader import DataLoader
 from repro.data.partition import DefaultPartitioner, Partitioner
 from repro.metrics.evaluation import EvalResult, evaluate_model
@@ -43,6 +42,10 @@ class ClusterConfig:
     ``workload`` selects the cost-model spec (defaults to the ResNet101 spec)
     so that simulated times reflect paper-scale model sizes even though the
     replicas themselves are small analogs.
+
+    ``dtype`` selects the engine compute dtype: ``"float64"`` (default, the
+    seed's bit-exact regime) or ``"float32"`` (the paper clusters' numerical
+    regime; roughly half the memory traffic per step).
     """
 
     num_workers: int = 4
@@ -51,6 +54,7 @@ class ClusterConfig:
     task: str = "classification"
     workload: str = "resnet101"
     topology: str = "ps"
+    dtype: str = "float64"
     eval_batch_size: int = 512
     eval_max_batches: Optional[int] = 8
     top_k: Optional[int] = None
@@ -67,6 +71,8 @@ class ClusterConfig:
             raise ValueError(
                 f"unknown workload {self.workload!r}; available: {sorted(PAPER_WORKLOADS)}"
             )
+        # Raises on unsupported dtypes (anything outside float32/float64).
+        resolve_dtype(self.dtype)
 
 
 class SimulatedCluster:
@@ -90,10 +96,13 @@ class SimulatedCluster:
         batch_size = worker_batch_size or config.batch_size
 
         rngs = spawn_rngs(config.seed, n + 1)
+        # Engine compute dtype: every buffer built below (worker matrix rows,
+        # optimizer state, the parameter-server state) uses this dtype.
+        self.dtype = resolve_dtype(config.dtype)
         # Build worker 0's model first and copy its weights to every other
         # replica, mirroring the initial pullFromPS of Alg. 1 (line 3).
         reference_model = model_factory(rngs[0])
-        reference_model.flatten_parameters()
+        reference_model.flatten_parameters(dtype=self.dtype)
         initial_state = reference_model.state_dict()
 
         partition = self.partitioner.partition(len(train_dataset), n)
@@ -121,7 +130,7 @@ class SimulatedCluster:
                 Worker(worker_id, model, optimizer, loader, task=config.task)
             )
 
-        self.ps = ParameterServer(initial_state, num_workers=n)
+        self.ps = ParameterServer(initial_state, num_workers=n, dtype=self.dtype)
         # Fused all-replica forward/backward when the model family supports
         # it (None otherwise; compute_gradients_all falls back to the loop).
         self.replica_exec = (
@@ -130,9 +139,9 @@ class SimulatedCluster:
             else None
         )
         # Fused all-worker optimizer stepping when every worker runs the
-        # same SGD configuration (None otherwise; apply_local_updates then
-        # loops over the per-worker optimizers).
-        self.fused_update = FusedSGDUpdate.build(self.workers, self.matrix)
+        # same SGD or Adam configuration (None otherwise; apply_local_updates
+        # then loops over the per-worker optimizers).
+        self.fused_update = build_fused_update(self.workers, self.matrix)
         self.backend = InProcessBackend(world_size=n)
         self.clock = SimulatedClock(num_workers=n)
         self.comm_model = CommunicationCostModel(topology=config.topology)

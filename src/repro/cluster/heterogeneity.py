@@ -7,7 +7,7 @@ the simulator can reproduce that sensitivity in the straggler ablation bench.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -135,7 +135,8 @@ class Worker:
 
     def state_delta_vector(self, reference: np.ndarray) -> np.ndarray:
         """Flat difference between the local replica and a reference vector."""
-        return self.model.param_vector - np.asarray(reference, dtype=np.float64).ravel()
+        params = self.model.param_vector
+        return params - np.asarray(reference, dtype=params.dtype).ravel()
 
     @property
     def epoch_progress(self) -> float:

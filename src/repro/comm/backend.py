@@ -15,7 +15,16 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.utils.flatten import WIRE_DTYPE_BYTES, flatten_arrays, tree_zip_map, unflatten_vector
+from repro.engine.dtypes import WIRE_DTYPE_BYTES
+from repro.utils.flatten import flatten_arrays, unflatten_vector
+
+
+def _as_float_array(value: np.ndarray) -> np.ndarray:
+    """Keep float arrays in their compute dtype; promote anything else."""
+    value = np.asarray(value)
+    if not np.issubdtype(value.dtype, np.floating):
+        return value.astype(np.float64)
+    return value
 
 
 @dataclass
@@ -55,7 +64,7 @@ class InProcessBackend:
             raise ValueError(
                 f"expected {self.world_size} per-rank arrays, got {len(per_rank)}"
             )
-        arrays = [np.asarray(a, dtype=np.float64) for a in per_rank]
+        arrays = [_as_float_array(a) for a in per_rank]
         shapes = {a.shape for a in arrays}
         if len(shapes) > 1:
             raise ValueError(f"rank arrays have mismatched shapes: {shapes}")
@@ -103,7 +112,7 @@ class InProcessBackend:
         """Send ``value`` from ``root`` to every rank."""
         if not 0 <= root < self.world_size:
             raise ValueError(f"root {root} out of range for world size {self.world_size}")
-        value = np.asarray(value, dtype=np.float64)
+        value = _as_float_array(value)
         self.record.record(
             "broadcast", float(value.size * self.DTYPE_BYTES * (self.world_size - 1))
         )
@@ -138,7 +147,7 @@ class InProcessBackend:
         per-rank copies are made.  Transfer accounting matches
         :meth:`allreduce`.
         """
-        matrix = np.asarray(matrix, dtype=np.float64)
+        matrix = _as_float_array(matrix)
         if matrix.ndim != 2 or matrix.shape[0] != self.world_size:
             raise ValueError(
                 f"expected a ({self.world_size}, D) matrix, got shape {matrix.shape}"

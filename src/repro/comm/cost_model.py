@@ -24,18 +24,23 @@ import math
 from dataclasses import dataclass
 
 from repro.comm.network import NetworkModel
-from repro.utils.flatten import WIRE_DTYPE_BYTES
+from repro.engine.dtypes import WIRE_DTYPE_BYTES, wire_dtype_bytes
 
 
-def wire_bytes(num_elements: int, dtype_bytes: int = WIRE_DTYPE_BYTES) -> float:
+def wire_bytes(
+    num_elements: int, dtype_bytes: int = WIRE_DTYPE_BYTES, dtype=None
+) -> float:
     """On-wire size of ``num_elements`` tensor entries.
 
     All ``model_bytes`` arguments below are expected in wire bytes computed
-    with the same :data:`~repro.utils.flatten.WIRE_DTYPE_BYTES` constant the
-    flatten utilities, the backend and the compression layer charge with, so
-    a future float16/quantized transport mode changes the clock consistently
-    everywhere.
+    through :mod:`repro.engine.dtypes` — the single owner of the dtype ->
+    wire-bytes mapping shared with the flatten utilities, the backend and
+    the compression layer — so a future float16/quantized transport mode
+    changes the clock consistently everywhere.  Pass ``dtype`` to charge a
+    specific compute dtype's wire width instead of ``dtype_bytes``.
     """
+    if dtype is not None:
+        dtype_bytes = wire_dtype_bytes(dtype)
     return float(num_elements) * float(dtype_bytes)
 
 

@@ -25,17 +25,27 @@ from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
+from repro.engine.dtypes import DTypeLike, wire_dtype_bytes
 from repro.engine.flat_buffer import FlatBuffer, ParamSpec
-from repro.utils.flatten import WIRE_DTYPE_BYTES
 
 
 class ParameterServer:
-    """Central state holder plus aggregation and staleness bookkeeping."""
+    """Central state holder plus aggregation and staleness bookkeeping.
 
-    def __init__(self, initial_state: Mapping[str, np.ndarray], num_workers: int) -> None:
+    ``dtype`` selects the compute dtype of the global flat state (the
+    engine's float64 default when omitted); wire-byte accounting follows the
+    dtype through :func:`repro.engine.dtypes.wire_dtype_bytes`.
+    """
+
+    def __init__(
+        self,
+        initial_state: Mapping[str, np.ndarray],
+        num_workers: int,
+        dtype: DTypeLike = None,
+    ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
-        self._buffer = FlatBuffer.from_tree(initial_state)
+        self._buffer = FlatBuffer.from_tree(initial_state, dtype=dtype)
         self.spec: ParamSpec = self._buffer.spec
         # Named zero-copy views into the flat buffer (the legacy dict API).
         self._state: Dict[str, np.ndarray] = self._buffer.as_dict(copy=False)
@@ -69,8 +79,8 @@ class ParameterServer:
         return self._buffer.vector
 
     def state_bytes(self) -> int:
-        """Model size in transported bytes (float32 wire format)."""
-        return self._buffer.size * WIRE_DTYPE_BYTES
+        """Model size in transported bytes (wire width of the compute dtype)."""
+        return self._buffer.size * wire_dtype_bytes(self._buffer.dtype)
 
     def aggregate_parameters(
         self, worker_states: Mapping[int, Mapping[str, np.ndarray]]
@@ -176,7 +186,7 @@ class ParameterServer:
         if not 0 <= worker_id < self.num_workers:
             raise ValueError(f"worker_id {worker_id} out of range")
         if isinstance(delta, np.ndarray):
-            flat = delta.ravel()
+            flat = np.asarray(delta, dtype=self._buffer.dtype).ravel()
             if flat.size != self._buffer.size:
                 raise ValueError(
                     f"delta has length {flat.size}, expected {self._buffer.size}"
@@ -202,7 +212,7 @@ class ParameterServer:
     # helpers
     # ------------------------------------------------------------------ #
     def _check_matrix(self, matrix: np.ndarray) -> np.ndarray:
-        matrix = np.asarray(matrix, dtype=np.float64)
+        matrix = np.asarray(matrix, dtype=self._buffer.dtype)
         if matrix.ndim != 2 or matrix.shape[0] < 1:
             raise ValueError(
                 f"expected a non-empty (N, D) matrix, got shape {matrix.shape}"

@@ -8,25 +8,31 @@ original length so the aggregation path is unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict
 
 import numpy as np
 
-from repro.utils.flatten import WIRE_DTYPE_BYTES
+from repro.engine.dtypes import WIRE_DTYPE_BYTES, wire_dtype_bytes
 
 
 @dataclass
 class CompressedPayload:
-    """Result of compressing one gradient vector."""
+    """Result of compressing one gradient vector.
+
+    ``dtype`` records the compute dtype of the original vector so
+    decompression reconstructs in the same dtype and byte accounting follows
+    the engine's dtype -> wire-bytes mapping.
+    """
 
     data: Dict[str, np.ndarray]
     original_size: int
     compressed_bytes: float
+    dtype: np.dtype = field(default=np.dtype(np.float64))
 
     @property
     def original_bytes(self) -> float:
-        return float(self.original_size * WIRE_DTYPE_BYTES)  # float32 wire format
+        return float(self.original_size * wire_dtype_bytes(self.dtype))
 
     @property
     def compression_ratio(self) -> float:
@@ -42,11 +48,12 @@ class Compressor:
     name = "identity"
 
     def compress(self, vector: np.ndarray) -> CompressedPayload:
-        vector = np.asarray(vector, dtype=np.float64).ravel()
+        vector = self._validate(vector)
         return CompressedPayload(
             data={"dense": vector.copy()},
             original_size=vector.size,
             compressed_bytes=float(vector.size * WIRE_DTYPE_BYTES),
+            dtype=vector.dtype,
         )
 
     def decompress(self, payload: CompressedPayload) -> np.ndarray:
@@ -58,7 +65,13 @@ class Compressor:
 
     @staticmethod
     def _validate(vector: np.ndarray) -> np.ndarray:
-        vector = np.asarray(vector, dtype=np.float64).ravel()
+        # Preserve the engine compute dtypes (float32 gradients stay
+        # float32); anything else — ints, float16, longdouble — is promoted
+        # to the float64 default so payload byte accounting, which goes
+        # through the engine's dtype -> wire-bytes mapping, stays defined.
+        vector = np.asarray(vector).ravel()
+        if vector.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            vector = vector.astype(np.float64)
         if vector.size == 0:
             raise ValueError("cannot compress an empty gradient vector")
         if not np.all(np.isfinite(vector)):

@@ -12,7 +12,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.utils.flatten import WIRE_DTYPE_BYTES
+from repro.engine.dtypes import WIRE_DTYPE_BYTES
 from repro.compression.base import CompressedPayload, Compressor
 from repro.utils.rng import new_rng
 
@@ -46,13 +46,13 @@ class PowerSGDCompressor(Compressor):
         vector = self._validate(vector)
         size = vector.size
         rows, cols = _matrix_shape(size)
-        padded = np.zeros(rows * cols, dtype=np.float64)
+        padded = np.zeros(rows * cols, dtype=vector.dtype)
         padded[:size] = vector
         matrix = padded.reshape(rows, cols)
         rank = min(self.rank, rows, cols)
 
         if self._warm_q is None or self._warm_q.shape != (cols, rank):
-            q = self._rng.standard_normal((cols, rank))
+            q = self._rng.standard_normal((cols, rank)).astype(vector.dtype)
         else:
             q = self._warm_q
         q = _orthonormalize(q)
@@ -71,6 +71,7 @@ class PowerSGDCompressor(Compressor):
             },
             original_size=size,
             compressed_bytes=compressed_bytes,
+            dtype=vector.dtype,
         )
 
     def decompress(self, payload: CompressedPayload) -> np.ndarray:

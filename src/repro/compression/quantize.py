@@ -22,7 +22,8 @@ class FP16Compressor(Compressor):
             data={"half": half},
             original_size=vector.size,
             compressed_bytes=float(vector.size * 2),
+            dtype=vector.dtype,
         )
 
     def decompress(self, payload: CompressedPayload) -> np.ndarray:
-        return payload.data["half"].astype(np.float64)
+        return payload.data["half"].astype(payload.dtype)

@@ -6,7 +6,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.utils.flatten import WIRE_DTYPE_BYTES
+from repro.engine.dtypes import WIRE_DTYPE_BYTES
 from repro.compression.base import CompressedPayload, Compressor
 from repro.utils.rng import new_rng
 
@@ -33,13 +33,18 @@ class RandomKCompressor(Compressor):
             # expectation, the standard rand-k estimator.
             values = values * (vector.size / k)
         return CompressedPayload(
-            data={"indices": idx.astype(np.int64), "values": values, "size": np.array([vector.size])},
+            data={
+                "indices": idx.astype(np.int64),
+                "values": values,
+                "size": np.array([vector.size]),
+            },
             original_size=vector.size,
             compressed_bytes=float(k * (WIRE_DTYPE_BYTES + WIRE_DTYPE_BYTES)),
+            dtype=vector.dtype,
         )
 
     def decompress(self, payload: CompressedPayload) -> np.ndarray:
         size = int(payload.data["size"][0])
-        dense = np.zeros(size, dtype=np.float64)
+        dense = np.zeros(size, dtype=payload.dtype)
         dense[payload.data["indices"]] = payload.data["values"]
         return dense

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.flatten import WIRE_DTYPE_BYTES
+from repro.engine.dtypes import WIRE_DTYPE_BYTES
 from repro.compression.base import CompressedPayload, Compressor
 
 
@@ -28,8 +28,9 @@ class SignSGDCompressor(Compressor):
             data={"signs": signs, "scale": np.array([scale])},
             original_size=vector.size,
             compressed_bytes=float(compressed_bytes),
+            dtype=vector.dtype,
         )
 
     def decompress(self, payload: CompressedPayload) -> np.ndarray:
-        scale = float(payload.data["scale"][0])
-        return payload.data["signs"].astype(np.float64) * scale
+        scale = payload.dtype.type(payload.data["scale"][0])
+        return payload.data["signs"].astype(payload.dtype) * scale

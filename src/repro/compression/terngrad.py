@@ -6,7 +6,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.utils.flatten import WIRE_DTYPE_BYTES
+from repro.engine.dtypes import WIRE_DTYPE_BYTES
 from repro.compression.base import CompressedPayload, Compressor
 from repro.utils.rng import new_rng
 
@@ -37,8 +37,9 @@ class TernGradCompressor(Compressor):
             data={"ternary": ternary, "scale": np.array([scale])},
             original_size=vector.size,
             compressed_bytes=float(compressed_bytes),
+            dtype=vector.dtype,
         )
 
     def decompress(self, payload: CompressedPayload) -> np.ndarray:
-        scale = float(payload.data["scale"][0])
-        return payload.data["ternary"].astype(np.float64) * scale
+        scale = payload.dtype.type(payload.data["scale"][0])
+        return payload.data["ternary"].astype(payload.dtype) * scale

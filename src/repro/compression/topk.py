@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.flatten import WIRE_DTYPE_BYTES
+from repro.engine.dtypes import WIRE_DTYPE_BYTES
 from repro.compression.base import CompressedPayload, Compressor
 
 
@@ -30,13 +30,18 @@ class TopKCompressor(Compressor):
         # One wire-width float value + one equally wide int32 index per entry.
         compressed_bytes = float(k * (WIRE_DTYPE_BYTES + WIRE_DTYPE_BYTES))
         return CompressedPayload(
-            data={"indices": idx.astype(np.int64), "values": values, "size": np.array([vector.size])},
+            data={
+                "indices": idx.astype(np.int64),
+                "values": values,
+                "size": np.array([vector.size]),
+            },
             original_size=vector.size,
             compressed_bytes=compressed_bytes,
+            dtype=vector.dtype,
         )
 
     def decompress(self, payload: CompressedPayload) -> np.ndarray:
         size = int(payload.data["size"][0])
-        dense = np.zeros(size, dtype=np.float64)
+        dense = np.zeros(size, dtype=payload.dtype)
         dense[payload.data["indices"]] = payload.data["values"]
         return dense

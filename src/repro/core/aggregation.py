@@ -10,7 +10,7 @@ the global state.  Fig. 10 and Fig. 11 quantify the consequences.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, Mapping, Sequence
 
 import numpy as np
 

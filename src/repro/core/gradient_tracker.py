@@ -15,7 +15,7 @@ measurement.
 from __future__ import annotations
 
 import time
-from typing import List, Mapping, Optional
+from typing import List, Optional
 
 import numpy as np
 

@@ -24,7 +24,9 @@ from repro.utils.rng import new_rng
 class ClassificationDataset:
     """In-memory classification dataset: ``inputs`` (n, d) and ``targets`` (n,)."""
 
-    def __init__(self, inputs: np.ndarray, targets: np.ndarray, num_classes: int, name: str = "") -> None:
+    def __init__(
+        self, inputs: np.ndarray, targets: np.ndarray, num_classes: int, name: str = ""
+    ) -> None:
         inputs = np.asarray(inputs, dtype=np.float64)
         targets = np.asarray(targets)
         if inputs.ndim != 2:
@@ -68,7 +70,9 @@ class ClassificationDataset:
 class SequenceDataset:
     """Next-token-prediction dataset of fixed-length windows over a token stream."""
 
-    def __init__(self, token_stream: np.ndarray, bptt: int, vocab_size: int, name: str = "") -> None:
+    def __init__(
+        self, token_stream: np.ndarray, bptt: int, vocab_size: int, name: str = ""
+    ) -> None:
         token_stream = np.asarray(token_stream)
         if not np.issubdtype(token_stream.dtype, np.integer):
             raise TypeError("token stream must hold integer token ids")

@@ -20,7 +20,9 @@ from repro.utils.rng import new_rng
 class BatchIterator:
     """Finite single-pass iterator over a dataset in a fixed index order."""
 
-    def __init__(self, dataset, indices: np.ndarray, batch_size: int, drop_last: bool = True) -> None:
+    def __init__(
+        self, dataset, indices: np.ndarray, batch_size: int, drop_last: bool = True
+    ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.dataset = dataset

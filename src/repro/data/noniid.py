@@ -113,7 +113,11 @@ def dirichlet_partition(
             cursor += count
     out = []
     for worker in range(num_workers):
-        idx = np.concatenate(per_worker[worker]) if per_worker[worker] else np.zeros(0, dtype=np.int64)
+        idx = (
+            np.concatenate(per_worker[worker])
+            if per_worker[worker]
+            else np.zeros(0, dtype=np.int64)
+        )
         rng.shuffle(idx)
         out.append(idx.astype(np.int64))
     return out

@@ -1,0 +1,94 @@
+"""Compute-dtype registry for the flat-buffer engine.
+
+The engine (and everything built on top of it: the worker matrix, the fused
+optimizers, the parameter server) is parameterized by one *compute dtype*.
+``float64`` is the default — it is what the seed simulator used and what the
+bit-identity regression tests pin — while ``float32`` is the opt-in mode that
+matches the numerical regime of the clusters the paper actually measures
+(half the memory traffic, roughly 2x the effective SIMD width).
+
+This module is the **single owner** of the dtype → wire-bytes mapping.  The
+communication cost models, the in-process backend, the parameter server and
+the compression layer all charge bytes through :func:`wire_dtype_bytes`, so a
+new transport mode (float16, quantized) only needs a new entry here for the
+simulated clock to stay consistent with the buffers everywhere.
+
+Transport convention: distributed frameworks ship tensors as float32 on the
+wire regardless of the training dtype, so both supported compute dtypes map
+to 4 wire bytes per element; narrower future compute dtypes would ship at
+their native width (the wire is never wider than the compute dtype).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+DTypeLike = Union[str, type, np.dtype, None]
+
+#: The engine's default compute dtype (the seed's numerical regime).
+DEFAULT_DTYPE = np.dtype(np.float64)
+
+#: Transport element width of the canonical float32 wire format.
+WIRE_DTYPE_BYTES = 4
+
+#: Compute dtype -> bytes per element on the simulated wire.  Tensors are
+#: shipped as float32 regardless of compute dtype (never wider than either).
+_WIRE_BYTES = {
+    np.dtype(np.float32): 4,
+    np.dtype(np.float64): 4,
+}
+
+#: Compute dtypes the engine accepts.
+SUPPORTED_DTYPES = tuple(sorted(_WIRE_BYTES, key=lambda d: d.itemsize))
+
+
+def resolve_dtype(dtype: DTypeLike = None) -> np.dtype:
+    """Normalize a dtype-like value (``None`` -> :data:`DEFAULT_DTYPE`).
+
+    Accepts ``None``, strings (``"float32"``), NumPy scalar types and
+    ``np.dtype`` instances; anything outside :data:`SUPPORTED_DTYPES` raises.
+    """
+    if dtype is None:
+        return DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in _WIRE_BYTES:
+        supported = ", ".join(d.name for d in SUPPORTED_DTYPES)
+        raise TypeError(
+            f"unsupported engine compute dtype {resolved.name!r}; "
+            f"supported: {supported}"
+        )
+    return resolved
+
+
+def wire_dtype_bytes(dtype: DTypeLike = None) -> int:
+    """Bytes one element of ``dtype`` occupies on the simulated wire."""
+    return _WIRE_BYTES[resolve_dtype(dtype)]
+
+
+def dtype_name(dtype: DTypeLike = None) -> str:
+    """Canonical short name (``"float32"`` / ``"float64"``) for reports."""
+    return resolve_dtype(dtype).name
+
+
+def as_compute_array(value, dtype: DTypeLike = None) -> np.ndarray:
+    """Coerce ``value`` to an array of the given compute dtype (no-copy when possible)."""
+    return np.asarray(value, dtype=resolve_dtype(dtype))
+
+
+def machine_epsilon(dtype: DTypeLike = None) -> float:
+    """``np.finfo`` epsilon of the compute dtype (used by tolerance docs/tests)."""
+    return float(np.finfo(resolve_dtype(dtype)).eps)
+
+
+__all__ = [
+    "DEFAULT_DTYPE",
+    "SUPPORTED_DTYPES",
+    "WIRE_DTYPE_BYTES",
+    "as_compute_array",
+    "dtype_name",
+    "machine_epsilon",
+    "resolve_dtype",
+    "wire_dtype_bytes",
+]

@@ -2,15 +2,17 @@
 
 The execution engine stores every quantity that used to live in a dict of
 named arrays (parameters, gradients, optimizer moments, the parameter-server
-state) as **one preallocated contiguous ``float64`` vector**.  Named access
-is preserved through :class:`FlatBuffer` views: each named tensor is a
-``reshape`` of a slice of the underlying vector, so mutating a view mutates
-the vector and vice versa — no copies on the hot path.
+state) as **one preallocated contiguous vector** of the engine's compute
+dtype (:mod:`repro.engine.dtypes`; ``float64`` by default, ``float32`` in
+the reduced-precision mode).  Named access is preserved through
+:class:`FlatBuffer` views: each named tensor is a ``reshape`` of a slice of
+the underlying vector, so mutating a view mutates the vector and vice versa
+— no copies on the hot path.
 
 :class:`ParamSpec` is the layout descriptor (name, shape, offset, size per
-entry).  It is deliberately independent of :mod:`repro.nn` so the engine can
-describe any ordered tree of arrays; ``from_module`` only relies on the
-``named_parameters()`` duck type.
+entry) plus the storage dtype.  It is deliberately independent of
+:mod:`repro.nn` so the engine can describe any ordered tree of arrays;
+``from_module`` only relies on the ``named_parameters()`` duck type.
 """
 
 from __future__ import annotations
@@ -20,13 +22,19 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.dtypes import DTypeLike, resolve_dtype
+
 
 class ParamSpec:
-    """Immutable layout of named tensors inside one flat ``float64`` vector."""
+    """Immutable layout of named tensors inside one flat vector."""
 
-    __slots__ = ("entries", "total_size", "_index")
+    __slots__ = ("entries", "total_size", "dtype", "_index")
 
-    def __init__(self, shapes: Sequence[Tuple[str, Tuple[int, ...]]]) -> None:
+    def __init__(
+        self,
+        shapes: Sequence[Tuple[str, Tuple[int, ...]]],
+        dtype: DTypeLike = None,
+    ) -> None:
         entries: List[Tuple[str, Tuple[int, ...], int, int]] = []
         offset = 0
         seen = set()
@@ -40,19 +48,32 @@ class ParamSpec:
             offset += size
         self.entries = tuple(entries)
         self.total_size = offset
+        self.dtype = resolve_dtype(dtype)
         self._index = {name: i for i, (name, _, _, _) in enumerate(entries)}
 
     # ------------------------------------------------------------------ #
     # construction helpers
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_module(cls, module) -> "ParamSpec":
+    def from_module(cls, module, dtype: DTypeLike = None) -> "ParamSpec":
         """Layout matching ``module.named_parameters()`` order."""
-        return cls([(name, p.data.shape) for name, p in module.named_parameters().items()])
+        return cls(
+            [(name, p.data.shape) for name, p in module.named_parameters().items()],
+            dtype=dtype,
+        )
 
     @classmethod
-    def from_tree(cls, tree: Mapping[str, np.ndarray]) -> "ParamSpec":
-        return cls([(name, np.asarray(arr).shape) for name, arr in tree.items()])
+    def from_tree(cls, tree: Mapping[str, np.ndarray], dtype: DTypeLike = None) -> "ParamSpec":
+        return cls(
+            [(name, np.asarray(arr).shape) for name, arr in tree.items()], dtype=dtype
+        )
+
+    def with_dtype(self, dtype: DTypeLike) -> "ParamSpec":
+        """Same layout on a different storage dtype (used by dtype conversion)."""
+        resolved = resolve_dtype(dtype)
+        if resolved == self.dtype:
+            return self
+        return ParamSpec([(name, shape) for name, shape, _, _ in self.entries], dtype=resolved)
 
     def to_flatten_spec(self) -> List[Tuple[str, Tuple[int, ...]]]:
         """The ``[(name, shape), ...]`` format used by :mod:`repro.utils.flatten`."""
@@ -81,16 +102,23 @@ class ParamSpec:
         return iter(self.entries)
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, ParamSpec) and self.entries == other.entries
+        return (
+            isinstance(other, ParamSpec)
+            and self.entries == other.entries
+            and self.dtype == other.dtype
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ParamSpec({len(self.entries)} tensors, D={self.total_size})"
+        return (
+            f"ParamSpec({len(self.entries)} tensors, D={self.total_size}, "
+            f"dtype={self.dtype.name})"
+        )
 
     # ------------------------------------------------------------------ #
     # vector <-> tree conversion
     # ------------------------------------------------------------------ #
     def allocate(self) -> np.ndarray:
-        return np.zeros(self.total_size, dtype=np.float64)
+        return np.zeros(self.total_size, dtype=self.dtype)
 
     def views(self, vector: np.ndarray) -> "OrderedDict[str, np.ndarray]":
         """Zero-copy named views into ``vector`` (must match this layout)."""
@@ -111,7 +139,7 @@ class ParamSpec:
         for name, shape, offset, size in self.entries:
             if name not in tree:
                 raise KeyError(f"tree is missing tensor {name!r}")
-            arr = np.asarray(tree[name], dtype=np.float64)
+            arr = np.asarray(tree[name], dtype=self.dtype)
             if arr.shape != shape:
                 raise ValueError(
                     f"tensor {name!r} has shape {arr.shape}, layout expects {shape}"
@@ -122,7 +150,7 @@ class ParamSpec:
     def unflatten(self, vector: np.ndarray, copy: bool = True) -> Dict[str, np.ndarray]:
         """Rebuild the named mapping; ``copy=False`` returns live views."""
         if copy:
-            vector = np.array(vector, dtype=np.float64).ravel()
+            vector = np.array(vector, dtype=self.dtype).ravel()
             if vector.size != self.total_size:
                 raise ValueError(
                     f"vector length {vector.size} does not match layout D={self.total_size}"
@@ -137,19 +165,22 @@ class ParamSpec:
                 f"flat vector must be 1-D of length {self.total_size}, "
                 f"got shape {vector.shape}"
             )
-        if vector.dtype != np.float64:
-            raise TypeError(f"flat vector must be float64, got {vector.dtype}")
+        if vector.dtype != self.dtype:
+            raise TypeError(
+                f"flat vector must be {self.dtype.name}, got {vector.dtype}"
+            )
         if not vector.flags["C_CONTIGUOUS"]:
             raise ValueError("flat vector must be contiguous to support zero-copy views")
         return vector
 
 
 class FlatBuffer:
-    """One contiguous ``float64`` vector plus its zero-copy named views.
+    """One contiguous vector plus its zero-copy named views.
 
-    The vector may be freshly allocated or *donated* (e.g. a row of the
-    cluster-level :class:`~repro.engine.worker_matrix.WorkerMatrix`), which is
-    how per-worker buffers become rows of the ``(N, D)`` matrix without any
+    The vector dtype is the spec's compute dtype.  The vector may be freshly
+    allocated or *donated* (e.g. a row of the cluster-level
+    :class:`~repro.engine.worker_matrix.WorkerMatrix`), which is how
+    per-worker buffers become rows of the ``(N, D)`` matrix without any
     copies at step time.
     """
 
@@ -163,8 +194,8 @@ class FlatBuffer:
         self.views: "OrderedDict[str, np.ndarray]" = spec.views(self.vector)
 
     @classmethod
-    def from_tree(cls, tree: Mapping[str, np.ndarray]) -> "FlatBuffer":
-        spec = ParamSpec.from_tree(tree)
+    def from_tree(cls, tree: Mapping[str, np.ndarray], dtype: DTypeLike = None) -> "FlatBuffer":
+        spec = ParamSpec.from_tree(tree, dtype=dtype)
         buf = cls(spec)
         spec.flatten_tree(tree, out=buf.vector)
         return buf
@@ -180,6 +211,10 @@ class FlatBuffer:
     def size(self) -> int:
         return self.spec.total_size
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.spec.dtype
+
     def as_dict(self, copy: bool = False) -> Dict[str, np.ndarray]:
         """Named tensors; ``copy=True`` snapshots via one contiguous memcpy."""
         if not copy:
@@ -187,8 +222,11 @@ class FlatBuffer:
         return self.spec.unflatten(self.vector.copy(), copy=False)
 
     def load_vector(self, vector: np.ndarray) -> None:
-        """Overwrite the whole buffer from another flat vector (one memcpy)."""
-        vector = np.asarray(vector, dtype=np.float64).ravel()
+        """Overwrite the whole buffer from another flat vector (one memcpy).
+
+        Cross-dtype loads cast into the buffer's compute dtype.
+        """
+        vector = np.asarray(vector, dtype=self.spec.dtype).ravel()
         if vector.size != self.spec.total_size:
             raise ValueError(
                 f"vector length {vector.size} does not match buffer D={self.spec.total_size}"

@@ -2,15 +2,24 @@
 
 Because every replica's parameters are rows of one ``(N, D)`` matrix with an
 identical layout, the per-layer weights of *all* workers are zero-copy
-``(N, out, in)`` views into that matrix.  :class:`BatchedReplicaExecutor`
+``(N, ...)`` views into that matrix.  :class:`BatchedReplicaExecutor`
 exploits this to run the forward pass, loss and backward pass of the entire
-cluster as batched NumPy matmuls — one fused call per layer instead of one
+cluster as batched NumPy calls — one fused call per layer instead of one
 Python call per layer *per worker* — writing gradients straight into the
 gradient matrix rows.
 
-The executor supports the MLP family (chains of Linear / ReLU / Tanh on a
-classification head), which covers the simulator's hot benchmarks; clusters
-with unsupported models fall back to the per-worker loop transparently.
+Two model families are supported:
+
+* the **MLP family** (chains of Linear / ReLU / Tanh on a classification
+  head), which covers the simulator's hot benchmarks, and
+* the **conv family** (:class:`~repro.nn.models.convnet.ConvNet`: Conv2d /
+  ReLU / MaxPool2d / GlobalAvgPool2d features plus a Linear head), the
+  non-MLP workload used to measure dtype-mode speedups on spatially
+  structured inputs.
+
+All arithmetic runs in the worker matrix's compute dtype (float64 default,
+float32 in the reduced-precision mode).  Clusters with unsupported models
+fall back to the per-worker loop transparently.
 """
 
 from __future__ import annotations
@@ -59,10 +68,10 @@ class _BatchedReLU:
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        return np.where(self._mask, x, x.dtype.type(0))
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        return np.where(self._mask, grad_out, 0.0)
+        return np.where(self._mask, grad_out, grad_out.dtype.type(0))
 
 
 class _BatchedTanh:
@@ -75,6 +84,146 @@ class _BatchedTanh:
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return grad_out * (1.0 - self._out**2)
+
+
+class _BatchedConv2d:
+    """All workers' copies of one Conv2d layer batched over the replica axis.
+
+    Inputs flow as ``(N, B, C, H, W)`` blocks.  The im2col patches of all
+    replicas are extracted in one pass over the collapsed ``(N*B, ...)``
+    volume (the patch geometry is weight independent), then the per-replica
+    convolutions reduce to one batched matmul against the ``(N, out_c, ckk)``
+    weight views — exactly the _BatchedLinear trick lifted to patches.
+    """
+
+    def __init__(
+        self,
+        w_flat: np.ndarray,
+        w_flat_grad: np.ndarray,
+        bias: Optional[np.ndarray],
+        bias_grad: Optional[np.ndarray],
+        kernel_size: int,
+        stride: int,
+        padding: int,
+    ) -> None:
+        self.w_flat = w_flat            # (N, out_c, C*k*k) view into params matrix
+        self.w_flat_grad = w_flat_grad
+        self.bias = bias                # (N, out_c) view or None
+        self.bias_grad = bias_grad
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self._cols: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, ...]] = None
+        self._out_hw: Optional[Tuple[int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        from repro.nn.layers import _im2col
+
+        n, b = x.shape[:2]
+        k = self.kernel_size
+        flat = np.ascontiguousarray(x).reshape((n * b,) + x.shape[2:])
+        cols, out_h, out_w = _im2col(flat, k, k, self.stride, self.padding)
+        self._cols = cols.reshape(n, b * out_h * out_w, -1)
+        self._x_shape = x.shape
+        self._out_hw = (out_h, out_w)
+        out = np.matmul(self._cols, self.w_flat.transpose(0, 2, 1))
+        if self.bias is not None:
+            out += self.bias[:, None, :]
+        out_c = self.w_flat.shape[1]
+        return out.reshape(n, b, out_h, out_w, out_c).transpose(0, 1, 4, 2, 3)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        from repro.nn.layers import _col2im
+
+        n, b, c, h, w = self._x_shape
+        out_h, out_w = self._out_hw
+        out_c = self.w_flat.shape[1]
+        g = np.ascontiguousarray(grad_out.transpose(0, 1, 3, 4, 2)).reshape(
+            n, b * out_h * out_w, out_c
+        )
+        # Accumulate-from-zero semantics: one batched write per tensor.
+        np.matmul(g.transpose(0, 2, 1), self._cols, out=self.w_flat_grad)
+        if self.bias_grad is not None:
+            self.bias_grad[...] = g.sum(axis=1)
+        dcols = np.matmul(g, self.w_flat)
+        k = self.kernel_size
+        dx = _col2im(
+            dcols.reshape(n * b, out_h, out_w, -1),
+            (n * b, c, h, w),
+            k,
+            k,
+            self.stride,
+            self.padding,
+        )
+        return dx.reshape(n, b, c, h, w)
+
+
+class _BatchedMaxPool2d:
+    """Max pooling over (N, B, C, H, W): worker-independent, one fused pass."""
+
+    def __init__(self, kernel_size: int, stride: int) -> None:
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self._x_shape: Optional[Tuple[int, ...]] = None
+        self._idx: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, b, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = (h - k) // s + 1
+        out_w = (w - k) // s + 1
+        flat = np.ascontiguousarray(x).reshape(n * b, c, h, w)
+        shape = (n * b, c, out_h, out_w, k, k)
+        strides = (
+            flat.strides[0],
+            flat.strides[1],
+            flat.strides[2] * s,
+            flat.strides[3] * s,
+            flat.strides[2],
+            flat.strides[3],
+        )
+        windows = np.lib.stride_tricks.as_strided(flat, shape=shape, strides=strides)
+        windows = windows.reshape(n * b, c, out_h, out_w, k * k)
+        idx = windows.argmax(axis=-1)
+        out = np.take_along_axis(windows, idx[..., None], axis=-1)[..., 0]
+        self._x_shape = x.shape
+        self._idx = idx
+        return out.reshape(n, b, c, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n, b, c, h, w = self._x_shape
+        k, s = self.kernel_size, self.stride
+        idx = self._idx
+        out_h, out_w = idx.shape[2], idx.shape[3]
+        grad_flat = np.ascontiguousarray(grad_out).reshape(n * b, c, out_h, out_w)
+        grad_input = np.zeros((n * b, c, h, w), dtype=grad_flat.dtype)
+        rows = idx // k
+        cols = idx % k
+        bb, ch = np.meshgrid(np.arange(n * b), np.arange(c), indexing="ij")
+        for i in range(out_h):
+            for j in range(out_w):
+                r = i * s + rows[:, :, i, j]
+                cc = j * s + cols[:, :, i, j]
+                grad_input[bb, ch, r, cc] += grad_flat[:, :, i, j]
+        return grad_input.reshape(n, b, c, h, w)
+
+
+class _BatchedGlobalAvgPool2d:
+    """Spatial mean over (N, B, C, H, W) -> (N, B, C)."""
+
+    def __init__(self) -> None:
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(3, 4))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n, b, c, h, w = self._x_shape
+        return np.broadcast_to(
+            grad_out[:, :, :, None, None] / (h * w), self._x_shape
+        ).copy()
 
 
 _INDEX_CACHE: dict = {}
@@ -96,7 +245,8 @@ def _batched_cross_entropy(
 
     Same arithmetic as :func:`repro.nn.losses.cross_entropy_with_logits`
     (stable log-softmax, mean over the local batch), evaluated for all
-    replicas in one pass over the ``(N, B, C)`` logits block.
+    replicas in one pass over the ``(N, B, C)`` logits block and in the
+    logits' own dtype.
     """
     n_workers, batch, _ = logits.shape
     shifted = logits - logits.max(axis=2, keepdims=True)
@@ -113,9 +263,14 @@ def _batched_cross_entropy(
 class BatchedReplicaExecutor:
     """Fused forward/backward for every replica of a worker matrix at once."""
 
-    def __init__(self, layers: Sequence[object], matrix: WorkerMatrix) -> None:
+    def __init__(
+        self, layers: Sequence[object], matrix: WorkerMatrix, input_ndim: int = 3
+    ) -> None:
         self._layers = list(layers)
         self._matrix = matrix
+        # Expected stacked-input rank: 3 for (N, B, F) MLP batches, 5 for
+        # (N, B, C, H, W) conv batches.
+        self._input_ndim = int(input_ndim)
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -124,42 +279,92 @@ class BatchedReplicaExecutor:
 
         ``module`` must be the already-adopted replica of worker 0; its
         architecture (shared by all workers) defines the layer chain.
+        Exact-type checks: a subclass may override forward (skip connections,
+        extra parameters), which the batched chains below would silently
+        ignore — such models must use the fallback loop.
         """
         # Imported here: the engine stays importable without the nn layer
         # stack, and nn itself only lazily imports the engine.
-        from repro.nn.layers import Linear, ReLU, Tanh
+        from repro.nn.models.convnet import ConvNet
         from repro.nn.models.mlp import MLP
 
-        # Exact-type check: an MLP subclass may override forward (skip
-        # connections, extra parameters), which the batched chain below
-        # would silently ignore — such models must use the fallback loop.
-        if type(module) is not MLP:
-            return None
-        spec = matrix.spec
+        if type(module) is MLP:
+            return cls._build_mlp(matrix, module)
+        if type(module) is ConvNet:
+            return cls._build_convnet(matrix, module)
+        return None
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _batched_linear(cls, matrix: WorkerMatrix, spec, prefix: str, layer):
+        """(layer, covered_entries) for one Linear, or None if layout-mismatched."""
         n = matrix.num_workers
+        w_name = prefix + "weight"
+        if w_name not in spec:
+            return None
+        w_shape = spec.shape_of(w_name)
+        w_sl = spec.slice_of(w_name)
+        weight = matrix.params[:, w_sl].reshape((n,) + w_shape)
+        weight_grad = matrix.grads[:, w_sl].reshape((n,) + w_shape)
+        covered = w_sl.stop - w_sl.start
+        bias = bias_grad = None
+        if layer.use_bias:
+            b_name = prefix + "bias"
+            if b_name not in spec:
+                return None
+            b_sl = spec.slice_of(b_name)
+            bias = matrix.params[:, b_sl]
+            bias_grad = matrix.grads[:, b_sl]
+            covered += b_sl.stop - b_sl.start
+        return _BatchedLinear(weight, weight_grad, bias, bias_grad), covered
+
+    @classmethod
+    def _batched_conv(cls, matrix: WorkerMatrix, spec, prefix: str, layer):
+        """(layer, covered_entries) for one Conv2d, or None if layout-mismatched."""
+        n = matrix.num_workers
+        w_name = prefix + "weight"
+        if w_name not in spec:
+            return None
+        out_c, in_c, kh, kw = spec.shape_of(w_name)
+        w_sl = spec.slice_of(w_name)
+        w_flat = matrix.params[:, w_sl].reshape(n, out_c, in_c * kh * kw)
+        w_flat_grad = matrix.grads[:, w_sl].reshape(n, out_c, in_c * kh * kw)
+        covered = w_sl.stop - w_sl.start
+        bias = bias_grad = None
+        if layer.use_bias:
+            b_name = prefix + "bias"
+            if b_name not in spec:
+                return None
+            b_sl = spec.slice_of(b_name)
+            bias = matrix.params[:, b_sl]
+            bias_grad = matrix.grads[:, b_sl]
+            covered += b_sl.stop - b_sl.start
+        batched = _BatchedConv2d(
+            w_flat,
+            w_flat_grad,
+            bias,
+            bias_grad,
+            kernel_size=layer.kernel_size,
+            stride=layer.stride,
+            padding=layer.padding,
+        )
+        return batched, covered
+
+    @classmethod
+    def _build_mlp(cls, matrix: WorkerMatrix, module) -> Optional["BatchedReplicaExecutor"]:
+        from repro.nn.layers import Linear, ReLU, Tanh
+
+        spec = matrix.spec
         covered = 0
         layers: List[object] = []
         for idx, layer in enumerate(module.net):
             prefix = f"net.{idx}."
             if isinstance(layer, Linear):
-                w_name = prefix + "weight"
-                if w_name not in spec:
+                built = cls._batched_linear(matrix, spec, prefix, layer)
+                if built is None:
                     return None
-                w_shape = spec.shape_of(w_name)
-                w_sl = spec.slice_of(w_name)
-                weight = matrix.params[:, w_sl].reshape((n,) + w_shape)
-                weight_grad = matrix.grads[:, w_sl].reshape((n,) + w_shape)
-                covered += w_sl.stop - w_sl.start
-                bias = bias_grad = None
-                b_name = prefix + "bias"
-                if layer.use_bias:
-                    if b_name not in spec:
-                        return None
-                    b_sl = spec.slice_of(b_name)
-                    bias = matrix.params[:, b_sl]
-                    bias_grad = matrix.grads[:, b_sl]
-                    covered += b_sl.stop - b_sl.start
-                layers.append(_BatchedLinear(weight, weight_grad, bias, bias_grad))
+                layers.append(built[0])
+                covered += built[1]
             elif isinstance(layer, ReLU):
                 layers.append(_BatchedReLU())
             elif isinstance(layer, Tanh):
@@ -172,7 +377,43 @@ class BatchedReplicaExecutor:
         # anything left over would silently never receive gradients.
         if covered != spec.total_size:
             return None
-        return cls(layers, matrix)
+        return cls(layers, matrix, input_ndim=3)
+
+    @classmethod
+    def _build_convnet(
+        cls, matrix: WorkerMatrix, module
+    ) -> Optional["BatchedReplicaExecutor"]:
+        from repro.nn.layers import Conv2d, GlobalAvgPool2d, Linear, MaxPool2d, ReLU
+
+        spec = matrix.spec
+        covered = 0
+        layers: List[object] = []
+        for idx, layer in enumerate(module.features):
+            prefix = f"features.{idx}."
+            if isinstance(layer, Conv2d):
+                built = cls._batched_conv(matrix, spec, prefix, layer)
+                if built is None:
+                    return None
+                layers.append(built[0])
+                covered += built[1]
+            elif isinstance(layer, ReLU):
+                layers.append(_BatchedReLU())
+            elif isinstance(layer, MaxPool2d):
+                layers.append(_BatchedMaxPool2d(layer.kernel_size, layer.stride))
+            elif isinstance(layer, GlobalAvgPool2d):
+                layers.append(_BatchedGlobalAvgPool2d())
+            else:
+                return None
+        if not isinstance(module.head, Linear):
+            return None
+        built = cls._batched_linear(matrix, spec, "head.", module.head)
+        if built is None:
+            return None
+        layers.append(built[0])
+        covered += built[1]
+        if covered != spec.total_size:
+            return None
+        return cls(layers, matrix, input_ndim=5)
 
     # ------------------------------------------------------------------ #
     def step(
@@ -182,19 +423,21 @@ class BatchedReplicaExecutor:
 
         ``batches`` holds one ``(inputs, targets)`` pair per worker; all
         batches must share one shape (the lockstep cluster guarantees this —
-        if not, the caller falls back to the per-worker loop).  Gradients
-        are written directly into the matrix gradient rows (replacing the
-        previous step's contents, i.e. zero-then-accumulate semantics) and
-        the per-replica mean losses are returned.
+        if not, the caller falls back to the per-worker loop).  Inputs are
+        cast to the matrix's compute dtype; gradients are written directly
+        into the matrix gradient rows (replacing the previous step's
+        contents, i.e. zero-then-accumulate semantics) and the per-replica
+        mean losses are returned.
         """
         if len(batches) != self._matrix.num_workers:
             return None
         first_x, first_y = batches[0]
         if any(b[0].shape != first_x.shape or b[1].shape != first_y.shape for b in batches):
             return None
-        x = np.stack([np.asarray(b[0], dtype=np.float64) for b in batches])
+        dtype = self._matrix.dtype
+        x = np.stack([np.asarray(b[0], dtype=dtype) for b in batches])
         targets = np.stack([b[1] for b in batches])
-        if x.ndim != 3 or not np.issubdtype(targets.dtype, np.integer):
+        if x.ndim != self._input_ndim or not np.issubdtype(targets.dtype, np.integer):
             return None
         for layer in self._layers:
             x = layer.forward(x)

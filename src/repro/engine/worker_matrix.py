@@ -17,23 +17,31 @@ row in place.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict
 
 import numpy as np
 
-from repro.engine.flat_buffer import FlatBuffer, ParamSpec
+from repro.engine.flat_buffer import ParamSpec
 
 
 class WorkerMatrix:
-    """Stacked per-worker parameter and gradient buffers."""
+    """Stacked per-worker parameter and gradient buffers.
+
+    Storage dtype follows the spec's compute dtype (float64 default, float32
+    in the reduced-precision engine mode).
+    """
 
     def __init__(self, num_workers: int, spec: ParamSpec) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = int(num_workers)
         self.spec = spec
-        self.params = np.zeros((self.num_workers, spec.total_size), dtype=np.float64)
-        self.grads = np.zeros((self.num_workers, spec.total_size), dtype=np.float64)
+        self.params = np.zeros((self.num_workers, spec.total_size), dtype=spec.dtype)
+        self.grads = np.zeros((self.num_workers, spec.total_size), dtype=spec.dtype)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.spec.dtype
 
     # ------------------------------------------------------------------ #
     # row adoption
@@ -71,7 +79,7 @@ class WorkerMatrix:
 
     def broadcast(self, vector: np.ndarray) -> None:
         """Load one global flat state into every replica by row assignment."""
-        vector = np.asarray(vector, dtype=np.float64).ravel()
+        vector = np.asarray(vector, dtype=self.spec.dtype).ravel()
         if vector.size != self.spec.total_size:
             raise ValueError(
                 f"broadcast vector has length {vector.size}, expected {self.spec.total_size}"

@@ -34,6 +34,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--iterations", type=int, default=150)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--eval-every", type=int, default=None)
+    parser.add_argument(
+        "--dtype",
+        default="float64",
+        choices=["float32", "float64"],
+        help="engine compute dtype (float32 = reduced-precision mode)",
+    )
 
 
 def _algorithm_kwargs(args: argparse.Namespace) -> Dict[str, object]:
@@ -66,6 +72,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         seed=args.seed,
         eval_every=eval_every,
+        dtype=args.dtype,
         **_algorithm_kwargs(args),
     )
     result = out.result
@@ -93,7 +100,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(f"running {label} ...", file=sys.stderr)
         out = run_experiment(
             args.workload, algorithm, num_workers=args.workers,
-            iterations=args.iterations, seed=args.seed, eval_every=eval_every, **kwargs,
+            iterations=args.iterations, seed=args.seed, eval_every=eval_every,
+            dtype=args.dtype, **kwargs,
         )
         results[label] = out.result
     rows = results_to_rows(results, baseline_key="bsp")

@@ -58,7 +58,9 @@ def _resnet_preset() -> WorkloadPreset:
         name="resnet101",
         dataset_name="cifar10",
         task="classification",
-        model_factory=lambda rng: ResNetLike(input_dim=64, num_classes=10, width=96, depth=6, rng=rng),
+        model_factory=lambda rng: ResNetLike(
+            input_dim=64, num_classes=10, width=96, depth=6, rng=rng
+        ),
         optimizer_factory=lambda m: SGD(m, lr=0.05, momentum=0.9, weight_decay=4e-4),
         # Paper: decay by 10x after epochs 110 and 150 (of 165); scaled to the
         # run length as 2/3 and 10/11 of the iteration budget.
@@ -114,7 +116,9 @@ def _transformer_preset() -> WorkloadPreset:
             dropout=0.0, rng=rng,
         ),
         optimizer_factory=lambda m: SGD(m, lr=0.5, momentum=0.0),
-        lr_schedule_factory=lambda total: IntervalDecay(0.5, interval=max(total // 10, 1), gamma=0.8),
+        lr_schedule_factory=lambda total: IntervalDecay(
+            0.5, interval=max(total // 10, 1), gamma=0.8
+        ),
         batch_size=16,
         workload_spec="transformer",
         dataset_kwargs={"bptt": 16, "vocab_size": 200},
@@ -145,6 +149,7 @@ def build_cluster(
     bundle: Optional[DatasetBundle] = None,
     batch_size: Optional[int] = None,
     topology: str = "ps",
+    dtype: str = "float64",
     eval_max_batches: Optional[int] = 4,
 ) -> SimulatedCluster:
     """Construct the simulated cluster for a workload preset."""
@@ -156,6 +161,7 @@ def build_cluster(
         task=preset.task,
         workload=preset.workload_spec,
         topology=topology,
+        dtype=dtype,
         top_k=preset.top_k,
         eval_max_batches=eval_max_batches,
     )
@@ -254,14 +260,17 @@ def run_experiment(
     use_default_partitioning: bool = False,
     convergence=None,
     batch_size: Optional[int] = None,
+    dtype: str = "float64",
     injection: Optional[Dict[str, float]] = None,
     **algorithm_kwargs,
 ) -> ExperimentResult:
     """Build a cluster and run one algorithm on one workload end to end.
 
-    ``injection`` activates the non-IID data-injection path: a dict with keys
-    ``alpha``, ``beta`` (and optionally ``delta``) sets the SelSync (α, β, δ)
-    tuple and adjusts the per-worker batch size to b′ per Eqn. (3).
+    ``dtype`` selects the engine compute dtype (``"float64"`` default,
+    ``"float32"`` for the reduced-precision mode).  ``injection`` activates
+    the non-IID data-injection path: a dict with keys ``alpha``, ``beta``
+    (and optionally ``delta``) sets the SelSync (α, β, δ) tuple and adjusts
+    the per-worker batch size to b′ per Eqn. (3).
     """
     preset = build_workload(workload)
     if use_default_partitioning and partitioner is None:
@@ -285,6 +294,7 @@ def run_experiment(
         seed=seed,
         partitioner=partitioner,
         batch_size=effective_batch,
+        dtype=dtype,
     )
     trainer = make_trainer(
         algorithm, cluster, preset, total_iterations=iterations, eval_every=eval_every,

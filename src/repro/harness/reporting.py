@@ -7,7 +7,7 @@ assemble EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Sequence
+from typing import Any, Iterable, List, Mapping, Sequence
 
 from repro.algorithms.base import TrainingResult
 
@@ -45,7 +45,9 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: s
     return "\n".join(lines)
 
 
-def format_series(series: Mapping[Any, Any], x_label: str = "x", y_label: str = "y", title: str = "") -> str:
+def format_series(
+    series: Mapping[Any, Any], x_label: str = "x", y_label: str = "y", title: str = ""
+) -> str:
     """Render a single (x -> y) series as a two-column table."""
     return format_table([x_label, y_label], [(k, v) for k, v in series.items()], title=title)
 

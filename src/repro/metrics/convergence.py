@@ -11,7 +11,9 @@ from __future__ import annotations
 from typing import List, Optional
 
 
-def better_than(candidate: float, reference: float, higher_is_better: bool, min_delta: float = 0.0) -> bool:
+def better_than(
+    candidate: float, reference: float, higher_is_better: bool, min_delta: float = 0.0
+) -> bool:
     """Whether ``candidate`` improves on ``reference`` by more than ``min_delta``."""
     if higher_is_better:
         return candidate > reference + min_delta
@@ -44,7 +46,9 @@ class ConvergenceDetector:
     def update(self, metric: float, step: Optional[int] = None) -> bool:
         """Record one evaluation; returns True if the run should stop."""
         self.history.append(float(metric))
-        if self.best is None or better_than(metric, self.best, self.higher_is_better, self.min_delta):
+        if self.best is None or better_than(
+            metric, self.best, self.higher_is_better, self.min_delta
+        ):
             self.best = float(metric)
             self.best_step = step
             self.stale_evals = 0

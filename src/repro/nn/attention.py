@@ -12,8 +12,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn.layers import Dropout, GELU, LayerNorm, Linear, ReLU
-from repro.nn.module import Module, Parameter
+from repro.nn.layers import Dropout, LayerNorm, Linear, ReLU
+from repro.nn.module import Module
 
 
 def _softmax_last(x: np.ndarray) -> np.ndarray:

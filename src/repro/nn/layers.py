@@ -11,7 +11,22 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.nn import init
-from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.module import Module, Parameter
+
+
+def _as_float(x: np.ndarray, dtype=None) -> np.ndarray:
+    """Coerce to the given float dtype; without one, promote non-float input.
+
+    Layers with parameters pass their weight dtype so the whole forward /
+    backward chain runs in the engine's compute dtype (float32 or float64);
+    parameter-free layers preserve whatever float dtype flows through them.
+    """
+    if dtype is not None:
+        return np.asarray(x, dtype=dtype)
+    x = np.asarray(x)
+    if not np.issubdtype(x.dtype, np.floating):
+        return x.astype(np.float64)
+    return x
 
 
 class Linear(Module):
@@ -34,7 +49,7 @@ class Linear(Module):
         self._cache_x: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = _as_float(x, self.weight.data.dtype)
         self._cache_x = x
         out = x @ self.weight.data.T
         if self.use_bias:
@@ -45,7 +60,7 @@ class Linear(Module):
         if self._cache_x is None:
             raise RuntimeError("Linear.backward called before forward")
         x = self._cache_x
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = _as_float(grad_output, self.weight.data.dtype)
         # Collapse leading dimensions so the same code path handles both
         # (batch, features) and (batch, seq, features) inputs.
         x2 = x.reshape(-1, self.in_features)
@@ -122,7 +137,8 @@ class GELU(Module):
         self._x: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._x = np.asarray(x, dtype=np.float64)
+        self._x = _as_float(x)
+        x = self._x
         inner = self._C * (x + 0.044715 * x**3)
         return 0.5 * x * (1.0 + np.tanh(inner))
 
@@ -197,7 +213,7 @@ class BatchNorm1d(Module):
         self._cache = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = _as_float(x, self.gamma.data.dtype)
         if x.ndim != 2 or x.shape[1] != self.num_features:
             raise ValueError(
                 f"BatchNorm1d expects (batch, {self.num_features}), got {x.shape}"
@@ -205,11 +221,13 @@ class BatchNorm1d(Module):
         if self.training:
             mean = x.mean(axis=0)
             var = x.var(axis=0)
+            # Running statistics stay float64 for numerically stable EWMAs
+            # regardless of the compute dtype.
             self.running_mean = (1 - self.momentum) * self.running_mean + self.momentum * mean
             self.running_var = (1 - self.momentum) * self.running_var + self.momentum * var
         else:
-            mean = self.running_mean
-            var = self.running_var
+            mean = self.running_mean.astype(x.dtype)
+            var = self.running_var.astype(x.dtype)
         x_hat = (x - mean) / np.sqrt(var + self.eps)
         self._cache = (x_hat, var)
         return self.gamma.data * x_hat + self.beta.data
@@ -245,7 +263,7 @@ class LayerNorm(Module):
         self._cache = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = _as_float(x, self.gamma.data.dtype)
         mean = x.mean(axis=-1, keepdims=True)
         var = x.var(axis=-1, keepdims=True)
         inv_std = 1.0 / np.sqrt(var + self.eps)
@@ -348,7 +366,7 @@ def _col2im(
     h_p, w_p = h + 2 * padding, w + 2 * padding
     out_h = (h_p - kh) // stride + 1
     out_w = (w_p - kw) // stride + 1
-    x_grad = np.zeros((b, c, h_p, w_p), dtype=np.float64)
+    x_grad = np.zeros((b, c, h_p, w_p), dtype=cols.dtype)
     cols = cols.reshape(b, out_h, out_w, c, kh, kw)
     for i in range(kh):
         for j in range(kw):
@@ -387,7 +405,7 @@ class Conv2d(Module):
         self._cache = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = _as_float(x, self.weight.data.dtype)
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv2d expects (batch, {self.in_channels}, H, W), got {x.shape}"
@@ -427,7 +445,7 @@ class MaxPool2d(Module):
         self._cache = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = _as_float(x)
         b, c, h, w = x.shape
         k, s = self.kernel_size, self.stride
         out_h = (h - k) // s + 1
@@ -455,7 +473,7 @@ class MaxPool2d(Module):
         b, c, h, w = x_shape
         k, s = self.kernel_size, self.stride
         out_h, out_w = idx.shape[2], idx.shape[3]
-        grad_input = np.zeros(x_shape, dtype=np.float64)
+        grad_input = np.zeros(x_shape, dtype=np.asarray(grad_output).dtype)
         # Scatter each output gradient back to its argmax location.
         rows = idx // k
         cols = idx % k

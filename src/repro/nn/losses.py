@@ -33,7 +33,11 @@ def cross_entropy_with_logits(
     ``logits`` may be (batch, classes) or (batch, seq, classes); ``targets``
     holds integer class ids with the matching leading shape.
     """
-    logits = np.asarray(logits, dtype=np.float64)
+    # Compute in the dtype the logits arrive in (the engine's compute dtype);
+    # non-float inputs are promoted to float64.
+    logits = np.asarray(logits)
+    if not np.issubdtype(logits.dtype, np.floating):
+        logits = logits.astype(np.float64)
     targets = np.asarray(targets)
     if not np.issubdtype(targets.dtype, np.integer):
         raise TypeError("targets must be integer class ids")

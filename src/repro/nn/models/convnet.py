@@ -13,7 +13,6 @@ import numpy as np
 
 from repro.nn.layers import (
     Conv2d,
-    Flatten,
     GlobalAvgPool2d,
     Linear,
     MaxPool2d,
@@ -49,7 +48,7 @@ class ConvNet(Module):
         self.head = Linear(c2, num_classes, rng=rng)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x)  # first parameterized layer casts to the compute dtype
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"expected (batch, {self.in_channels}, H, W), got {x.shape}"

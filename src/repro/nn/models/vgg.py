@@ -54,7 +54,7 @@ class VGGLike(Module):
         self.classifier = Sequential(*head_layers)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x)  # first parameterized layer casts to the compute dtype
         if x.ndim != 2 or x.shape[1] != self.input_dim:
             raise ValueError(f"expected (batch, {self.input_dim}), got {x.shape}")
         h = self.features.forward(x)

@@ -126,31 +126,51 @@ class Module:
         self,
         param_vector: Optional[np.ndarray] = None,
         grad_vector: Optional[np.ndarray] = None,
+        dtype=None,
     ) -> None:
         """Consolidate every parameter and gradient into contiguous buffers.
 
         After this call each ``Parameter.data`` / ``Parameter.grad`` is a
-        zero-copy reshaped view into one flat ``float64`` vector, so whole-
-        model operations (optimizer steps, aggregation, norms) run as single
-        fused NumPy calls.  ``param_vector`` / ``grad_vector`` may donate the
-        storage (e.g. rows of the cluster's WorkerMatrix); current values are
-        copied into the donated storage.
+        zero-copy reshaped view into one flat vector of the engine compute
+        dtype, so whole-model operations (optimizer steps, aggregation,
+        norms) run as single fused NumPy calls.  ``param_vector`` /
+        ``grad_vector`` may donate the storage (e.g. rows of the cluster's
+        WorkerMatrix); current values are copied into the donated storage.
+
+        ``dtype`` selects the compute dtype on the first flatten (float64
+        default); when storage is donated the dtype is inferred from it, so
+        adopting a worker-matrix row also adopts the matrix's dtype.  Initial
+        float64 parameter values are cast into the flat buffer.
 
         Calling this again with new storage *moves* the buffers (the current
-        contents are preserved).  Only flatten the root of a module tree:
-        flattening a submodule afterwards would re-bind its parameters away
-        from the root's buffer.
+        contents are preserved; the storage dtype must match).  Only flatten
+        the root of a module tree: flattening a submodule afterwards would
+        re-bind its parameters away from the root's buffer.
         """
+        from repro.engine.dtypes import resolve_dtype
         from repro.engine.flat_buffer import FlatBuffer, ParamSpec
 
         params = self.named_parameters()
         if self._flat_params is not None:
+            if (
+                dtype is not None
+                and resolve_dtype(dtype) != self._flat_params.spec.dtype
+            ):
+                raise TypeError(
+                    f"module is already flattened as "
+                    f"{self._flat_params.spec.dtype.name}; re-flattening as "
+                    f"{resolve_dtype(dtype).name} is not supported"
+                )
             if param_vector is not None:
                 self._flat_params.rebind(param_vector)
             if grad_vector is not None:
                 self._flat_grads.rebind(grad_vector)
         else:
-            spec = ParamSpec([(name, p.data.shape) for name, p in params.items()])
+            if dtype is None and param_vector is not None:
+                dtype = param_vector.dtype
+            spec = ParamSpec(
+                [(name, p.data.shape) for name, p in params.items()], dtype=dtype
+            )
             flat_p = FlatBuffer(spec, param_vector)
             flat_g = FlatBuffer(spec, grad_vector)
             spec.flatten_tree({n: p.data for n, p in params.items()}, out=flat_p.vector)
@@ -164,6 +184,11 @@ class Module:
     @property
     def is_flat(self) -> bool:
         return self._flat_params is not None
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Compute dtype of the flat buffers (flattens on first access)."""
+        return self.flat_spec.dtype
 
     @property
     def flat_spec(self):
@@ -252,7 +277,7 @@ class Module:
         for name, param in params.items():
             if name not in state:
                 continue
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name!r}: expected {param.data.shape}, "
@@ -275,7 +300,7 @@ class Module:
         for name, param in params.items():
             if name not in grads:
                 raise KeyError(f"gradient for parameter {name!r} missing")
-            value = np.asarray(grads[name], dtype=np.float64)
+            value = np.asarray(grads[name], dtype=param.grad.dtype)
             if value.shape != param.grad.shape:
                 raise ValueError(
                     f"gradient shape mismatch for {name!r}: expected "

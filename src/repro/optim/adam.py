@@ -35,12 +35,25 @@ class Adam(Optimizer):
         self.beta2 = float(beta2)
         self.eps = float(eps)
         self.weight_decay = float(weight_decay)
-        self._m_vector = np.zeros(self._spec.total_size, dtype=np.float64)
-        self._v_vector = np.zeros(self._spec.total_size, dtype=np.float64)
+        self._m_vector = np.zeros(self._spec.total_size, dtype=self._spec.dtype)
+        self._v_vector = np.zeros(self._spec.total_size, dtype=self._spec.dtype)
         # Named views into the flat moments, for state exchange and tests.
         self._m: Dict[str, np.ndarray] = dict(self._spec.views(self._m_vector))
         self._v: Dict[str, np.ndarray] = dict(self._spec.views(self._v_vector))
         self._t = 0
+
+    def rebind_moments(self, m_vector: np.ndarray, v_vector: np.ndarray) -> None:
+        """Move both moment buffers onto donated storage (fused-update rows).
+
+        The current contents are preserved; the named views are regenerated,
+        so per-parameter state exchange keeps working after the move.
+        """
+        m_vector[:] = self._m_vector
+        v_vector[:] = self._v_vector
+        self._m_vector = m_vector
+        self._v_vector = v_vector
+        self._m = dict(self._spec.views(m_vector))
+        self._v = dict(self._spec.views(v_vector))
 
     def _update_flat(self, grad_vector: np.ndarray) -> np.ndarray:
         # Advance the shared timestep once per optimizer step (not per

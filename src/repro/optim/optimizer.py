@@ -81,7 +81,7 @@ class Optimizer:
         if grads is None:
             return self._grad_vector
         if isinstance(grads, np.ndarray):
-            grads = grads.ravel()
+            grads = np.asarray(grads, dtype=self._spec.dtype).ravel()
             if grads.size != self._spec.total_size:
                 raise ValueError(
                     f"flat gradient has length {grads.size}, "

@@ -37,7 +37,7 @@ class SGD(Optimizer):
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
         self.nesterov = bool(nesterov)
-        self._velocity_vector = np.zeros(self._spec.total_size, dtype=np.float64)
+        self._velocity_vector = np.zeros(self._spec.total_size, dtype=self._spec.dtype)
         # Named views into the flat velocity, for state exchange and tests.
         self._velocity: Dict[str, np.ndarray] = dict(
             self._spec.views(self._velocity_vector)

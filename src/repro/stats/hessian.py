@@ -13,7 +13,7 @@ which only requires the model's ordinary backward pass.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

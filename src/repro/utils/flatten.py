@@ -8,18 +8,18 @@ between an ordered ``dict`` of named NumPy arrays and that flat vector.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-ArrayTree = Mapping[str, np.ndarray]
+#: Bytes per element on the simulated wire for the default transport.
+#: Re-exported from :mod:`repro.engine.dtypes`, the single owner of the
+#: dtype -> wire-bytes mapping: distributed frameworks ship float32 tensors,
+#: so every byte-accounting site (cost models, compression ratios, backend
+#: records) charges 4 bytes/element regardless of the compute dtype.
+from repro.engine.dtypes import WIRE_DTYPE_BYTES
 
-#: Bytes per element on the simulated wire.  Distributed frameworks ship
-#: float32 tensors, so every byte-accounting site (cost models, compression
-#: ratios, backend records) charges 4 bytes/element even though the simulator
-#: computes in float64.  A future float16/quantized transport mode only needs
-#: to change this one constant to keep the clock consistent everywhere.
-WIRE_DTYPE_BYTES = 4
+ArrayTree = Mapping[str, np.ndarray]
 
 
 def flatten_arrays(tree: ArrayTree) -> Tuple[np.ndarray, List[Tuple[str, Tuple[int, ...]]]]:
@@ -36,7 +36,12 @@ def flatten_arrays(tree: ArrayTree) -> Tuple[np.ndarray, List[Tuple[str, Tuple[i
         spec.append((name, arr.shape))
     if not parts:
         return np.zeros(0, dtype=np.float64), spec
-    return np.concatenate(parts).astype(np.float64, copy=False), spec
+    flat = np.concatenate(parts)
+    # Preserve the tree's float dtype (float32 trees stay float32); only
+    # non-float trees are promoted to the engine default.
+    if not np.issubdtype(flat.dtype, np.floating):
+        flat = flat.astype(np.float64)
+    return flat, spec
 
 
 def unflatten_vector(

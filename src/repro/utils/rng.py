@@ -9,7 +9,7 @@ the number of workers or the order in which components are constructed.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 

@@ -7,7 +7,6 @@ from repro.cluster.clock import SimulatedClock
 from repro.cluster.compute_model import (
     PAPER_WORKLOADS,
     ComputeCostModel,
-    WorkloadSpec,
     memory_gigabytes,
 )
 from repro.cluster.heterogeneity import HomogeneousSpeed, StragglerModel

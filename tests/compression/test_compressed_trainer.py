@@ -1,6 +1,5 @@
 """Tests for BSP with gradient compression and error feedback."""
 
-import numpy as np
 import pytest
 
 from tests.conftest import make_small_cluster

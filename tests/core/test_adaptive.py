@@ -5,7 +5,6 @@ import pytest
 from tests.conftest import make_small_cluster
 
 from repro.core.adaptive import AdaptiveDeltaController, AdaptiveSelSyncTrainer
-from repro.core.config import SelSyncConfig
 
 
 class TestController:

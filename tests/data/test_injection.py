@@ -23,7 +23,9 @@ def _make_batches(num_workers, batch, dim=4, seed=0):
 class TestAdjustedBatchSize:
     def test_paper_example_bprime_11(self):
         """Paper: (0.5, 0.5) with N=10 and b=32 gives b' = 11."""
-        assert adjusted_batch_size(32, 0.5, 0.5, 10) == 9 or adjusted_batch_size(32, 0.5, 0.5, 10) == 11
+        assert adjusted_batch_size(32, 0.5, 0.5, 10) == 9 or (
+            adjusted_batch_size(32, 0.5, 0.5, 10) == 11
+        )
 
     def test_formula_matches_eqn3(self):
         b_prime = adjusted_batch_size(32, 0.5, 0.5, 16)

@@ -1,0 +1,144 @@
+"""Batched conv-family execution vs the per-worker fallback loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchedReplicaExecutor, WorkerMatrix
+from repro.nn.losses import cross_entropy_with_logits
+from repro.nn.models import ConvNet
+from repro.utils.rng import spawn_rngs
+
+DTYPES = ["float32", "float64"]
+N, B, CLASSES, IMG = 3, 5, 4, 8
+
+
+def make_matrix(dtype):
+    rngs = spawn_rngs(0, N)
+    models = [
+        ConvNet(in_channels=1, num_classes=CLASSES, image_size=IMG, channels=(3, 5), rng=r)
+        for r in rngs
+    ]
+    models[0].flatten_parameters(dtype=dtype)
+    matrix = WorkerMatrix(N, models[0].flat_spec)
+    for i, model in enumerate(models):
+        matrix.adopt(i, model)
+    return matrix, models
+
+
+def make_batches(seed=1):
+    rng = np.random.default_rng(seed)
+    return [
+        (rng.standard_normal((B, 1, IMG, IMG)), rng.integers(0, CLASSES, size=B))
+        for _ in range(N)
+    ]
+
+
+class TestBuild:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_builds_for_convnet(self, dtype):
+        matrix, models = make_matrix(dtype)
+        exe = BatchedReplicaExecutor.build(matrix, models[0])
+        assert exe is not None
+
+    def test_convnet_subclass_falls_back(self):
+        class CustomConvNet(ConvNet):
+            pass
+
+        model = CustomConvNet(in_channels=1, num_classes=CLASSES, image_size=IMG)
+        model.flatten_parameters()
+        matrix = WorkerMatrix(1, model.flat_spec)
+        matrix.adopt(0, model)
+        assert BatchedReplicaExecutor.build(matrix, model) is None
+
+
+class TestStep:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_matches_per_worker_loop(self, dtype):
+        matrix, models = make_matrix(dtype)
+        exe = BatchedReplicaExecutor.build(matrix, models[0])
+        batches = make_batches()
+        losses = exe.step(batches)
+        assert losses is not None
+        assert losses.shape == (N,)
+
+        tol = dict(rtol=1e-12, atol=1e-12) if dtype == "float64" else dict(rtol=2e-5, atol=2e-6)
+        for i, (x, y) in enumerate(batches):
+            ref = ConvNet(
+                in_channels=1, num_classes=CLASSES, image_size=IMG, channels=(3, 5),
+                rng=np.random.default_rng(0),
+            )
+            ref.flatten_parameters(dtype=dtype)
+            ref.load_param_vector(matrix.params[i])
+            ref.zero_grad()
+            logits = ref.forward(x)
+            loss, dlogits = cross_entropy_with_logits(logits, y)
+            ref.backward(dlogits)
+            assert loss == pytest.approx(float(losses[i]), rel=1e-5)
+            np.testing.assert_allclose(ref.grad_vector, matrix.grads[i], **tol)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_gradients_written_in_matrix_dtype(self, dtype):
+        matrix, models = make_matrix(dtype)
+        exe = BatchedReplicaExecutor.build(matrix, models[0])
+        assert exe.step(make_batches()) is not None
+        assert matrix.grads.dtype == np.dtype(dtype)
+        assert exe.grad_norms().shape == (N,)
+
+    def test_mismatched_batch_shapes_fall_back(self):
+        matrix, models = make_matrix("float64")
+        exe = BatchedReplicaExecutor.build(matrix, models[0])
+        batches = make_batches()
+        rng = np.random.default_rng(9)
+        batches[1] = (
+            rng.standard_normal((B + 1, 1, IMG, IMG)),
+            rng.integers(0, CLASSES, size=B + 1),
+        )
+        assert exe.step(batches) is None
+
+    def test_wrong_rank_input_falls_back(self):
+        matrix, models = make_matrix("float64")
+        exe = BatchedReplicaExecutor.build(matrix, models[0])
+        rng = np.random.default_rng(2)
+        flat_batches = [
+            (rng.standard_normal((B, IMG * IMG)), rng.integers(0, CLASSES, size=B))
+            for _ in range(N)
+        ]
+        assert exe.step(flat_batches) is None
+
+
+class TestClusterIntegration:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_conv_cluster_uses_batched_executor(self, dtype):
+        from repro.algorithms.bsp import BSPTrainer
+        from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+        from repro.optim.sgd import SGD
+
+        rng = np.random.default_rng(0)
+        images = rng.standard_normal((96, 1, IMG, IMG))
+        labels = rng.integers(0, CLASSES, size=96)
+
+        class ImageDataset:
+            def __len__(self):
+                return len(images)
+
+            def __getitem__(self, idx):
+                return images[idx], labels[idx]
+
+        config = ClusterConfig(
+            num_workers=2, batch_size=8, seed=0, dtype=dtype, eval_max_batches=1
+        )
+        cluster = SimulatedCluster(
+            model_factory=lambda r: ConvNet(
+                in_channels=1, num_classes=CLASSES, image_size=IMG, channels=(2, 3), rng=r
+            ),
+            optimizer_factory=lambda m: SGD(m, lr=0.05),
+            train_dataset=ImageDataset(),
+            test_dataset=ImageDataset(),
+            config=config,
+        )
+        assert cluster.replica_exec is not None
+        trainer = BSPTrainer(cluster, eval_every=10_000)
+        losses = [trainer.train_step()["loss"] for _ in range(3)]
+        assert all(np.isfinite(losses))

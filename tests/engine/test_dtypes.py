@@ -1,0 +1,189 @@
+"""Dtype-parameterized engine: registry, buffers, modules and clusters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import WorkerMatrix
+from repro.engine.dtypes import (
+    DEFAULT_DTYPE,
+    SUPPORTED_DTYPES,
+    WIRE_DTYPE_BYTES,
+    dtype_name,
+    resolve_dtype,
+    wire_dtype_bytes,
+)
+from repro.engine.flat_buffer import FlatBuffer, ParamSpec
+from repro.nn.models import MLP
+
+DTYPES = ["float32", "float64"]
+
+
+class TestDtypeRegistry:
+    def test_default_is_float64(self):
+        assert resolve_dtype(None) == np.dtype(np.float64) == DEFAULT_DTYPE
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_resolve_accepts_names_types_and_dtypes(self, dtype):
+        expected = np.dtype(dtype)
+        assert resolve_dtype(dtype) == expected
+        assert resolve_dtype(expected) == expected
+        assert resolve_dtype(expected.type) == expected
+
+    @pytest.mark.parametrize("bad", ["float16", "int32", np.int64, "complex128"])
+    def test_unsupported_dtypes_raise(self, bad):
+        with pytest.raises(TypeError, match="unsupported"):
+            resolve_dtype(bad)
+
+    def test_wire_bytes_mapping(self):
+        # Transport is float32 regardless of the compute dtype, so both
+        # supported dtypes charge the canonical 4 bytes/element.
+        for dtype in SUPPORTED_DTYPES:
+            assert wire_dtype_bytes(dtype) == WIRE_DTYPE_BYTES == 4
+
+    def test_wire_bytes_matches_legacy_constant(self):
+        # The re-export consumed across comm/compression must stay in sync.
+        from repro.utils.flatten import WIRE_DTYPE_BYTES as legacy
+
+        assert legacy == WIRE_DTYPE_BYTES
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_dtype_name(self, dtype):
+        assert dtype_name(dtype) == dtype
+
+
+class TestSpecAndBufferDtype:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_spec_allocates_and_views_in_dtype(self, dtype):
+        spec = ParamSpec([("w", (3, 2)), ("b", (2,))], dtype=dtype)
+        vec = spec.allocate()
+        assert vec.dtype == np.dtype(dtype)
+        views = spec.views(vec)
+        assert all(v.dtype == np.dtype(dtype) for v in views.values())
+
+    def test_spec_dtype_mismatch_raises(self):
+        spec32 = ParamSpec([("w", (4,))], dtype="float32")
+        with pytest.raises(TypeError, match="float32"):
+            spec32.views(np.zeros(4, dtype=np.float64))
+
+    def test_spec_equality_includes_dtype(self):
+        shapes = [("w", (4,))]
+        assert ParamSpec(shapes, dtype="float32") != ParamSpec(shapes, dtype="float64")
+        assert ParamSpec(shapes, dtype="float64") == ParamSpec(shapes)
+
+    def test_with_dtype_preserves_layout(self):
+        spec = ParamSpec([("w", (3, 2)), ("b", (2,))], dtype="float64")
+        spec32 = spec.with_dtype("float32")
+        assert spec32.dtype == np.dtype(np.float32)
+        assert spec32.to_flatten_spec() == spec.to_flatten_spec()
+        assert spec.with_dtype("float64") is spec
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_flat_buffer_roundtrip(self, dtype):
+        tree = {"w": np.arange(6, dtype=np.float64).reshape(3, 2), "b": np.ones(2)}
+        buf = FlatBuffer.from_tree(tree, dtype=dtype)
+        assert buf.dtype == np.dtype(dtype)
+        assert buf.vector.dtype == np.dtype(dtype)
+        rebuilt = buf.as_dict(copy=True)
+        for name in tree:
+            assert rebuilt[name].dtype == np.dtype(dtype)
+            np.testing.assert_allclose(rebuilt[name], tree[name], rtol=1e-6)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_load_vector_casts_cross_dtype(self, dtype):
+        spec = ParamSpec([("w", (4,))], dtype=dtype)
+        buf = FlatBuffer(spec)
+        other = np.arange(4, dtype=np.float32 if dtype == "float64" else np.float64)
+        buf.load_vector(other)
+        assert buf.vector.dtype == np.dtype(dtype)
+        np.testing.assert_allclose(buf.vector, other)
+
+
+class TestModuleAndMatrixDtype:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_flatten_parameters_casts_views(self, dtype):
+        model = MLP((6, 8, 3), rng=np.random.default_rng(0))
+        model.flatten_parameters(dtype=dtype)
+        assert model.dtype == np.dtype(dtype)
+        assert model.param_vector.dtype == np.dtype(dtype)
+        assert model.grad_vector.dtype == np.dtype(dtype)
+        for param in model.parameters():
+            assert param.data.dtype == np.dtype(dtype)
+            assert param.grad.dtype == np.dtype(dtype)
+            # views must alias the flat storage
+            assert param.data.base is not None
+
+    def test_reflatten_with_other_dtype_raises(self):
+        model = MLP((4, 3), rng=np.random.default_rng(0))
+        model.flatten_parameters(dtype="float32")
+        with pytest.raises(TypeError, match="already flattened"):
+            model.flatten_parameters(dtype="float64")
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_adoption_inherits_matrix_dtype(self, dtype):
+        ref = MLP((6, 8, 3), rng=np.random.default_rng(0))
+        ref.flatten_parameters(dtype=dtype)
+        matrix = WorkerMatrix(3, ref.flat_spec)
+        assert matrix.dtype == np.dtype(dtype)
+        assert matrix.params.dtype == np.dtype(dtype)
+        assert matrix.grads.dtype == np.dtype(dtype)
+        for worker_id in range(3):
+            model = MLP((6, 8, 3), rng=np.random.default_rng(worker_id))
+            matrix.adopt(worker_id, model)
+            assert model.dtype == np.dtype(dtype)
+            assert model.param_vector is not None
+            # adopted storage aliases the matrix row
+            model.param_vector[0] = 7.5
+            assert matrix.params[worker_id, 0] == np.dtype(dtype).type(7.5)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_forward_backward_stay_in_dtype(self, dtype):
+        model = MLP((6, 8, 3), rng=np.random.default_rng(0))
+        model.flatten_parameters(dtype=dtype)
+        x = np.random.default_rng(1).standard_normal((5, 6))
+        logits = model.forward(x)
+        assert logits.dtype == np.dtype(dtype)
+        model.backward(np.ones_like(logits))
+        assert model.grad_vector.dtype == np.dtype(dtype)
+
+
+class TestClusterDtypeConsistency:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_every_engine_buffer_shares_the_cluster_dtype(self, dtype):
+        from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+        from repro.data.datasets import make_classification_splits
+        from repro.optim.sgd import SGD
+
+        train, test = make_classification_splits(
+            128, 64, 4, 8, class_sep=3.0, noise=0.5, seed=0
+        )
+        config = ClusterConfig(num_workers=3, batch_size=8, seed=0, dtype=dtype)
+        cluster = SimulatedCluster(
+            model_factory=lambda rng: MLP((8, 12, 4), rng=rng),
+            optimizer_factory=lambda m: SGD(m, lr=0.1, momentum=0.9),
+            train_dataset=train,
+            test_dataset=test,
+            config=config,
+        )
+        expected = np.dtype(dtype)
+        assert cluster.dtype == expected
+        assert cluster.matrix.params.dtype == expected
+        assert cluster.matrix.grads.dtype == expected
+        assert cluster.ps.state_vector.dtype == expected
+        assert cluster.fused_update.velocity.dtype == expected
+        for worker in cluster.workers:
+            assert worker.param_vector.dtype == expected
+            assert worker.optimizer._velocity_vector.dtype == expected
+        # one step keeps everything in-dtype
+        batches = [w.next_batch() for w in cluster.workers]
+        cluster.compute_gradients_all(batches)
+        cluster.apply_local_updates(lr=0.05)
+        assert cluster.matrix.grads.dtype == expected
+        assert cluster.average_worker_vector().dtype == expected
+
+    def test_invalid_cluster_dtype_rejected(self):
+        from repro.cluster.cluster import ClusterConfig
+
+        with pytest.raises(TypeError, match="unsupported"):
+            ClusterConfig(num_workers=2, dtype="float16")

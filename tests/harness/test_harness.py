@@ -5,7 +5,6 @@ import pytest
 
 from repro.algorithms.base import TrainingResult
 from repro.compression import TopKCompressor
-from repro.data.partition import DefaultPartitioner
 from repro.harness.experiment import (
     WORKLOAD_PRESETS,
     build_cluster,

@@ -19,7 +19,7 @@ from repro.cluster.cluster import ClusterConfig, SimulatedCluster
 from repro.core.config import SelSyncConfig
 from repro.core.selsync import SelSyncTrainer
 from repro.data.datasets import make_classification_splits
-from repro.data.injection import DataInjection, adjusted_batch_size
+from repro.data.injection import adjusted_batch_size
 from repro.data.noniid import LabelSkewPartitioner
 from repro.data.partition import DefaultPartitioner, SelSyncPartitioner
 from repro.harness.experiment import run_experiment
@@ -63,7 +63,9 @@ class TestAccuracyParity:
         for name, builder in {
             "bsp": lambda c: BSPTrainer(c, eval_every=100),
             "selsync": lambda c: SelSyncTrainer(c, SelSyncConfig(delta=1e9), eval_every=100),
-            "fedavg": lambda c: FedAvgTrainer(c, participation=1.0, sync_factor=1.0, eval_every=100),
+            "fedavg": lambda c: FedAvgTrainer(
+                c, participation=1.0, sync_factor=1.0, eval_every=100
+            ),
         }.items():
             cluster = make_small_cluster(seed=5)
             builder(cluster).run(20)

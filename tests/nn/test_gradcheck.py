@@ -155,7 +155,9 @@ class TestModelGradients:
         assert_gradients_close(model, x, y)
 
     def test_resnet_like(self):
-        model = ResNetLike(input_dim=6, num_classes=3, width=8, depth=2, rng=np.random.default_rng(0))
+        model = ResNetLike(
+            input_dim=6, num_classes=3, width=8, depth=2, rng=np.random.default_rng(0)
+        )
         x, y = _classification_batch(6, 3, seed=7)
         assert_gradients_close(model, x, y, rtol=1e-3, atol=1e-6)
 

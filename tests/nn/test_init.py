@@ -1,7 +1,6 @@
 """Tests for weight initializers."""
 
 import numpy as np
-import pytest
 
 from repro.nn import init
 

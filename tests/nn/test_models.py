@@ -36,8 +36,12 @@ class TestMLP:
 
 class TestResNetLike:
     def test_depth_controls_blocks(self):
-        shallow = ResNetLike(input_dim=8, num_classes=3, width=8, depth=1, rng=np.random.default_rng(0))
-        deep = ResNetLike(input_dim=8, num_classes=3, width=8, depth=4, rng=np.random.default_rng(0))
+        shallow = ResNetLike(
+            input_dim=8, num_classes=3, width=8, depth=1, rng=np.random.default_rng(0)
+        )
+        deep = ResNetLike(
+            input_dim=8, num_classes=3, width=8, depth=4, rng=np.random.default_rng(0)
+        )
         assert deep.num_parameters() > shallow.num_parameters()
 
     def test_rejects_bad_depth(self):
@@ -50,7 +54,9 @@ class TestResNetLike:
             model.forward(np.zeros((2, 9)))
 
     def test_forward_backward_shapes(self):
-        model = ResNetLike(input_dim=8, num_classes=3, width=8, depth=2, rng=np.random.default_rng(0))
+        model = ResNetLike(
+            input_dim=8, num_classes=3, width=8, depth=2, rng=np.random.default_rng(0)
+        )
         x = np.random.default_rng(1).standard_normal((4, 8))
         out = model.forward(x)
         grad = model.backward(np.ones_like(out))

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.nn.layers import Linear
 from repro.nn.models import MLP
 from repro.nn.module import Module, Parameter
 from repro.optim.adam import Adam

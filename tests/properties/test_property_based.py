@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -37,7 +36,9 @@ class TestFlattenProperties:
 
 class TestEWMAProperties:
     @given(
-        values=st.lists(st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=1, max_size=100),
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=1, max_size=100
+        ),
         alpha=st.floats(min_value=0.01, max_value=1.0),
     )
     @settings(max_examples=50, deadline=None)

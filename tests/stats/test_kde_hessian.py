@@ -22,7 +22,9 @@ class TestKDE:
 
     def test_custom_grid_respected(self):
         grid = np.linspace(-1, 1, 50)
-        out_grid, density = gaussian_kde_density(np.random.default_rng(0).standard_normal(100), grid=grid)
+        out_grid, density = gaussian_kde_density(
+            np.random.default_rng(0).standard_normal(100), grid=grid
+        )
         np.testing.assert_array_equal(out_grid, grid)
         assert density.shape == (50,)
 
@@ -36,7 +38,9 @@ class TestKDE:
             gaussian_kde_density(np.array([]))
 
     def test_histogram_density(self):
-        centers, density = histogram_density(np.random.default_rng(0).standard_normal(1000), bins=20)
+        centers, density = histogram_density(
+            np.random.default_rng(0).standard_normal(1000), bins=20
+        )
         assert centers.shape == (20,)
         assert np.all(density >= 0)
 
