@@ -1,0 +1,119 @@
+"""Compare two BENCH_engine.json files and flag steps/sec regressions.
+
+Used by the CI perf job: the checked-in ``BENCH_engine.json`` (captured
+before the job deletes it) is the *baseline*, the freshly measured file is
+the *current* run.  Every numeric leaf that lives under a ``steps_per_sec``
+key (or whose own key ends in ``steps_per_sec``) is compared; a drop larger
+than ``--max-regression`` (default 25%) on any shared key fails the script.
+
+A per-key delta table is printed as GitHub-flavoured markdown on stdout and,
+when the ``GITHUB_STEP_SUMMARY`` environment variable is set, appended to
+the job summary.  Keys present in only one file are listed but never fail
+the comparison (per-PR CI measures only the perf-smoke sections; the
+nightly sweep owns ``scale_sweep``).
+
+Absolute steps/sec are hardware sensitive: a shared CI runner measures
+lower than the machine that produced the checked-in baseline, which is why
+the perf job stays ``continue-on-error`` and the threshold is generous.
+Treat a red comparison as a prompt to look at the *relative* speedup
+sections (which are dimensionless) before blaming a change.
+
+Usage::
+
+    python benchmarks/compare_bench.py baseline.json current.json \
+        [--max-regression 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, Tuple
+
+
+def _collect_steps_per_sec(node, prefix: str = "", in_sps: bool = False) -> Dict[str, float]:
+    """Flatten every numeric leaf governed by a ``steps_per_sec`` key."""
+    out: Dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            owns = in_sps or key == "steps_per_sec" or key.endswith("steps_per_sec")
+            out.update(_collect_steps_per_sec(value, path, owns))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool) and in_sps:
+        out[prefix] = float(node)
+    return out
+
+
+def load_metrics(path: Path) -> Dict[str, float]:
+    return _collect_steps_per_sec(json.loads(path.read_text()))
+
+
+def compare(
+    baseline: Dict[str, float], current: Dict[str, float], max_regression: float
+) -> Tuple[str, bool]:
+    """Render the delta table; returns (markdown, any_regression_beyond_limit)."""
+    shared = sorted(set(baseline) & set(current))
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+
+    lines = [
+        "### Engine perf: baseline vs current (steps/sec)",
+        "",
+        "| key | baseline | current | delta | status |",
+        "| --- | ---: | ---: | ---: | :--- |",
+    ]
+    failed = False
+    for key in shared:
+        base, cur = baseline[key], current[key]
+        delta = (cur - base) / base if base else float("inf")
+        regressed = delta < -max_regression
+        failed |= regressed
+        status = "REGRESSION" if regressed else ("ok" if delta >= 0 else "ok (within limit)")
+        lines.append(f"| {key} | {base:.1f} | {cur:.1f} | {delta:+.1%} | {status} |")
+    for key in only_baseline:
+        lines.append(f"| {key} | {baseline[key]:.1f} | — | — | not measured in this run |")
+    for key in only_current:
+        lines.append(f"| {key} | — | {current[key]:.1f} | — | new key |")
+    lines.append("")
+    lines.append(
+        f"Regression limit: {max_regression:.0%} below baseline "
+        f"({'FAILED' if failed else 'passed'})."
+    )
+    return "\n".join(lines), failed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path, help="checked-in BENCH_engine.json")
+    parser.add_argument("current", type=Path, help="freshly measured BENCH_engine.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="fractional steps/sec drop that fails the job (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; nothing to compare against")
+        return 0
+    if not args.current.exists():
+        print(f"current results missing at {args.current}; benchmark did not write output")
+        return 1
+
+    table, failed = compare(
+        load_metrics(args.baseline), load_metrics(args.current), args.max_regression
+    )
+    print(table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write(table + "\n")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,7 @@ behind ``--run-perf`` to keep tier-1 fast:
 
     PYTHONPATH=src python -m pytest benchmarks/perf_smoke.py --run-perf -q -s
 
-The run writes ``BENCH_engine.json`` at the repo root with three sections:
+The run merges sections into ``BENCH_engine.json`` at the repo root:
 
 * ``current_steps_per_sec`` — BSP / SelSync on the deep-narrow N=8 MLP loop,
   gated at >= 3x over the recorded pre-engine seed baseline;
@@ -16,6 +16,15 @@ The run writes ``BENCH_engine.json`` at the repo root with three sections:
   pace), gated at float32 >= 1.5x float64;
 * ``fused_adam`` — BSP steps/sec with every worker on Adam (the fused (N, D)
   moment-matrix path) in both dtypes, recorded for trend tracking.
+
+``--run-scale`` additionally (or independently) merges a ``scale_sweep``
+section: BSP steps/sec for N in {8, 64, 128, 256} on the MLP and
+transformer analogs, plus the batched-vs-per-worker transformer contrast at
+N=8 (gated at >= 3x — the transformer ``BatchedReplicaExecutor`` milestone).
+The sweep is heavier than the smoke, so per-PR CI runs only ``--run-perf``
+and the nightly workflow runs ``--run-scale``:
+
+    PYTHONPATH=src python -m pytest benchmarks/perf_smoke.py --run-scale -q -s
 """
 
 from __future__ import annotations
@@ -51,7 +60,41 @@ DTYPE_REPEATS = 3
 #: landed.  Used as the denominator for the speedup gate below.
 BASELINE_STEPS_PER_SEC = {"bsp": 208.0, "selsync": 194.6}
 
+#: Scale-sweep configuration.  Small per-step tensors on purpose (like the
+#: deep-narrow MLP above): the sweep measures how the engine's per-step
+#: framework cost scales with the cluster size, and large-N clusters are
+#: exactly where per-worker Python overhead used to dominate.
+SCALE_WORKERS = (8, 64, 128, 256)
+SCALE_MLP_SIZES = (32, 48, 48, 8)
+SCALE_MLP_BATCH = 4
+SCALE_LM = dict(
+    vocab_size=32, d_model=16, num_heads=2, num_layers=3, dim_feedforward=32, max_len=64
+)
+SCALE_LM_BATCH = 2
+SCALE_LM_BPTT = 8
+#: Measured steps shrink with N (per-step cost grows roughly linearly).
+SCALE_STEPS = {8: 40, 64: 16, 128: 10, 256: 6}
+SCALE_WARMUP = {8: 6, 64: 3, 128: 2, 256: 2}
+SCALE_REPEATS = 2
+
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _merge_into_result_file(sections: dict) -> dict:
+    """Overwrite ``sections`` inside BENCH_engine.json, keeping the others.
+
+    The perf smoke and the scale sweep run in different CI jobs; each owns
+    its own top-level sections and must not clobber the other's.
+    """
+    report = {}
+    if RESULT_PATH.exists():
+        try:
+            report = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    report.update(sections)
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
 
 
 def build_cluster(
@@ -81,6 +124,56 @@ def build_cluster(
     return SimulatedCluster(
         model_factory=lambda rng: MLP(mlp_sizes, rng=rng),
         optimizer_factory=optimizer_factory,
+        train_dataset=train,
+        test_dataset=test,
+        config=config,
+        partitioner=SelSyncPartitioner(seed=seed),
+    )
+
+
+def build_scale_mlp_cluster(num_workers: int, seed: int = 0):
+    from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+    from repro.data.datasets import make_classification_splits
+    from repro.data.partition import SelSyncPartitioner
+    from repro.nn.models import MLP
+    from repro.optim.sgd import SGD
+
+    samples = max(2 * num_workers * SCALE_MLP_BATCH, 2048)
+    train, test = make_classification_splits(
+        samples, 256, SCALE_MLP_SIZES[-1], SCALE_MLP_SIZES[0], class_sep=3.0, noise=0.6, seed=seed
+    )
+    config = ClusterConfig(num_workers=num_workers, batch_size=SCALE_MLP_BATCH, seed=seed)
+    return SimulatedCluster(
+        model_factory=lambda rng: MLP(SCALE_MLP_SIZES, rng=rng),
+        optimizer_factory=lambda m: SGD(m, lr=0.05, momentum=0.9),
+        train_dataset=train,
+        test_dataset=test,
+        config=config,
+        partitioner=SelSyncPartitioner(seed=seed),
+    )
+
+
+def build_scale_lm_cluster(num_workers: int, seed: int = 0):
+    from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+    from repro.data.datasets import make_sequence_splits
+    from repro.data.partition import SelSyncPartitioner
+    from repro.nn.models import TransformerLM
+    from repro.optim.sgd import SGD
+
+    tokens = max(2 * num_workers * SCALE_LM_BATCH * SCALE_LM_BPTT, 4096)
+    train, test = make_sequence_splits(
+        tokens, 512, SCALE_LM["vocab_size"], bptt=SCALE_LM_BPTT, seed=seed
+    )
+    config = ClusterConfig(
+        num_workers=num_workers,
+        batch_size=SCALE_LM_BATCH,
+        seed=seed,
+        task="language_modeling",
+        workload="transformer",
+    )
+    return SimulatedCluster(
+        model_factory=lambda rng: TransformerLM(dropout=0.0, rng=rng, **SCALE_LM),
+        optimizer_factory=lambda m: SGD(m, lr=0.1),
         train_dataset=train,
         test_dataset=test,
         config=config,
@@ -134,6 +227,53 @@ def measure_variant(dtype: str, optimizer: str, mlp_sizes, batch_size: int) -> f
     return best
 
 
+def measure_scale_point(build, num_workers: int, disable_executor: bool = False) -> float:
+    """Best-of-``SCALE_REPEATS`` BSP steps/sec for one cluster size."""
+    best = 0.0
+    for _ in range(SCALE_REPEATS):
+        cluster = build(num_workers)
+        if disable_executor:
+            cluster.replica_exec = None
+        trainer = _make_trainer("bsp", cluster)
+        best = max(
+            best,
+            _time_trainer(
+                cluster, trainer, SCALE_STEPS[num_workers], SCALE_WARMUP[num_workers]
+            ),
+        )
+    return best
+
+
+def run_scale_sweep() -> dict:
+    """N in {8..256} BSP steps/sec on the MLP and transformer analogs."""
+    mlp = {
+        str(n): measure_scale_point(build_scale_mlp_cluster, n) for n in SCALE_WORKERS
+    }
+    transformer = {
+        str(n): measure_scale_point(build_scale_lm_cluster, n) for n in SCALE_WORKERS
+    }
+    # Batched-executor contrast: the same transformer cluster forced onto the
+    # per-worker fallback loop at N=8 (the milestone's gate denominator).
+    per_worker_n8 = measure_scale_point(
+        build_scale_lm_cluster, 8, disable_executor=True
+    )
+    return {
+        "config": {
+            "workers": list(SCALE_WORKERS),
+            "mlp_sizes": list(SCALE_MLP_SIZES),
+            "mlp_batch_size": SCALE_MLP_BATCH,
+            "transformer": dict(SCALE_LM),
+            "transformer_batch_size": SCALE_LM_BATCH,
+            "transformer_bptt": SCALE_LM_BPTT,
+            "steps": {str(n): SCALE_STEPS[n] for n in SCALE_WORKERS},
+            "repeats": SCALE_REPEATS,
+        },
+        "steps_per_sec": {"mlp": mlp, "transformer": transformer},
+        "transformer_per_worker_n8_steps_per_sec": per_worker_n8,
+        "transformer_batched_speedup_n8": transformer["8"] / per_worker_n8,
+    }
+
+
 def run_benchmark() -> dict:
     current = {name: measure_steps_per_sec(name) for name in ("bsp", "selsync")}
     dtype_mode = {
@@ -179,7 +319,7 @@ def test_perf_smoke(request):
     if not request.config.getoption("--run-perf"):
         pytest.skip("perf smoke runs only with --run-perf")
     report = run_benchmark()
-    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    _merge_into_result_file(report)
     lines = [
         f"{name}: {report['current_steps_per_sec'][name]:.0f} steps/s "
         f"({report['speedup_over_baseline'][name]:.2f}x over seed baseline)"
@@ -212,5 +352,29 @@ def test_perf_smoke(request):
     assert dtype_mode["float32_speedup_over_float64"] >= 1.5
 
 
+@pytest.mark.perf
+def test_scale_sweep(request):
+    if not request.config.getoption("--run-scale"):
+        pytest.skip("scale sweep runs only with --run-scale")
+    sweep = run_scale_sweep()
+    _merge_into_result_file({"scale_sweep": sweep})
+    lines = []
+    for model in ("mlp", "transformer"):
+        curve = ", ".join(
+            f"N={n}: {sweep['steps_per_sec'][model][str(n)]:.1f}" for n in SCALE_WORKERS
+        )
+        lines.append(f"{model} steps/s — {curve}")
+    lines.append(
+        f"transformer batched vs per-worker at N=8: "
+        f"{sweep['steps_per_sec']['transformer']['8']:.1f} vs "
+        f"{sweep['transformer_per_worker_n8_steps_per_sec']:.1f} steps/s "
+        f"({sweep['transformer_batched_speedup_n8']:.2f}x)"
+    )
+    print("\n" + "\n".join(lines) + f"\n[merged into {RESULT_PATH}]")
+    # The transformer-executor milestone's acceptance gate: the batched path
+    # >= 3x the per-worker fallback on the N=8 BSP loop.
+    assert sweep["transformer_batched_speedup_n8"] >= 3.0
+
+
 if __name__ == "__main__":  # standalone: python benchmarks/perf_smoke.py
-    print(json.dumps(run_benchmark(), indent=2))
+    print(json.dumps({**run_benchmark(), "scale_sweep": run_scale_sweep()}, indent=2))

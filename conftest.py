@@ -7,6 +7,10 @@ from any invocation directory:
 * ``perf`` marker / ``--run-perf`` — engine perf-tracking benchmarks
   (``benchmarks/perf_smoke.py``), skipped unless explicitly requested.
   ``--run-perf`` also (re)writes ``BENCH_engine.json`` at the repo root.
+* ``--run-scale`` — the large-N scale sweep (N = 8..256 on the MLP and
+  transformer analogs); merges a ``scale_sweep`` section into
+  ``BENCH_engine.json``.  Slower than the perf smoke, so it runs in the
+  nightly workflow rather than per-PR CI.
 * ``--write-results`` — opt-in persistence of the figure benchmarks'
   ``benchmarks/results/*.txt`` reports.  Plain test runs never touch the
   working tree; CI and result-regeneration runs pass the flag.
@@ -21,6 +25,12 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="run the engine perf smoke benchmark (writes BENCH_engine.json)",
+    )
+    parser.addoption(
+        "--run-scale",
+        action="store_true",
+        default=False,
+        help="run the large-N scale sweep (merges scale_sweep into BENCH_engine.json)",
     )
     parser.addoption(
         "--write-results",

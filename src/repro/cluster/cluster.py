@@ -26,7 +26,13 @@ from repro.cluster.worker import Worker
 from repro.comm.backend import InProcessBackend
 from repro.comm.cost_model import CommunicationCostModel
 from repro.comm.parameter_server import ParameterServer
-from repro.engine import BatchedReplicaExecutor, WorkerMatrix, build_fused_update, resolve_dtype
+from repro.engine import (
+    BatchedReplicaExecutor,
+    WorkerMatrix,
+    build_fused_update,
+    resolve_dtype,
+    resolve_transport_dtype,
+)
 from repro.data.loader import DataLoader
 from repro.data.partition import DefaultPartitioner, Partitioner
 from repro.metrics.evaluation import EvalResult, evaluate_model
@@ -46,6 +52,13 @@ class ClusterConfig:
     ``dtype`` selects the engine compute dtype: ``"float64"`` (default, the
     seed's bit-exact regime) or ``"float32"`` (the paper clusters' numerical
     regime; roughly half the memory traffic per step).
+
+    ``transport_dtype`` selects the simulated *wire* format for model
+    payloads independently of the compute dtype: ``None`` keeps the
+    canonical float32 wire, ``"float16"`` prices half-precision transfers
+    (halving every sync round on the simulated clock), ``"float64"`` a
+    double-precision wire.  Only byte accounting changes — the replicas
+    still train in the compute dtype.
     """
 
     num_workers: int = 4
@@ -55,6 +68,7 @@ class ClusterConfig:
     workload: str = "resnet101"
     topology: str = "ps"
     dtype: str = "float64"
+    transport_dtype: Optional[str] = None
     eval_batch_size: int = 512
     eval_max_batches: Optional[int] = 8
     top_k: Optional[int] = None
@@ -73,6 +87,8 @@ class ClusterConfig:
             )
         # Raises on unsupported dtypes (anything outside float32/float64).
         resolve_dtype(self.dtype)
+        # Raises on unsupported transport dtypes (None -> float32 wire).
+        resolve_transport_dtype(self.transport_dtype)
 
 
 class SimulatedCluster:
@@ -130,21 +146,30 @@ class SimulatedCluster:
                 Worker(worker_id, model, optimizer, loader, task=config.task)
             )
 
-        self.ps = ParameterServer(initial_state, num_workers=n, dtype=self.dtype)
+        self.ps = ParameterServer(
+            initial_state,
+            num_workers=n,
+            dtype=self.dtype,
+            transport_dtype=config.transport_dtype,
+        )
         # Fused all-replica forward/backward when the model family supports
         # it (None otherwise; compute_gradients_all falls back to the loop).
-        self.replica_exec = (
-            BatchedReplicaExecutor.build(self.matrix, self.workers[0].model)
-            if config.task == "classification"
-            else None
+        # Both tasks share the cross-entropy arithmetic, so classification
+        # (MLP/conv) and language modeling (transformer) batch the same way.
+        self.replica_exec = BatchedReplicaExecutor.build(
+            self.matrix, self.workers[0].model
         )
         # Fused all-worker optimizer stepping when every worker runs the
         # same SGD or Adam configuration (None otherwise; apply_local_updates
         # then loops over the per-worker optimizers).
         self.fused_update = build_fused_update(self.workers, self.matrix)
-        self.backend = InProcessBackend(world_size=n)
+        self.backend = InProcessBackend(
+            world_size=n, transport_dtype=config.transport_dtype
+        )
         self.clock = SimulatedClock(num_workers=n)
-        self.comm_model = CommunicationCostModel(topology=config.topology)
+        self.comm_model = CommunicationCostModel(
+            topology=config.topology, transport_dtype=config.transport_dtype
+        )
         self.workload_spec: WorkloadSpec = PAPER_WORKLOADS[config.workload]
         self.compute_model = ComputeCostModel(self.workload_spec)
         self.speed_model = config.speed_model

@@ -15,7 +15,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine.dtypes import WIRE_DTYPE_BYTES
+from repro.engine.dtypes import WIRE_DTYPE_BYTES, transport_dtype_bytes
 from repro.utils.flatten import flatten_arrays, unflatten_vector
 
 
@@ -42,15 +42,23 @@ class CommunicationRecord:
 
 
 class InProcessBackend:
-    """Collective operations across ``world_size`` simulated ranks."""
+    """Collective operations across ``world_size`` simulated ranks.
+
+    ``transport_dtype`` overrides the per-element width used for byte
+    accounting (``None`` keeps the canonical float32 wire); the arrays
+    themselves are never cast — only the recorded wire volume changes.
+    """
 
     #: bytes per element assumed for transport accounting (float32 on the wire)
     DTYPE_BYTES = WIRE_DTYPE_BYTES
 
-    def __init__(self, world_size: int) -> None:
+    def __init__(self, world_size: int, transport_dtype: Optional[str] = None) -> None:
         if world_size < 1:
             raise ValueError(f"world_size must be >= 1, got {world_size}")
         self.world_size = int(world_size)
+        self.transport_dtype = transport_dtype
+        # None resolves to the canonical float32 wire (== DTYPE_BYTES).
+        self.dtype_bytes = transport_dtype_bytes(transport_dtype)
         self.record = CommunicationRecord()
         self._mailboxes: Dict[int, List[Tuple[int, object]]] = {
             rank: [] for rank in range(world_size)
@@ -84,7 +92,7 @@ class InProcessBackend:
             reduced = stacked.max(axis=0)
         else:
             raise ValueError(f"unsupported allreduce op {op!r}")
-        per_element = arrays[0].size * self.DTYPE_BYTES
+        per_element = arrays[0].size * self.dtype_bytes
         # Ring all-reduce moves ~2x the payload per rank.
         self.record.record("allreduce", 2.0 * per_element * self.world_size)
         return [reduced.copy() for _ in range(self.world_size)]
@@ -93,7 +101,7 @@ class InProcessBackend:
         """Every rank receives the concatenation of all ranks' arrays."""
         arrays = self._check_inputs(per_rank)
         gathered = np.stack(arrays)
-        payload = gathered.size * self.DTYPE_BYTES
+        payload = gathered.size * self.dtype_bytes
         self.record.record("allgather", float(payload) * self.world_size)
         return [gathered.copy() for _ in range(self.world_size)]
 
@@ -114,7 +122,7 @@ class InProcessBackend:
             raise ValueError(f"root {root} out of range for world size {self.world_size}")
         value = _as_float_array(value)
         self.record.record(
-            "broadcast", float(value.size * self.DTYPE_BYTES * (self.world_size - 1))
+            "broadcast", float(value.size * self.dtype_bytes * (self.world_size - 1))
         )
         return [value.copy() for _ in range(self.world_size)]
 
@@ -126,7 +134,7 @@ class InProcessBackend:
         stacked = np.stack(arrays)
         reduced = stacked.mean(axis=0) if op == "mean" else stacked.sum(axis=0)
         self.record.record(
-            "reduce", float(arrays[0].size * self.DTYPE_BYTES * (self.world_size - 1))
+            "reduce", float(arrays[0].size * self.dtype_bytes * (self.world_size - 1))
         )
         return reduced
 
@@ -135,7 +143,7 @@ class InProcessBackend:
             raise ValueError(f"root {root} out of range for world size {self.world_size}")
         arrays = self._check_inputs(per_rank)
         self.record.record(
-            "gather", float(arrays[0].size * self.DTYPE_BYTES * (self.world_size - 1))
+            "gather", float(arrays[0].size * self.dtype_bytes * (self.world_size - 1))
         )
         return [a.copy() for a in arrays]
 
@@ -160,7 +168,7 @@ class InProcessBackend:
             reduced = matrix.max(axis=0)
         else:
             raise ValueError(f"unsupported allreduce op {op!r}")
-        per_element = matrix.shape[1] * self.DTYPE_BYTES
+        per_element = matrix.shape[1] * self.dtype_bytes
         # Ring all-reduce moves ~2x the payload per rank.
         self.record.record("allreduce", 2.0 * per_element * self.world_size)
         return reduced

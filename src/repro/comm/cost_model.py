@@ -23,23 +23,37 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from typing import Optional
+
 from repro.comm.network import NetworkModel
-from repro.engine.dtypes import WIRE_DTYPE_BYTES, wire_dtype_bytes
+from repro.engine.dtypes import (
+    WIRE_DTYPE_BYTES,
+    transport_dtype_bytes,
+    transport_scale,
+    wire_dtype_bytes,
+)
 
 
 def wire_bytes(
-    num_elements: int, dtype_bytes: int = WIRE_DTYPE_BYTES, dtype=None
+    num_elements: int,
+    dtype_bytes: int = WIRE_DTYPE_BYTES,
+    dtype=None,
+    transport_dtype=None,
 ) -> float:
     """On-wire size of ``num_elements`` tensor entries.
 
     All ``model_bytes`` arguments below are expected in wire bytes computed
     through :mod:`repro.engine.dtypes` — the single owner of the dtype ->
     wire-bytes mapping shared with the flatten utilities, the backend and
-    the compression layer — so a future float16/quantized transport mode
-    changes the clock consistently everywhere.  Pass ``dtype`` to charge a
-    specific compute dtype's wire width instead of ``dtype_bytes``.
+    the compression layer — so the float16/quantized transport modes change
+    the clock consistently everywhere.  Pass ``dtype`` to charge a specific
+    compute dtype's wire width instead of ``dtype_bytes``, or
+    ``transport_dtype`` to price an explicit wire format (``"float16"``
+    charges 2 bytes/element regardless of the compute dtype).
     """
-    if dtype is not None:
+    if transport_dtype is not None:
+        dtype_bytes = transport_dtype_bytes(transport_dtype)
+    elif dtype is not None:
         dtype_bytes = wire_dtype_bytes(dtype)
     return float(num_elements) * float(dtype_bytes)
 
@@ -114,10 +128,18 @@ def allgather_bits_seconds(num_workers: int, network: NetworkModel) -> float:
 
 @dataclass
 class CommunicationCostModel:
-    """Bundles a network model and topology choice into per-round costs."""
+    """Bundles a network model, topology and transport dtype into per-round costs.
+
+    ``transport_dtype`` selects the wire format for *model payloads*
+    (``None`` means the canonical float32 wire): ``"float16"`` halves every
+    synchronization transfer, ``"float64"`` doubles it.  The flags
+    all-gather (status bits) and raw point-to-point payloads are priced
+    verbatim — they are not tensor payloads.
+    """
 
     network: NetworkModel = NetworkModel()
     topology: str = "ps"
+    transport_dtype: Optional[str] = None
 
     _TOPOLOGIES = ("ps", "ring", "tree")
 
@@ -126,9 +148,26 @@ class CommunicationCostModel:
             raise ValueError(
                 f"unknown topology {self.topology!r}; choose from {self._TOPOLOGIES}"
             )
+        # Raises on unknown transport dtypes; the scale is fixed per model.
+        self._wire_scale = transport_scale(self.transport_dtype)
 
-    def sync_seconds(self, model_bytes: float, num_workers: int) -> float:
-        """Full-model aggregation round (push + pull / all-reduce)."""
+    @property
+    def wire_scale(self) -> float:
+        """Payload scale of the configured transport dtype (float32 = 1.0)."""
+        return self._wire_scale
+
+    def sync_seconds(
+        self, model_bytes: float, num_workers: int, scale_transport: bool = True
+    ) -> float:
+        """Full-model aggregation round (push + pull / all-reduce).
+
+        ``scale_transport=False`` skips the transport-dtype scale: callers
+        whose byte count already reflects the true wire format (the
+        compression layer prices its own payloads, e.g. FP16's 2
+        bytes/element) must not be discounted a second time.
+        """
+        if scale_transport:
+            model_bytes = model_bytes * self._wire_scale
         if self.topology == "ps":
             return ps_sync_seconds(model_bytes, num_workers, self.network)
         if self.topology == "ring":
@@ -150,5 +189,7 @@ class CommunicationCostModel:
         practice most of it overlaps with the next step's compute; the
         non-overlapped fraction is charged here.
         """
-        full = self.network.transfer_seconds(2.0 * model_bytes, num_messages=2)
+        full = self.network.transfer_seconds(
+            2.0 * model_bytes * self._wire_scale, num_messages=2
+        )
         return 0.25 * full

@@ -25,7 +25,7 @@ from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
-from repro.engine.dtypes import DTypeLike, wire_dtype_bytes
+from repro.engine.dtypes import DTypeLike, transport_dtype_bytes, wire_dtype_bytes
 from repro.engine.flat_buffer import FlatBuffer, ParamSpec
 
 
@@ -34,7 +34,10 @@ class ParameterServer:
 
     ``dtype`` selects the compute dtype of the global flat state (the
     engine's float64 default when omitted); wire-byte accounting follows the
-    dtype through :func:`repro.engine.dtypes.wire_dtype_bytes`.
+    dtype through :func:`repro.engine.dtypes.wire_dtype_bytes`, unless a
+    ``transport_dtype`` override prices an explicit wire format (so pushed /
+    pulled bytes stay consistent with the backend's records and the clock
+    when the cluster runs a float16 wire).
     """
 
     def __init__(
@@ -42,9 +45,11 @@ class ParameterServer:
         initial_state: Mapping[str, np.ndarray],
         num_workers: int,
         dtype: DTypeLike = None,
+        transport_dtype: DTypeLike = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.transport_dtype = transport_dtype
         self._buffer = FlatBuffer.from_tree(initial_state, dtype=dtype)
         self.spec: ParamSpec = self._buffer.spec
         # Named zero-copy views into the flat buffer (the legacy dict API).
@@ -79,7 +84,13 @@ class ParameterServer:
         return self._buffer.vector
 
     def state_bytes(self) -> int:
-        """Model size in transported bytes (wire width of the compute dtype)."""
+        """Model size in transported bytes.
+
+        The wire width of the compute dtype by default; an explicit
+        ``transport_dtype`` (e.g. a float16 wire) prices its native width.
+        """
+        if self.transport_dtype is not None:
+            return self._buffer.size * transport_dtype_bytes(self.transport_dtype)
         return self._buffer.size * wire_dtype_bytes(self._buffer.dtype)
 
     def aggregate_parameters(

@@ -5,10 +5,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.compression.base import CompressedPayload, Compressor
+from repro.engine.dtypes import transport_dtype_bytes
 
 
 class FP16Compressor(Compressor):
-    """Cast gradients to float16 on the wire (GradientFlow-style 2x saving)."""
+    """Cast gradients to float16 on the wire (GradientFlow-style 2x saving).
+
+    The payload is priced through the engine's float16 *transport* entry, so
+    the bytes charged here and the half-precision wire mode of the cost
+    models stay consistent by construction.
+    """
 
     name = "fp16"
 
@@ -21,7 +27,7 @@ class FP16Compressor(Compressor):
         return CompressedPayload(
             data={"half": half},
             original_size=vector.size,
-            compressed_bytes=float(vector.size * 2),
+            compressed_bytes=float(vector.size * transport_dtype_bytes(np.float16)),
             dtype=vector.dtype,
         )
 

@@ -72,8 +72,13 @@ class CompressedBSPTrainer(BaseTrainer):
         averaged = np.mean(compressed_vectors, axis=0)
 
         # Charge a full sync scaled down by the achieved compression ratio.
+        # The compressor's payload bytes already reflect the true wire
+        # format (FP16 ships 2 bytes/element, sign bits 1/8, ...), so the
+        # cost model's transport-dtype scale must not discount them again.
         seconds = cluster.comm_model.sync_seconds(
-            cluster.workload_spec.model_bytes / max(mean_ratio, 1.0), cluster.num_workers
+            cluster.workload_spec.model_bytes / max(mean_ratio, 1.0),
+            cluster.num_workers,
+            scale_transport=False,
         )
         cluster.clock.barrier_and_add(seconds, bucket="communication")
         cluster.backend.record.record(

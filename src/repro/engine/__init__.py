@@ -11,10 +11,15 @@ whole-cluster optimizer updates (:class:`FusedSGDUpdate`,
 
 from repro.engine.dtypes import (
     DEFAULT_DTYPE,
+    DEFAULT_TRANSPORT_DTYPE,
     SUPPORTED_DTYPES,
+    TRANSPORT_DTYPES,
     WIRE_DTYPE_BYTES,
     dtype_name,
     resolve_dtype,
+    resolve_transport_dtype,
+    transport_dtype_bytes,
+    transport_scale,
     wire_dtype_bytes,
 )
 from repro.engine.flat_buffer import FlatBuffer, ParamSpec
@@ -25,15 +30,20 @@ from repro.engine.worker_matrix import WorkerMatrix
 __all__ = [
     "BatchedReplicaExecutor",
     "DEFAULT_DTYPE",
+    "DEFAULT_TRANSPORT_DTYPE",
     "FlatBuffer",
     "FusedAdamUpdate",
     "FusedSGDUpdate",
     "ParamSpec",
     "SUPPORTED_DTYPES",
+    "TRANSPORT_DTYPES",
     "WIRE_DTYPE_BYTES",
     "WorkerMatrix",
     "build_fused_update",
     "dtype_name",
     "resolve_dtype",
+    "resolve_transport_dtype",
+    "transport_dtype_bytes",
+    "transport_scale",
     "wire_dtype_bytes",
 ]

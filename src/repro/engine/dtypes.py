@@ -17,6 +17,15 @@ Transport convention: distributed frameworks ship tensors as float32 on the
 wire regardless of the training dtype, so both supported compute dtypes map
 to 4 wire bytes per element; narrower future compute dtypes would ship at
 their native width (the wire is never wider than the compute dtype).
+
+Separately from the *compute* dtype, a **transport dtype** can override what
+the wire actually carries: ``float16`` models mixed-precision communication
+(GradientFlow-style half-precision payloads, the same 2-byte elements the
+FP16 compressor ships), ``float32`` is the canonical default, and
+``float64`` prices an uncompressed double-precision wire.  The transport
+dtype only affects byte accounting — the simulated clock and the backend's
+communication records — never the arithmetic, so wire-time experiments can
+price half-precision payloads without changing the compute dtype.
 """
 
 from __future__ import annotations
@@ -43,6 +52,22 @@ _WIRE_BYTES = {
 #: Compute dtypes the engine accepts.
 SUPPORTED_DTYPES = tuple(sorted(_WIRE_BYTES, key=lambda d: d.itemsize))
 
+#: The canonical wire format (what frameworks ship absent an override).
+DEFAULT_TRANSPORT_DTYPE = np.dtype(np.float32)
+
+#: Transport dtype -> bytes per element actually carried on the wire.
+#: ``float16`` is the half-precision payload the compression layer's FP16
+#: format models; it is a *transport* mode only and stays rejected as a
+#: compute dtype.
+_TRANSPORT_BYTES = {
+    np.dtype(np.float16): 2,
+    np.dtype(np.float32): 4,
+    np.dtype(np.float64): 8,
+}
+
+#: Transport dtypes the simulated wire accepts.
+TRANSPORT_DTYPES = tuple(sorted(_TRANSPORT_BYTES, key=lambda d: d.itemsize))
+
 
 def resolve_dtype(dtype: DTypeLike = None) -> np.dtype:
     """Normalize a dtype-like value (``None`` -> :data:`DEFAULT_DTYPE`).
@@ -67,6 +92,38 @@ def wire_dtype_bytes(dtype: DTypeLike = None) -> int:
     return _WIRE_BYTES[resolve_dtype(dtype)]
 
 
+def resolve_transport_dtype(dtype: DTypeLike = None) -> np.dtype:
+    """Normalize a transport dtype (``None`` -> :data:`DEFAULT_TRANSPORT_DTYPE`).
+
+    Unlike :func:`resolve_dtype` this accepts ``float16`` — the wire may be
+    narrower than any compute dtype the engine runs.
+    """
+    if dtype is None:
+        return DEFAULT_TRANSPORT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in _TRANSPORT_BYTES:
+        supported = ", ".join(d.name for d in TRANSPORT_DTYPES)
+        raise TypeError(
+            f"unsupported transport dtype {resolved.name!r}; supported: {supported}"
+        )
+    return resolved
+
+
+def transport_dtype_bytes(dtype: DTypeLike = None) -> int:
+    """Bytes one element of the given *transport* dtype carries on the wire."""
+    return _TRANSPORT_BYTES[resolve_transport_dtype(dtype)]
+
+
+def transport_scale(dtype: DTypeLike = None) -> float:
+    """Wire-volume scale of a transport dtype relative to the float32 default.
+
+    ``float16`` -> 0.5, ``float32`` -> 1.0, ``float64`` -> 2.0.  Cost models
+    multiply their float32-denominated ``model_bytes`` by this factor so one
+    transport switch re-prices every collective consistently.
+    """
+    return transport_dtype_bytes(dtype) / float(WIRE_DTYPE_BYTES)
+
+
 def dtype_name(dtype: DTypeLike = None) -> str:
     """Canonical short name (``"float32"`` / ``"float64"``) for reports."""
     return resolve_dtype(dtype).name
@@ -84,11 +141,16 @@ def machine_epsilon(dtype: DTypeLike = None) -> float:
 
 __all__ = [
     "DEFAULT_DTYPE",
+    "DEFAULT_TRANSPORT_DTYPE",
     "SUPPORTED_DTYPES",
+    "TRANSPORT_DTYPES",
     "WIRE_DTYPE_BYTES",
     "as_compute_array",
     "dtype_name",
     "machine_epsilon",
     "resolve_dtype",
+    "resolve_transport_dtype",
+    "transport_dtype_bytes",
+    "transport_scale",
     "wire_dtype_bytes",
 ]

@@ -8,18 +8,26 @@ cluster as batched NumPy calls — one fused call per layer instead of one
 Python call per layer *per worker* — writing gradients straight into the
 gradient matrix rows.
 
-Two model families are supported:
+Three model families are supported:
 
 * the **MLP family** (chains of Linear / ReLU / Tanh on a classification
-  head), which covers the simulator's hot benchmarks, and
+  head), which covers the simulator's hot benchmarks,
 * the **conv family** (:class:`~repro.nn.models.convnet.ConvNet`: Conv2d /
   ReLU / MaxPool2d / GlobalAvgPool2d features plus a Linear head), the
   non-MLP workload used to measure dtype-mode speedups on spatially
-  structured inputs.
+  structured inputs, and
+* the **transformer family**
+  (:class:`~repro.nn.models.transformer.TransformerLM`: embedding +
+  positional encoding, pre-norm encoder blocks with multi-head causal
+  self-attention and a ReLU feed-forward, final norm and LM head).  Token
+  batches flow as ``(N, batch, seq)`` integer blocks; every contraction —
+  projections, attention scores, softmax backward — runs once for all
+  replicas via ``(N, ...)`` einsum/GEMM calls over the weight views.
 
 All arithmetic runs in the worker matrix's compute dtype (float64 default,
 float32 in the reduced-precision mode).  Clusters with unsupported models
-fall back to the per-worker loop transparently.
+(or transformers with active dropout, whose per-worker RNG streams cannot
+be replayed batched) fall back to the per-worker loop transparently.
 """
 
 from __future__ import annotations
@@ -32,7 +40,15 @@ from repro.engine.worker_matrix import WorkerMatrix
 
 
 class _BatchedLinear:
-    """All workers' copies of one Linear layer as (N, out, in) views."""
+    """All workers' copies of one Linear layer as (N, out, in) views.
+
+    Accepts ``(N, batch, in)`` blocks (the MLP / conv-head case) and
+    ``(N, batch, seq, in)`` sequence blocks (the transformer case).  The
+    4-D path folds the sequence axis into the batch axis — one
+    ``(batch*seq, in) @ (in, out)`` GEMM per replica, exactly the collapsed
+    GEMM the per-worker ``Linear`` issues — keeping the two paths
+    bit-identical in float64.
+    """
 
     def __init__(
         self,
@@ -46,20 +62,35 @@ class _BatchedLinear:
         self.bias = bias              # (N, out) view or None
         self.bias_grad = bias_grad
         self._x: Optional[np.ndarray] = None
+        self._seq_shape: Optional[Tuple[int, ...]] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim == 4:
+            self._seq_shape = x.shape[:3]
+            x = np.ascontiguousarray(x).reshape(x.shape[0], -1, x.shape[-1])
+        else:
+            self._seq_shape = None
         self._x = x
         out = np.matmul(x, self.weight.transpose(0, 2, 1))
         if self.bias is not None:
             out += self.bias[:, None, :]
+        if self._seq_shape is not None:
+            return out.reshape(self._seq_shape + (out.shape[-1],))
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if grad_out.ndim == 4:
+            grad_out = np.ascontiguousarray(grad_out).reshape(
+                grad_out.shape[0], -1, grad_out.shape[-1]
+            )
         # Accumulate-from-zero semantics: one batched write per tensor.
         np.matmul(grad_out.transpose(0, 2, 1), self._x, out=self.weight_grad)
         if self.bias_grad is not None:
             self.bias_grad[...] = grad_out.sum(axis=1)
-        return np.matmul(grad_out, self.weight)
+        grad_in = np.matmul(grad_out, self.weight)
+        if self._seq_shape is not None:
+            return grad_in.reshape(self._seq_shape + (grad_in.shape[-1],))
+        return grad_in
 
 
 class _BatchedReLU:
@@ -226,6 +257,223 @@ class _BatchedGlobalAvgPool2d:
         ).copy()
 
 
+class _BatchedEmbedding:
+    """All workers' token-embedding tables as (N, vocab, dim) views."""
+
+    def __init__(self, weight: np.ndarray, weight_grad: np.ndarray) -> None:
+        self.weight = weight            # (N, vocab, dim) view into params matrix
+        self.weight_grad = weight_grad
+        self._ids: Optional[np.ndarray] = None
+        self._rows: Optional[np.ndarray] = None
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        n = self.weight.shape[0]
+        if self._rows is None or self._rows.shape[0] != n:
+            self._rows = np.arange(n)[:, None, None]
+        self._ids = ids                  # (N, B, T) integer token ids
+        return self.weight[self._rows, ids]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        # Scatter-add per replica; the embedding rows are the only gradient
+        # entries not produced by an overwriting matmul, so zero them first
+        # (accumulate-from-zero semantics, matching Module.zero_grad()).
+        self.weight_grad[...] = 0.0
+        np.add.at(self.weight_grad, (self._rows, self._ids), grad_out)
+        # Token ids carry no gradient.
+        return np.zeros(self._ids.shape, dtype=grad_out.dtype)
+
+
+class _BatchedPositionalEncoding:
+    """Worker-independent sinusoidal table added to all replicas at once."""
+
+    def __init__(self, pe: np.ndarray) -> None:
+        self.pe = pe                    # (max_len, d_model), float64 master copy
+        self._pe_cast: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        seq_len = x.shape[2]
+        if seq_len > self.pe.shape[0]:
+            # Same explicit failure as the per-worker PositionalEncoding
+            # (slicing past the table would otherwise mis-broadcast).
+            raise ValueError(
+                f"sequence length {seq_len} exceeds positional table {self.pe.shape[0]}"
+            )
+        pe = self.pe[:seq_len]
+        if pe.dtype != x.dtype:
+            if self._pe_cast is None or self._pe_cast.dtype != x.dtype:
+                self._pe_cast = self.pe.astype(x.dtype)
+            pe = self._pe_cast[:seq_len]
+        return x + pe
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+class _BatchedLayerNorm:
+    """All workers' LayerNorm over (N, B, T, d) activations in one pass."""
+
+    def __init__(
+        self,
+        gamma: np.ndarray,
+        gamma_grad: np.ndarray,
+        beta: np.ndarray,
+        beta_grad: np.ndarray,
+        eps: float,
+    ) -> None:
+        self.gamma = gamma              # (N, d) view into params matrix
+        self.gamma_grad = gamma_grad
+        self.beta = beta                # (N, d) view
+        self.beta_grad = beta_grad
+        self.eps = eps
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std)
+        return self.gamma[:, None, None, :] * x_hat + self.beta[:, None, None, :]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x_hat, inv_std = self._cache
+        d = x_hat.shape[-1]
+        self.gamma_grad[...] = (grad_out * x_hat).sum(axis=(1, 2))
+        self.beta_grad[...] = grad_out.sum(axis=(1, 2))
+        dxhat = grad_out * self.gamma[:, None, None, :]
+        return (
+            inv_std
+            / d
+            * (
+                d * dxhat
+                - dxhat.sum(axis=-1, keepdims=True)
+                - x_hat * (dxhat * x_hat).sum(axis=-1, keepdims=True)
+            )
+        )
+
+
+class _BatchedSelfAttention:
+    """Multi-head causal self-attention for every replica in one einsum chain.
+
+    The score / context contractions use the same einsum index patterns as
+    the per-worker :class:`~repro.nn.attention.MultiHeadSelfAttention` with a
+    leading replica axis, so the float64 arithmetic (including the softmax
+    backward across replicas) is bit-identical to the fallback loop.
+    """
+
+    def __init__(
+        self,
+        q_proj: _BatchedLinear,
+        k_proj: _BatchedLinear,
+        v_proj: _BatchedLinear,
+        out_proj: _BatchedLinear,
+        num_heads: int,
+        d_head: int,
+        causal: bool,
+    ) -> None:
+        self.q_proj = q_proj
+        self.k_proj = k_proj
+        self.v_proj = v_proj
+        self.out_proj = out_proj
+        self.num_heads = num_heads
+        self.d_head = d_head
+        self.causal = causal
+        self._cache = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        n, b, t, _ = x.shape
+        return x.reshape(n, b, t, self.num_heads, self.d_head).transpose(0, 1, 3, 2, 4)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        n, b, h, t, d = x.shape
+        return np.ascontiguousarray(x.transpose(0, 1, 3, 2, 4)).reshape(n, b, t, h * d)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        q = self._split_heads(self.q_proj.forward(x))
+        k = self._split_heads(self.k_proj.forward(x))
+        v = self._split_heads(self.v_proj.forward(x))
+        scale = 1.0 / np.sqrt(self.d_head)
+        # Stacked GEMMs over (N, B, H) slices: identical per-slice shapes to
+        # the per-worker attention's matmuls, so float64 results are
+        # bit-identical to the fallback loop.
+        scores = np.matmul(q, k.swapaxes(-1, -2)) * scale
+        if self.causal:
+            t = x.shape[2]
+            mask = np.triu(np.ones((t, t), dtype=bool), k=1)
+            scores = np.where(mask, -1e30, scores)
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        e = np.exp(shifted)
+        attn = e / e.sum(axis=-1, keepdims=True)
+        context = np.matmul(attn, v)
+        out = self.out_proj.forward(self._merge_heads(context))
+        self._cache = (q, k, v, attn, scale)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        q, k, v, attn, scale = self._cache
+        d_merged = self.out_proj.backward(grad_out)
+        n, b, t, _ = d_merged.shape
+        d_context = d_merged.reshape(n, b, t, self.num_heads, self.d_head).transpose(
+            0, 1, 3, 2, 4
+        )
+        d_attn = np.matmul(d_context, v.swapaxes(-1, -2))
+        d_v = np.matmul(attn.swapaxes(-1, -2), d_context)
+        # Softmax backward over the last axis, for all replicas at once.
+        d_scores = attn * (d_attn - (d_attn * attn).sum(axis=-1, keepdims=True))
+        d_scores = d_scores * scale
+        d_q = np.matmul(d_scores, k)
+        d_k = np.matmul(d_scores.swapaxes(-1, -2), q)
+        dx = self.q_proj.backward(self._merge_heads(d_q))
+        dx = dx + self.k_proj.backward(self._merge_heads(d_k))
+        dx = dx + self.v_proj.backward(self._merge_heads(d_v))
+        return dx
+
+
+class _BatchedEncoderLayer:
+    """Pre-norm encoder block (attention + FFN, both residual), batched.
+
+    Mirrors :class:`~repro.nn.attention.TransformerEncoderLayer` exactly;
+    dropout layers are required to be inactive (p == 0) at build time, so
+    they are simply omitted here.
+    """
+
+    def __init__(
+        self,
+        norm1: _BatchedLayerNorm,
+        attn: _BatchedSelfAttention,
+        norm2: _BatchedLayerNorm,
+        ff1: _BatchedLinear,
+        act: _BatchedReLU,
+        ff2: _BatchedLinear,
+    ) -> None:
+        self.norm1 = norm1
+        self.attn = attn
+        self.norm2 = norm2
+        self.ff1 = ff1
+        self.act = act
+        self.ff2 = ff2
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        a = self.norm1.forward(x)
+        a = self.attn.forward(a)
+        x = x + a
+        f = self.norm2.forward(x)
+        f = self.ff1.forward(f)
+        f = self.act.forward(f)
+        f = self.ff2.forward(f)
+        return x + f
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        g_ff = self.ff2.backward(grad_out)
+        g_ff = self.act.backward(g_ff)
+        g_ff = self.ff1.backward(g_ff)
+        g_ff = self.norm2.backward(g_ff)
+        g_mid = grad_out + g_ff
+        g_attn = self.attn.backward(g_mid)
+        g_attn = self.norm1.backward(g_attn)
+        return g_mid + g_attn
+
+
 _INDEX_CACHE: dict = {}
 
 
@@ -264,13 +512,20 @@ class BatchedReplicaExecutor:
     """Fused forward/backward for every replica of a worker matrix at once."""
 
     def __init__(
-        self, layers: Sequence[object], matrix: WorkerMatrix, input_ndim: int = 3
+        self,
+        layers: Sequence[object],
+        matrix: WorkerMatrix,
+        input_ndim: int = 3,
+        token_input: bool = False,
     ) -> None:
         self._layers = list(layers)
         self._matrix = matrix
-        # Expected stacked-input rank: 3 for (N, B, F) MLP batches, 5 for
-        # (N, B, C, H, W) conv batches.
+        # Expected stacked-input rank: 3 for (N, B, F) MLP batches and
+        # (N, B, T) token batches, 5 for (N, B, C, H, W) conv batches.
         self._input_ndim = int(input_ndim)
+        # Token inputs stay integer (embedding lookup) instead of being cast
+        # to the compute dtype.
+        self._token_input = bool(token_input)
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -287,11 +542,14 @@ class BatchedReplicaExecutor:
         # stack, and nn itself only lazily imports the engine.
         from repro.nn.models.convnet import ConvNet
         from repro.nn.models.mlp import MLP
+        from repro.nn.models.transformer import TransformerLM
 
         if type(module) is MLP:
             return cls._build_mlp(matrix, module)
         if type(module) is ConvNet:
             return cls._build_convnet(matrix, module)
+        if type(module) is TransformerLM:
+            return cls._build_transformer(matrix, module)
         return None
 
     # ------------------------------------------------------------------ #
@@ -415,6 +673,122 @@ class BatchedReplicaExecutor:
             return None
         return cls(layers, matrix, input_ndim=5)
 
+    @classmethod
+    def _batched_layernorm(cls, matrix: WorkerMatrix, spec, prefix: str, layer):
+        """(layer, covered_entries) for one LayerNorm, or None if layout-mismatched."""
+        g_name, b_name = prefix + "gamma", prefix + "beta"
+        if g_name not in spec or b_name not in spec:
+            return None
+        g_sl = spec.slice_of(g_name)
+        b_sl = spec.slice_of(b_name)
+        batched = _BatchedLayerNorm(
+            matrix.params[:, g_sl],
+            matrix.grads[:, g_sl],
+            matrix.params[:, b_sl],
+            matrix.grads[:, b_sl],
+            eps=layer.eps,
+        )
+        covered = (g_sl.stop - g_sl.start) + (b_sl.stop - b_sl.start)
+        return batched, covered
+
+    @classmethod
+    def _build_transformer(
+        cls, matrix: WorkerMatrix, module
+    ) -> Optional["BatchedReplicaExecutor"]:
+        from repro.nn.attention import (
+            MultiHeadSelfAttention,
+            PositionalEncoding,
+            TransformerEncoderLayer,
+        )
+        from repro.nn.layers import Embedding, LayerNorm, Linear, ReLU
+
+        spec = matrix.spec
+        n = matrix.num_workers
+        covered = 0
+        layers: List[object] = []
+
+        if type(module.embedding) is not Embedding or "embedding.weight" not in spec:
+            return None
+        e_shape = spec.shape_of("embedding.weight")
+        e_sl = spec.slice_of("embedding.weight")
+        layers.append(
+            _BatchedEmbedding(
+                matrix.params[:, e_sl].reshape((n,) + e_shape),
+                matrix.grads[:, e_sl].reshape((n,) + e_shape),
+            )
+        )
+        covered += e_sl.stop - e_sl.start
+
+        if type(module.pos_encoding) is not PositionalEncoding:
+            return None
+        layers.append(_BatchedPositionalEncoding(module.pos_encoding.pe))
+
+        def seq_linear(prefix: str, layer):
+            nonlocal covered
+            if not isinstance(layer, Linear):
+                return None
+            built = cls._batched_linear(matrix, spec, prefix, layer)
+            if built is None:
+                return None
+            covered += built[1]
+            return built[0]
+
+        def layer_norm(prefix: str, layer):
+            nonlocal covered
+            if type(layer) is not LayerNorm:
+                return None
+            built = cls._batched_layernorm(matrix, spec, prefix, layer)
+            if built is None:
+                return None
+            covered += built[1]
+            return built[0]
+
+        for i, enc in enumerate(module._layers):
+            if type(enc) is not TransformerEncoderLayer:
+                return None
+            attn = enc.attn
+            if type(attn) is not MultiHeadSelfAttention:
+                return None
+            if not isinstance(enc.act, ReLU):
+                return None
+            # Active dropout draws from per-worker RNG streams the batched
+            # path cannot replay; such models use the fallback loop.
+            if enc.drop1.p != 0.0 or enc.drop2.p != 0.0:
+                return None
+            prefix = f"layer{i}."
+            norm1 = layer_norm(prefix + "norm1.", enc.norm1)
+            q = seq_linear(prefix + "attn.q_proj.", attn.q_proj)
+            k = seq_linear(prefix + "attn.k_proj.", attn.k_proj)
+            v = seq_linear(prefix + "attn.v_proj.", attn.v_proj)
+            o = seq_linear(prefix + "attn.out_proj.", attn.out_proj)
+            norm2 = layer_norm(prefix + "norm2.", enc.norm2)
+            ff1 = seq_linear(prefix + "ff1.", enc.ff1)
+            ff2 = seq_linear(prefix + "ff2.", enc.ff2)
+            if any(x is None for x in (norm1, q, k, v, o, norm2, ff1, ff2)):
+                return None
+            batched_attn = _BatchedSelfAttention(
+                q,
+                k,
+                v,
+                o,
+                num_heads=attn.num_heads,
+                d_head=attn.d_head,
+                causal=attn.causal,
+            )
+            layers.append(
+                _BatchedEncoderLayer(norm1, batched_attn, norm2, ff1, _BatchedReLU(), ff2)
+            )
+
+        final_norm = layer_norm("final_norm.", module.final_norm)
+        head = seq_linear("lm_head.", module.lm_head)
+        if final_norm is None or head is None:
+            return None
+        layers.append(final_norm)
+        layers.append(head)
+        if covered != spec.total_size:
+            return None
+        return cls(layers, matrix, input_ndim=3, token_input=True)
+
     # ------------------------------------------------------------------ #
     def step(
         self, batches: Sequence[Tuple[np.ndarray, np.ndarray]]
@@ -424,24 +798,39 @@ class BatchedReplicaExecutor:
         ``batches`` holds one ``(inputs, targets)`` pair per worker; all
         batches must share one shape (the lockstep cluster guarantees this —
         if not, the caller falls back to the per-worker loop).  Inputs are
-        cast to the matrix's compute dtype; gradients are written directly
-        into the matrix gradient rows (replacing the previous step's
-        contents, i.e. zero-then-accumulate semantics) and the per-replica
-        mean losses are returned.
+        cast to the matrix's compute dtype (token inputs stay integer);
+        gradients are written directly into the matrix gradient rows
+        (replacing the previous step's contents, i.e. zero-then-accumulate
+        semantics) and the per-replica mean losses are returned.
         """
         if len(batches) != self._matrix.num_workers:
             return None
         first_x, first_y = batches[0]
         if any(b[0].shape != first_x.shape or b[1].shape != first_y.shape for b in batches):
             return None
-        dtype = self._matrix.dtype
-        x = np.stack([np.asarray(b[0], dtype=dtype) for b in batches])
+        if self._token_input:
+            x = np.stack([np.asarray(b[0]) for b in batches])
+            if not np.issubdtype(x.dtype, np.integer):
+                return None
+        else:
+            x = np.stack([np.asarray(b[0], dtype=self._matrix.dtype) for b in batches])
         targets = np.stack([b[1] for b in batches])
         if x.ndim != self._input_ndim or not np.issubdtype(targets.dtype, np.integer):
             return None
         for layer in self._layers:
             x = layer.forward(x)
-        losses, grad = _batched_cross_entropy(x, targets)
+        if targets.shape != x.shape[:-1]:
+            return None
+        if x.ndim == 4:
+            # Language-model logits (N, B, T, V): fold time into the batch
+            # axis, exactly as the per-worker cross-entropy flattens it.
+            n, b, t, v = x.shape
+            losses, grad = _batched_cross_entropy(
+                x.reshape(n, b * t, v), targets.reshape(n, b * t)
+            )
+            grad = grad.reshape(n, b, t, v)
+        else:
+            losses, grad = _batched_cross_entropy(x, targets)
         for layer in reversed(self._layers):
             grad = layer.backward(grad)
         return losses

@@ -40,6 +40,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         choices=["float32", "float64"],
         help="engine compute dtype (float32 = reduced-precision mode)",
     )
+    parser.add_argument(
+        "--transport-dtype",
+        default=None,
+        choices=["float16", "float32", "float64"],
+        help="simulated wire format for model payloads (default: float32 wire)",
+    )
 
 
 def _algorithm_kwargs(args: argparse.Namespace) -> Dict[str, object]:
@@ -73,6 +79,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         eval_every=eval_every,
         dtype=args.dtype,
+        transport_dtype=args.transport_dtype,
         **_algorithm_kwargs(args),
     )
     result = out.result
@@ -101,7 +108,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         out = run_experiment(
             args.workload, algorithm, num_workers=args.workers,
             iterations=args.iterations, seed=args.seed, eval_every=eval_every,
-            dtype=args.dtype, **kwargs,
+            dtype=args.dtype, transport_dtype=args.transport_dtype, **kwargs,
         )
         results[label] = out.result
     rows = results_to_rows(results, baseline_key="bsp")

@@ -150,6 +150,7 @@ def build_cluster(
     batch_size: Optional[int] = None,
     topology: str = "ps",
     dtype: str = "float64",
+    transport_dtype: Optional[str] = None,
     eval_max_batches: Optional[int] = 4,
 ) -> SimulatedCluster:
     """Construct the simulated cluster for a workload preset."""
@@ -162,6 +163,7 @@ def build_cluster(
         workload=preset.workload_spec,
         topology=topology,
         dtype=dtype,
+        transport_dtype=transport_dtype,
         top_k=preset.top_k,
         eval_max_batches=eval_max_batches,
     )
@@ -261,16 +263,20 @@ def run_experiment(
     convergence=None,
     batch_size: Optional[int] = None,
     dtype: str = "float64",
+    transport_dtype: Optional[str] = None,
     injection: Optional[Dict[str, float]] = None,
     **algorithm_kwargs,
 ) -> ExperimentResult:
     """Build a cluster and run one algorithm on one workload end to end.
 
     ``dtype`` selects the engine compute dtype (``"float64"`` default,
-    ``"float32"`` for the reduced-precision mode).  ``injection`` activates
-    the non-IID data-injection path: a dict with keys ``alpha``, ``beta``
-    (and optionally ``delta``) sets the SelSync (α, β, δ) tuple and adjusts
-    the per-worker batch size to b′ per Eqn. (3).
+    ``"float32"`` for the reduced-precision mode); ``transport_dtype``
+    prices an alternative wire format on the simulated clock (``"float16"``
+    halves every sync transfer without touching the arithmetic).
+    ``injection`` activates the non-IID data-injection path: a dict with
+    keys ``alpha``, ``beta`` (and optionally ``delta``) sets the SelSync
+    (α, β, δ) tuple and adjusts the per-worker batch size to b′ per
+    Eqn. (3).
     """
     preset = build_workload(workload)
     if use_default_partitioning and partitioner is None:
@@ -295,6 +301,7 @@ def run_experiment(
         partitioner=partitioner,
         batch_size=effective_batch,
         dtype=dtype,
+        transport_dtype=transport_dtype,
     )
     trainer = make_trainer(
         algorithm, cluster, preset, total_iterations=iterations, eval_every=eval_every,

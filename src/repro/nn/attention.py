@@ -41,7 +41,12 @@ class PositionalEncoding(Module):
             raise ValueError(
                 f"sequence length {seq_len} exceeds positional table {self.pe.shape[0]}"
             )
-        return x + self.pe[:seq_len]
+        pe = self.pe[:seq_len]
+        if x.dtype != pe.dtype and np.issubdtype(x.dtype, np.floating):
+            # Stay in the engine compute dtype (float32 mode) instead of
+            # promoting the whole activation stream to float64.
+            pe = pe.astype(x.dtype)
+        return x + pe
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         return grad_output
@@ -83,20 +88,23 @@ class MultiHeadSelfAttention(Module):
         return x.transpose(0, 2, 1, 3).reshape(b, t, h * d)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        # Compute in the projection weights' dtype (the engine compute dtype).
+        x = np.asarray(x, dtype=self.q_proj.weight.data.dtype)
         if x.ndim != 3 or x.shape[-1] != self.d_model:
             raise ValueError(f"expected (batch, seq, {self.d_model}), got {x.shape}")
         q = self._split_heads(self.q_proj.forward(x))
         k = self._split_heads(self.k_proj.forward(x))
         v = self._split_heads(self.v_proj.forward(x))
         scale = 1.0 / np.sqrt(self.d_head)
-        scores = np.einsum("bhid,bhjd->bhij", q, k) * scale
+        # Stacked GEMMs (BLAS) instead of einsum: same contractions, one
+        # matmul per (batch, head) slice.
+        scores = np.matmul(q, k.swapaxes(-1, -2)) * scale
         if self.causal:
             t = x.shape[1]
             mask = np.triu(np.ones((t, t), dtype=bool), k=1)
             scores = np.where(mask, -1e30, scores)
         attn = _softmax_last(scores)
-        context = np.einsum("bhij,bhjd->bhid", attn, v)
+        context = np.matmul(attn, v)
         merged = self._merge_heads(context)
         out = self.out_proj.forward(merged)
         self._cache = (q, k, v, attn, scale)
@@ -110,13 +118,13 @@ class MultiHeadSelfAttention(Module):
         b, t, _ = d_merged.shape
         d_context = d_merged.reshape(b, t, self.num_heads, self.d_head).transpose(0, 2, 1, 3)
         # context = attn @ v
-        d_attn = np.einsum("bhid,bhjd->bhij", d_context, v)
-        d_v = np.einsum("bhij,bhid->bhjd", attn, d_context)
+        d_attn = np.matmul(d_context, v.swapaxes(-1, -2))
+        d_v = np.matmul(attn.swapaxes(-1, -2), d_context)
         # softmax backward over the last axis
         d_scores = attn * (d_attn - (d_attn * attn).sum(axis=-1, keepdims=True))
         d_scores = d_scores * scale
-        d_q = np.einsum("bhij,bhjd->bhid", d_scores, k)
-        d_k = np.einsum("bhij,bhid->bhjd", d_scores, q)
+        d_q = np.matmul(d_scores, k)
+        d_k = np.matmul(d_scores.swapaxes(-1, -2), q)
         dx = self.q_proj.backward(self._merge_heads(d_q))
         dx = dx + self.k_proj.backward(self._merge_heads(d_k))
         dx = dx + self.v_proj.backward(self._merge_heads(d_v))

@@ -51,10 +51,14 @@ class Linear(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         x = _as_float(x, self.weight.data.dtype)
         self._cache_x = x
-        out = x @ self.weight.data.T
+        # Collapse leading dimensions into one GEMM (a no-op view for 2-D
+        # inputs); (batch, seq, features) sequences hit a single BLAS call
+        # instead of one per batch row.
+        x2 = x.reshape(-1, self.in_features)
+        out = x2 @ self.weight.data.T
         if self.use_bias:
             out = out + self.bias.data
-        return out
+        return out.reshape(x.shape[:-1] + (self.out_features,))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache_x is None:
@@ -68,7 +72,7 @@ class Linear(Module):
         self.weight.grad += g2.T @ x2
         if self.use_bias:
             self.bias.grad += g2.sum(axis=0)
-        grad_input = grad_output @ self.weight.data
+        grad_input = g2 @ self.weight.data
         return grad_input.reshape(x.shape)
 
 

@@ -203,3 +203,41 @@ class TestClusterEvaluation:
             worker.train_step()
         cluster.broadcast_state(cluster.average_worker_states())
         assert cluster.replica_divergence() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestTransportDtypeWiring:
+    def test_transport_dtype_reaches_cost_model_and_backend(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset, transport_dtype="float16")
+        assert cluster.comm_model.wire_scale == 0.5
+        assert cluster.backend.dtype_bytes == 2
+
+    def test_float16_transport_halves_sync_payload_time(self, dataset, test_dataset):
+        fp32 = _make_cluster(dataset, test_dataset)
+        fp16 = _make_cluster(dataset, test_dataset, transport_dtype="float16")
+        s32 = fp32.charge_sync()
+        s16 = fp16.charge_sync()
+        # Half the payload bytes on the wire; latency terms are unchanged,
+        # so the saving is strictly between 0 and 2x.
+        assert s16 < s32
+        expected = fp32.comm_model.sync_seconds(
+            fp32.workload_spec.model_bytes * 0.5, fp32.num_workers
+        )
+        assert s16 == pytest.approx(expected)
+
+    def test_compute_dtype_unchanged_by_transport(self, dataset, test_dataset):
+        cluster = _make_cluster(dataset, test_dataset, transport_dtype="float16")
+        assert cluster.matrix.params.dtype == np.float64
+        batches = [w.next_batch() for w in cluster.workers]
+        losses = cluster.compute_gradients_all(batches)
+        assert all(np.isfinite(losses))
+
+    def test_invalid_transport_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            ClusterConfig(num_workers=2, transport_dtype="float8")
+
+    def test_ps_bytes_follow_transport_dtype(self, dataset, test_dataset):
+        # communication_bytes sums backend records and PS push/pull bytes;
+        # both must price the same wire format.
+        fp32 = _make_cluster(dataset, test_dataset)
+        fp16 = _make_cluster(dataset, test_dataset, transport_dtype="float16")
+        assert fp16.ps.state_bytes() == fp32.ps.state_bytes() // 2

@@ -151,3 +151,43 @@ class TestPointToPoint:
     def test_world_size_validation(self):
         with pytest.raises(ValueError):
             InProcessBackend(0)
+
+
+class TestTransportDtypeAccounting:
+    def test_default_matches_class_constant(self):
+        backend = InProcessBackend(2)
+        assert backend.dtype_bytes == InProcessBackend.DTYPE_BYTES == 4
+        assert backend.transport_dtype is None
+
+    def test_float16_halves_recorded_bytes(self):
+        fp32 = InProcessBackend(4)
+        fp16 = InProcessBackend(4, transport_dtype="float16")
+        arrays = [np.ones(16) for _ in range(4)]
+        fp32.allreduce(arrays)
+        fp16.allreduce(arrays)
+        assert fp16.record.total_bytes == fp32.record.total_bytes / 2
+
+    def test_float16_does_not_cast_the_arrays(self):
+        backend = InProcessBackend(2, transport_dtype="float16")
+        out = backend.allreduce([np.ones(8), np.zeros(8)])
+        # Only accounting changes; the arithmetic stays in the compute dtype.
+        assert out[0].dtype == np.float64
+        np.testing.assert_allclose(out[0], 0.5)
+
+    def test_broadcast_and_matrix_allreduce_use_transport_bytes(self):
+        backend = InProcessBackend(3, transport_dtype="float16")
+        backend.broadcast(np.ones(10))
+        assert backend.record.bytes_by_op["broadcast"] == 10 * 2 * 2
+        backend.allreduce_matrix(np.ones((3, 5)))
+        assert backend.record.bytes_by_op["allreduce"] == 2.0 * 5 * 2 * 3
+
+    def test_flag_bits_unaffected_by_transport(self):
+        fp32 = InProcessBackend(4)
+        fp16 = InProcessBackend(4, transport_dtype="float16")
+        fp32.allgather_bits([1, 0, 1, 0])
+        fp16.allgather_bits([1, 0, 1, 0])
+        assert fp16.record.total_bytes == fp32.record.total_bytes
+
+    def test_unknown_transport_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            InProcessBackend(2, transport_dtype="int8")

@@ -112,3 +112,65 @@ class TestCommunicationCostModel:
     def test_p2p_seconds_positive(self):
         model = CommunicationCostModel()
         assert model.p2p_seconds(1e6) > 0
+
+
+class TestTransportDtype:
+    def test_default_wire_scale_is_one(self):
+        assert CommunicationCostModel().wire_scale == 1.0
+
+    @pytest.mark.parametrize("topology", ["ps", "ring", "tree"])
+    def test_float16_sync_equals_half_payload_on_float32_wire(self, topology):
+        # A float16 wire must price exactly like shipping half the bytes on
+        # the canonical wire — the scale applies before latency terms.
+        fp32 = CommunicationCostModel(topology=topology)
+        fp16 = CommunicationCostModel(topology=topology, transport_dtype="float16")
+        assert fp16.wire_scale == 0.5
+        np.testing.assert_allclose(
+            fp16.sync_seconds(1e8, 8), fp32.sync_seconds(0.5e8, 8)
+        )
+
+    def test_float64_wire_doubles_payload(self):
+        fp32 = CommunicationCostModel(topology="ps")
+        fp64 = CommunicationCostModel(topology="ps", transport_dtype="float64")
+        np.testing.assert_allclose(
+            fp64.sync_seconds(1e8, 8), fp32.sync_seconds(2e8, 8)
+        )
+
+    def test_ssp_push_pull_scales_with_transport(self):
+        fp32 = CommunicationCostModel(topology="ps")
+        fp16 = CommunicationCostModel(topology="ps", transport_dtype="float16")
+        np.testing.assert_allclose(
+            fp16.ssp_push_pull_seconds(1e8), fp32.ssp_push_pull_seconds(0.5e8)
+        )
+
+    def test_flags_and_p2p_not_scaled(self):
+        # Status bits and raw point-to-point payloads are not tensor
+        # payloads; the transport dtype must leave them untouched.
+        fp32 = CommunicationCostModel(topology="ps")
+        fp16 = CommunicationCostModel(topology="ps", transport_dtype="float16")
+        assert fp16.flags_seconds(8) == fp32.flags_seconds(8)
+        assert fp16.p2p_seconds(1e6) == fp32.p2p_seconds(1e6)
+
+    def test_unknown_transport_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            CommunicationCostModel(transport_dtype="int8")
+
+    def test_scale_transport_false_skips_the_wire_scale(self):
+        # Pre-priced payloads (the compression layer's) must charge the same
+        # regardless of the configured transport dtype.
+        fp32 = CommunicationCostModel(topology="ps")
+        fp16 = CommunicationCostModel(topology="ps", transport_dtype="float16")
+        assert fp16.sync_seconds(1e8, 8, scale_transport=False) == fp32.sync_seconds(
+            1e8, 8
+        )
+
+    def test_wire_bytes_helper_prices_compute_and_transport_dtypes(self):
+        from repro.comm.cost_model import wire_bytes
+
+        assert wire_bytes(100) == 400.0
+        assert wire_bytes(100, dtype_bytes=2) == 200.0
+        # Compute dtypes ship on the canonical float32 wire...
+        assert wire_bytes(100, dtype="float64") == 400.0
+        # ...while an explicit transport dtype prices its native width.
+        assert wire_bytes(100, transport_dtype="float16") == 200.0
+        assert wire_bytes(100, transport_dtype="float64") == 800.0

@@ -98,8 +98,13 @@ def make_small_cluster(
     num_classes: int = 4,
     train_samples: int = 256,
     width: int = 24,
+    **config_kwargs,
 ):
-    """Build a small MLP classification cluster for fast algorithm tests."""
+    """Build a small MLP classification cluster for fast algorithm tests.
+
+    Extra keyword arguments flow into :class:`ClusterConfig` (e.g.
+    ``dtype="float32"``, ``transport_dtype="float16"``).
+    """
     from repro.cluster.cluster import ClusterConfig, SimulatedCluster
     from repro.data.partition import SelSyncPartitioner
     from repro.nn.models import MLP
@@ -109,7 +114,9 @@ def make_small_cluster(
         train_samples, max(train_samples // 2, 4 * num_classes), num_classes, 16,
         class_sep=4.0, noise=0.6, seed=seed,
     )
-    config = ClusterConfig(num_workers=num_workers, batch_size=batch_size, seed=seed)
+    config = ClusterConfig(
+        num_workers=num_workers, batch_size=batch_size, seed=seed, **config_kwargs
+    )
     return SimulatedCluster(
         model_factory=lambda rng: MLP((16, width, num_classes), rng=rng),
         optimizer_factory=lambda m: SGD(m, lr=lr, momentum=momentum),

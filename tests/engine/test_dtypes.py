@@ -8,10 +8,15 @@ import pytest
 from repro.engine import WorkerMatrix
 from repro.engine.dtypes import (
     DEFAULT_DTYPE,
+    DEFAULT_TRANSPORT_DTYPE,
     SUPPORTED_DTYPES,
+    TRANSPORT_DTYPES,
     WIRE_DTYPE_BYTES,
     dtype_name,
     resolve_dtype,
+    resolve_transport_dtype,
+    transport_dtype_bytes,
+    transport_scale,
     wire_dtype_bytes,
 )
 from repro.engine.flat_buffer import FlatBuffer, ParamSpec
@@ -51,6 +56,54 @@ class TestDtypeRegistry:
     @pytest.mark.parametrize("dtype", DTYPES)
     def test_dtype_name(self, dtype):
         assert dtype_name(dtype) == dtype
+
+
+class TestTransportRegistry:
+    def test_wire_bytes_mapping_is_exhaustive(self):
+        # The transport mapping is the single source for on-wire element
+        # widths: half, single and double precision, nothing else.
+        expected = {"float16": 2, "float32": 4, "float64": 8}
+        assert {d.name for d in TRANSPORT_DTYPES} == set(expected)
+        for name, nbytes in expected.items():
+            assert transport_dtype_bytes(name) == nbytes
+            assert resolve_transport_dtype(name) == np.dtype(name)
+
+    def test_default_transport_is_the_canonical_float32_wire(self):
+        assert DEFAULT_TRANSPORT_DTYPE == np.dtype(np.float32)
+        assert resolve_transport_dtype(None) == np.dtype(np.float32)
+        assert transport_dtype_bytes() == WIRE_DTYPE_BYTES
+
+    def test_transport_scale_relative_to_float32(self):
+        assert transport_scale("float16") == 0.5
+        assert transport_scale("float32") == 1.0
+        assert transport_scale("float64") == 2.0
+        assert transport_scale(None) == 1.0
+
+    @pytest.mark.parametrize("bad", ["int8", "int32", np.complex128, "bfloat16"])
+    def test_unsupported_transport_dtypes_raise(self, bad):
+        with pytest.raises(TypeError):
+            resolve_transport_dtype(bad)
+
+    def test_float16_stays_rejected_as_compute_dtype(self):
+        # float16 is a transport mode only: engine buffers never hold it.
+        with pytest.raises(TypeError, match="unsupported"):
+            resolve_dtype("float16")
+        assert np.dtype(np.float16) not in SUPPORTED_DTYPES
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_fp16_compressor_prices_the_float16_transport_entry(self, dtype):
+        # The compression layer's FP16 wire format and the transport mapping
+        # must agree: 2 bytes/element shipped, float32-wire original bytes.
+        from repro.compression.quantize import FP16Compressor
+
+        vector = np.linspace(-1.0, 1.0, 33, dtype=dtype)
+        payload = FP16Compressor().compress(vector)
+        assert payload.compressed_bytes == vector.size * transport_dtype_bytes("float16")
+        assert payload.original_bytes == vector.size * wire_dtype_bytes(dtype)
+        assert payload.compression_ratio == pytest.approx(2.0)
+        restored = FP16Compressor().decompress(payload)
+        assert restored.dtype == np.dtype(dtype)
+        np.testing.assert_allclose(restored, vector, atol=1e-3)
 
 
 class TestSpecAndBufferDtype:
