@@ -11,6 +11,13 @@ from any invocation directory:
   transformer analogs); merges a ``scale_sweep`` section into
   ``BENCH_engine.json``.  Slower than the perf smoke, so it runs in the
   nightly workflow rather than per-PR CI.
+* ``pool`` marker — tests exercising the multiprocessing replica pool
+  (``tests/parallel/``); they run in tier-1 but are markable out with
+  ``-m "not pool"`` on machines where process spawning is restricted.
+* ``--run-pool`` — the replica-pool throughput benchmark (pool vs
+  single-process ConvNet at N = 64); merges a ``pool`` section into
+  ``BENCH_engine.json``.  Runs in the nightly workflow (the speedup gate
+  needs real cores).
 * ``--write-results`` — opt-in persistence of the figure benchmarks'
   ``benchmarks/results/*.txt`` reports.  Plain test runs never touch the
   working tree; CI and result-regeneration runs pass the flag.
@@ -33,6 +40,12 @@ def pytest_addoption(parser):
         help="run the large-N scale sweep (merges scale_sweep into BENCH_engine.json)",
     )
     parser.addoption(
+        "--run-pool",
+        action="store_true",
+        default=False,
+        help="run the replica-pool benchmark (merges pool into BENCH_engine.json)",
+    )
+    parser.addoption(
         "--write-results",
         action="store_true",
         default=False,
@@ -43,6 +56,9 @@ def pytest_addoption(parser):
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "perf: engine perf-tracking benchmarks, gated behind --run-perf"
+    )
+    config.addinivalue_line(
+        "markers", "pool: multiprocessing replica-pool tests and benchmarks"
     )
     # Propagate the opt-in to the benchmark helpers (the figure benchmarks
     # call save_report directly, not through a fixture).

@@ -59,6 +59,15 @@ class ClusterConfig:
     (halving every sync round on the simulated clock), ``"float64"`` a
     double-precision wire.  Only byte accounting changes — the replicas
     still train in the compute dtype.
+
+    ``pool_workers`` enables the shared-memory multiprocessing replica pool
+    (:mod:`repro.parallel`): the worker matrix is backed by shared memory
+    and forward/backward is sharded over ``pool_workers`` OS processes (one
+    per replica group), bit-identically in float64 to the single-process
+    engine.  ``0`` (the default) keeps everything in-process.
+    ``pool_start_method`` picks the multiprocessing start method
+    (``"fork"`` / ``"spawn"`` / ``"forkserver"``; ``None`` = platform
+    default, preferring fork).
     """
 
     num_workers: int = 4
@@ -69,6 +78,8 @@ class ClusterConfig:
     topology: str = "ps"
     dtype: str = "float64"
     transport_dtype: Optional[str] = None
+    pool_workers: int = 0
+    pool_start_method: Optional[str] = None
     eval_batch_size: int = 512
     eval_max_batches: Optional[int] = 8
     top_k: Optional[int] = None
@@ -89,6 +100,13 @@ class ClusterConfig:
         resolve_dtype(self.dtype)
         # Raises on unsupported transport dtypes (None -> float32 wire).
         resolve_transport_dtype(self.transport_dtype)
+        if self.pool_workers < 0:
+            raise ValueError(f"pool_workers must be >= 0, got {self.pool_workers}")
+        if self.pool_workers or self.pool_start_method is not None:
+            # Raises on unknown / unavailable start methods.
+            from repro.parallel.pool import resolve_start_method
+
+            resolve_start_method(self.pool_start_method)
 
 
 class SimulatedCluster:
@@ -127,7 +145,19 @@ class SimulatedCluster:
         # All worker replicas live as rows of one (N, D) matrix: parameters
         # and gradients are zero-copy views into it, so aggregation,
         # broadcast and Δ(gᵢ) tracking are single vectorized operations.
-        self.matrix = WorkerMatrix(n, reference_model.flat_spec)
+        # With pool_workers the rows live in parent-owned shared memory, so
+        # replica-pool child processes see the same matrix (zero-copy).
+        spec = reference_model.flat_spec
+        self._shared_storage = None
+        if config.pool_workers:
+            from repro.parallel.shm import SharedMatrixStorage
+
+            self._shared_storage = SharedMatrixStorage(n, spec.total_size, spec.dtype)
+            self.matrix = WorkerMatrix(
+                n, spec, params=self._shared_storage.params, grads=self._shared_storage.grads
+            )
+        else:
+            self.matrix = WorkerMatrix(n, spec)
 
         self.workers: List[Worker] = []
         for worker_id in range(n):
@@ -152,6 +182,28 @@ class SimulatedCluster:
             dtype=self.dtype,
             transport_dtype=config.transport_dtype,
         )
+        # Shared per-step dropout stream: batches TransformerLM with p > 0
+        # (and keeps replica-pool children mask-identical without IPC).
+        # Private per-layer dropout RNGs stay the default for every other
+        # model family, preserving their seed trajectories.
+        from repro.engine import (
+            SharedDropoutStream,
+            attach_shared_dropout,
+            module_has_active_dropout,
+        )
+        from repro.nn.models.transformer import TransformerLM
+
+        self.dropout_stream = None
+        self._dropout_tick = 0
+        model0 = self.workers[0].model
+        if type(model0) is TransformerLM and module_has_active_dropout(model0):
+            self.dropout_stream = SharedDropoutStream(config.seed, n)
+            # Arm the stream at tick 0 so direct training-mode forwards
+            # (e.g. Worker.train_step outside a trainer) work immediately;
+            # every cluster gradient computation advances to a fresh tick.
+            self.dropout_stream.set_step(self._dropout_tick)
+            for worker_id, worker in enumerate(self.workers):
+                attach_shared_dropout(worker.model, self.dropout_stream, worker_slot=worker_id)
         # Fused all-replica forward/backward when the model family supports
         # it (None otherwise; compute_gradients_all falls back to the loop).
         # Both tasks share the cross-entropy arithmetic, so classification
@@ -163,6 +215,23 @@ class SimulatedCluster:
         # same SGD or Adam configuration (None otherwise; apply_local_updates
         # then loops over the per-worker optimizers).
         self.fused_update = build_fused_update(self.workers, self.matrix)
+        # Multiprocessing replica pool: one process per replica group shards
+        # forward/backward over the shared matrix; aggregation, tracking and
+        # optimizer stepping stay on this (parent) process.
+        self.pool = None
+        if config.pool_workers:
+            from repro.parallel.pool import ReplicaPool
+
+            self.pool = ReplicaPool(
+                self._shared_storage,
+                [worker.model for worker in self.workers],
+                num_groups=config.pool_workers,
+                start_method=config.pool_start_method,
+                use_executor=self.replica_exec is not None,
+                dropout_seed=(
+                    self.dropout_stream.seed if self.dropout_stream is not None else None
+                ),
+            )
         self.backend = InProcessBackend(
             world_size=n, transport_dtype=config.transport_dtype
         )
@@ -194,14 +263,30 @@ class SimulatedCluster:
     # ------------------------------------------------------------------ #
     # gradient computation
     # ------------------------------------------------------------------ #
+    def _next_dropout_tick(self) -> int:
+        """Advance the shared dropout stream by one gradient computation."""
+        self._dropout_tick += 1
+        if self.dropout_stream is not None:
+            self.dropout_stream.set_step(self._dropout_tick)
+        return self._dropout_tick
+
     def compute_gradients_all(self, batches) -> List[float]:
         """Forward + backward for every worker; returns per-worker losses.
 
-        Uses the engine's fused batched-replica executor when available
-        (one set of batched matmuls for the whole cluster, gradients written
-        straight into the matrix rows), otherwise the per-worker loop.
-        ``batches`` holds one ``(inputs, targets)`` pair per worker.
+        With a replica pool the pass is sharded across the pool's processes
+        (gradients land in the shared matrix rows).  In-process, it uses the
+        engine's fused batched-replica executor when available (one set of
+        batched matmuls for the whole cluster, gradients written straight
+        into the matrix rows), otherwise the per-worker loop.  ``batches``
+        holds one ``(inputs, targets)`` pair per worker.
         """
+        tick = self._next_dropout_tick()
+        if self.pool is not None:
+            losses, norms = self.pool.compute_all(batches, tick=tick)
+            for worker, loss, norm in zip(self.workers, losses, norms):
+                worker.last_loss = float(loss)
+                worker.last_grad_norm = float(norm)
+            return [float(l) for l in losses]
         if self.replica_exec is not None:
             losses = self.replica_exec.step(batches)
             if losses is not None:
@@ -214,6 +299,24 @@ class SimulatedCluster:
             worker.compute_gradients_flat(batch)[0]
             for worker, batch in zip(self.workers, batches)
         ]
+
+    def compute_gradients_worker(self, worker: Worker, batch=None) -> float:
+        """Forward + backward for a single worker (SSP's round-robin path).
+
+        The batch is always sampled on the parent (loader state lives here),
+        then computed remotely when a replica pool is active — the worker's
+        shared parameter row is already current, and its gradient row
+        receives the result.
+        """
+        if batch is None:
+            batch = worker.next_batch()
+        tick = self._next_dropout_tick()
+        if self.pool is not None:
+            loss, norm = self.pool.compute_one(worker.worker_id, batch, tick=tick)
+            worker.last_loss = loss
+            worker.last_grad_norm = norm
+            return loss
+        return worker.compute_gradients_flat(batch)[0]
 
     def apply_local_updates(
         self, lr: Optional[float] = None, grads: Optional[np.ndarray] = None
@@ -322,3 +425,54 @@ class SimulatedCluster:
     def replica_divergence(self) -> float:
         """Mean L2 distance of worker replicas from their average (drift diagnostic)."""
         return self.matrix.divergence()
+
+    # ------------------------------------------------------------------ #
+    # batched per-layer statistics (repro.stats over matrix slices)
+    # ------------------------------------------------------------------ #
+    def layer_gradient_norms(self) -> Dict[str, np.ndarray]:
+        """Per-layer gradient L2 norms for every worker: ``{name: (N,)}``.
+
+        Computed from ``ParamSpec`` column slices of the gradient matrix in
+        one fused reduction per layer — no per-worker unflatten.
+        """
+        from repro.stats.layer_stats import matrix_layer_norms
+
+        return matrix_layer_norms(self.matrix.grads, self.matrix.spec)
+
+    def layer_parameter_norms(self) -> Dict[str, np.ndarray]:
+        """Per-layer parameter L2 norms for every worker: ``{name: (N,)}``."""
+        from repro.stats.layer_stats import matrix_layer_norms
+
+        return matrix_layer_norms(self.matrix.params, self.matrix.spec)
+
+    def layer_gradient_sample(self, name: str, max_samples: Optional[int] = None):
+        """Pooled gradient entries of one layer across all workers (KDE input)."""
+        from repro.stats.layer_stats import layer_sample
+
+        return layer_sample(self.matrix.grads, self.matrix.spec, name, max_samples=max_samples)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down the replica pool and release shared-memory segments.
+
+        Idempotent and safe to skip: the pool and the storage both carry GC
+        finalizers, so abandoned clusters clean up after themselves — but
+        explicit closing releases OS resources deterministically (the
+        harness closes every cluster it builds).
+        """
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
+        if self._shared_storage is not None:
+            # Unlinks the segment names; the parent's own views (the matrix,
+            # every model and optimizer buffer) stay valid until GC.
+            self._shared_storage.close()
+            self._shared_storage = None
+
+    def __enter__(self) -> "SimulatedCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -13,9 +13,12 @@ mechanism for non-IID data (§III-E) live here as well.
 
 from repro.data.datasets import (
     ClassificationDataset,
+    ImageClassificationDataset,
     SequenceDataset,
     make_classification_dataset,
     make_classification_splits,
+    make_image_dataset,
+    make_image_splits,
     make_sequence_dataset,
     make_sequence_splits,
     DATASET_REGISTRY,
@@ -34,9 +37,12 @@ from repro.data.injection import DataInjection, adjusted_batch_size, injection_b
 
 __all__ = [
     "ClassificationDataset",
+    "ImageClassificationDataset",
     "SequenceDataset",
     "make_classification_dataset",
     "make_classification_splits",
+    "make_image_dataset",
+    "make_image_splits",
     "make_sequence_dataset",
     "make_sequence_splits",
     "DATASET_REGISTRY",

@@ -22,6 +22,11 @@ from repro.engine.dtypes import (
     transport_scale,
     wire_dtype_bytes,
 )
+from repro.engine.dropout_stream import (
+    SharedDropoutStream,
+    attach_shared_dropout,
+    module_has_active_dropout,
+)
 from repro.engine.flat_buffer import FlatBuffer, ParamSpec
 from repro.engine.fused_optim import FusedAdamUpdate, FusedSGDUpdate, build_fused_update
 from repro.engine.replica_exec import BatchedReplicaExecutor
@@ -36,10 +41,13 @@ __all__ = [
     "FusedSGDUpdate",
     "ParamSpec",
     "SUPPORTED_DTYPES",
+    "SharedDropoutStream",
     "TRANSPORT_DTYPES",
     "WIRE_DTYPE_BYTES",
     "WorkerMatrix",
+    "attach_shared_dropout",
     "build_fused_update",
+    "module_has_active_dropout",
     "dtype_name",
     "resolve_dtype",
     "resolve_transport_dtype",

@@ -26,8 +26,11 @@ Three model families are supported:
 
 All arithmetic runs in the worker matrix's compute dtype (float64 default,
 float32 in the reduced-precision mode).  Clusters with unsupported models
-(or transformers with active dropout, whose per-worker RNG streams cannot
-be replayed batched) fall back to the per-worker loop transparently.
+fall back to the per-worker loop transparently.  Transformers with active
+dropout batch when their layers draw from a
+:class:`~repro.engine.dropout_stream.SharedDropoutStream` (one deterministic
+``(N, ...)`` mask block per step and layer); dropout on private per-layer
+RNG streams still falls back.
 """
 
 from __future__ import annotations
@@ -257,6 +260,36 @@ class _BatchedGlobalAvgPool2d:
         ).copy()
 
 
+class _BatchedDropout:
+    """All replicas' masks of one Dropout layer, drawn from the shared stream.
+
+    The stream derives one deterministic mask per (step, layer, replica row);
+    this class stacks rows ``[row_offset, row_offset + N)``, so a full-matrix
+    executor and a pool child's group executor (and the per-worker fallback,
+    which draws single rows) all see the exact same masks.
+    """
+
+    def __init__(self, stream, layer_id: int, p: float, row_offset: int) -> None:
+        self.stream = stream
+        self.layer_id = int(layer_id)
+        self.p = float(p)
+        self.row_offset = int(row_offset)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mask = self.stream.mask_block(
+            self.layer_id, x.shape[1:], self.p,
+            lo=self.row_offset, hi=self.row_offset + x.shape[0],
+        )
+        if mask.dtype != x.dtype:
+            mask = mask.astype(x.dtype)
+        self._mask = mask
+        return x * mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._mask
+
+
 class _BatchedEmbedding:
     """All workers' token-embedding tables as (N, vocab, dim) views."""
 
@@ -432,9 +465,11 @@ class _BatchedSelfAttention:
 class _BatchedEncoderLayer:
     """Pre-norm encoder block (attention + FFN, both residual), batched.
 
-    Mirrors :class:`~repro.nn.attention.TransformerEncoderLayer` exactly;
-    dropout layers are required to be inactive (p == 0) at build time, so
-    they are simply omitted here.
+    Mirrors :class:`~repro.nn.attention.TransformerEncoderLayer` exactly.
+    Dropout layers are omitted when inactive (p == 0); active dropout is
+    supported through :class:`_BatchedDropout` when the module's layers are
+    attached to a shared dropout stream (models with private per-layer
+    dropout RNGs still fall back to the per-worker loop).
     """
 
     def __init__(
@@ -445,6 +480,8 @@ class _BatchedEncoderLayer:
         ff1: _BatchedLinear,
         act: _BatchedReLU,
         ff2: _BatchedLinear,
+        drop1: Optional[_BatchedDropout] = None,
+        drop2: Optional[_BatchedDropout] = None,
     ) -> None:
         self.norm1 = norm1
         self.attn = attn
@@ -452,24 +489,32 @@ class _BatchedEncoderLayer:
         self.ff1 = ff1
         self.act = act
         self.ff2 = ff2
+        self.drop1 = drop1
+        self.drop2 = drop2
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         a = self.norm1.forward(x)
         a = self.attn.forward(a)
+        if self.drop1 is not None:
+            a = self.drop1.forward(a)
         x = x + a
         f = self.norm2.forward(x)
         f = self.ff1.forward(f)
         f = self.act.forward(f)
         f = self.ff2.forward(f)
+        if self.drop2 is not None:
+            f = self.drop2.forward(f)
         return x + f
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        g_ff = self.ff2.backward(grad_out)
+        g_ff = grad_out if self.drop2 is None else self.drop2.backward(grad_out)
+        g_ff = self.ff2.backward(g_ff)
         g_ff = self.act.backward(g_ff)
         g_ff = self.ff1.backward(g_ff)
         g_ff = self.norm2.backward(g_ff)
         g_mid = grad_out + g_ff
-        g_attn = self.attn.backward(g_mid)
+        g_attn = g_mid if self.drop1 is None else self.drop1.backward(g_mid)
+        g_attn = self.attn.backward(g_attn)
         g_attn = self.norm1.backward(g_attn)
         return g_mid + g_attn
 
@@ -529,14 +574,21 @@ class BatchedReplicaExecutor:
 
     # ------------------------------------------------------------------ #
     @classmethod
-    def build(cls, matrix: WorkerMatrix, module) -> Optional["BatchedReplicaExecutor"]:
+    def build(
+        cls, matrix: WorkerMatrix, module, row_offset: int = 0
+    ) -> Optional["BatchedReplicaExecutor"]:
         """Build an executor for ``module`` or return None if unsupported.
 
-        ``module`` must be the already-adopted replica of worker 0; its
-        architecture (shared by all workers) defines the layer chain.
-        Exact-type checks: a subclass may override forward (skip connections,
-        extra parameters), which the batched chains below would silently
-        ignore — such models must use the fallback loop.
+        ``module`` must be the already-adopted replica of the matrix's first
+        row; its architecture (shared by all workers) defines the layer
+        chain.  Exact-type checks: a subclass may override forward (skip
+        connections, extra parameters), which the batched chains below would
+        silently ignore — such models must use the fallback loop.
+
+        ``row_offset`` is the matrix's first row's *global* replica index —
+        nonzero when ``matrix`` is a replica-pool child's group sub-matrix —
+        and only affects shared-stream dropout, whose mask blocks span the
+        full cluster.
         """
         # Imported here: the engine stays importable without the nn layer
         # stack, and nn itself only lazily imports the engine.
@@ -549,7 +601,7 @@ class BatchedReplicaExecutor:
         if type(module) is ConvNet:
             return cls._build_convnet(matrix, module)
         if type(module) is TransformerLM:
-            return cls._build_transformer(matrix, module)
+            return cls._build_transformer(matrix, module, row_offset)
         return None
 
     # ------------------------------------------------------------------ #
@@ -693,7 +745,7 @@ class BatchedReplicaExecutor:
 
     @classmethod
     def _build_transformer(
-        cls, matrix: WorkerMatrix, module
+        cls, matrix: WorkerMatrix, module, row_offset: int = 0
     ) -> Optional["BatchedReplicaExecutor"]:
         from repro.nn.attention import (
             MultiHeadSelfAttention,
@@ -751,10 +803,19 @@ class BatchedReplicaExecutor:
                 return None
             if not isinstance(enc.act, ReLU):
                 return None
-            # Active dropout draws from per-worker RNG streams the batched
-            # path cannot replay; such models use the fallback loop.
-            if enc.drop1.p != 0.0 or enc.drop2.p != 0.0:
-                return None
+            # Active dropout batches only when its masks come from a shared
+            # per-step stream; private per-layer RNG streams cannot be
+            # replayed batched, so such models use the fallback loop.
+            def batched_dropout(layer) -> Optional[_BatchedDropout]:
+                if layer.p == 0.0:
+                    return None
+                return _BatchedDropout(
+                    layer._shared_stream, layer._stream_layer_id, layer.p, row_offset
+                )
+
+            for drop in (enc.drop1, enc.drop2):
+                if drop.p != 0.0 and drop._shared_stream is None:
+                    return None
             prefix = f"layer{i}."
             norm1 = layer_norm(prefix + "norm1.", enc.norm1)
             q = seq_linear(prefix + "attn.q_proj.", attn.q_proj)
@@ -776,7 +837,16 @@ class BatchedReplicaExecutor:
                 causal=attn.causal,
             )
             layers.append(
-                _BatchedEncoderLayer(norm1, batched_attn, norm2, ff1, _BatchedReLU(), ff2)
+                _BatchedEncoderLayer(
+                    norm1,
+                    batched_attn,
+                    norm2,
+                    ff1,
+                    _BatchedReLU(),
+                    ff2,
+                    drop1=batched_dropout(enc.drop1),
+                    drop2=batched_dropout(enc.drop2),
+                )
             )
 
         final_norm = layer_norm("final_norm.", module.final_norm)

@@ -17,7 +17,7 @@ row in place.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -29,15 +29,44 @@ class WorkerMatrix:
 
     Storage dtype follows the spec's compute dtype (float64 default, float32
     in the reduced-precision engine mode).
+
+    ``params`` / ``grads`` may donate the backing arrays — e.g. views into a
+    :class:`~repro.parallel.shm.SharedMatrixStorage` segment, which is how the
+    multiprocessing replica pool makes one ``(N, D)`` matrix visible to every
+    worker process, or row-slices of a larger matrix (a pool child's group
+    sub-matrix).  Donated storage must be C-contiguous ``(num_workers, D)``
+    arrays of the spec's dtype; the matrix never copies or frees it.
     """
 
-    def __init__(self, num_workers: int, spec: ParamSpec) -> None:
+    def __init__(
+        self,
+        num_workers: int,
+        spec: ParamSpec,
+        params: Optional[np.ndarray] = None,
+        grads: Optional[np.ndarray] = None,
+    ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = int(num_workers)
         self.spec = spec
-        self.params = np.zeros((self.num_workers, spec.total_size), dtype=spec.dtype)
-        self.grads = np.zeros((self.num_workers, spec.total_size), dtype=spec.dtype)
+        self.params = self._check_storage(params, "params")
+        self.grads = self._check_storage(grads, "grads")
+
+    def _check_storage(self, array, label: str) -> np.ndarray:
+        if array is None:
+            return np.zeros((self.num_workers, self.spec.total_size), dtype=self.spec.dtype)
+        if array.shape != (self.num_workers, self.spec.total_size):
+            raise ValueError(
+                f"donated {label} storage has shape {array.shape}, expected "
+                f"{(self.num_workers, self.spec.total_size)}"
+            )
+        if array.dtype != self.spec.dtype:
+            raise TypeError(
+                f"donated {label} storage must be {self.spec.dtype.name}, got {array.dtype}"
+            )
+        if not array.flags["C_CONTIGUOUS"]:
+            raise ValueError(f"donated {label} storage must be C-contiguous")
+        return array
 
     @property
     def dtype(self) -> np.dtype:

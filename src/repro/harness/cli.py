@@ -46,6 +46,20 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         choices=["float16", "float32", "float64"],
         help="simulated wire format for model payloads (default: float32 wire)",
     )
+    parser.add_argument(
+        "--pool-workers",
+        type=int,
+        default=0,
+        help="shard forward/backward over this many OS processes via the "
+        "shared-memory replica pool (0 = in-process)",
+    )
+    parser.add_argument(
+        "--pool-start-method",
+        default=None,
+        choices=["fork", "spawn", "forkserver"],
+        help="multiprocessing start method for the replica pool "
+        "(default: platform default, preferring fork)",
+    )
 
 
 def _algorithm_kwargs(args: argparse.Namespace) -> Dict[str, object]:
@@ -80,6 +94,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         eval_every=eval_every,
         dtype=args.dtype,
         transport_dtype=args.transport_dtype,
+        pool_workers=args.pool_workers,
+        pool_start_method=args.pool_start_method,
         **_algorithm_kwargs(args),
     )
     result = out.result
@@ -108,7 +124,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         out = run_experiment(
             args.workload, algorithm, num_workers=args.workers,
             iterations=args.iterations, seed=args.seed, eval_every=eval_every,
-            dtype=args.dtype, transport_dtype=args.transport_dtype, **kwargs,
+            dtype=args.dtype, transport_dtype=args.transport_dtype,
+            pool_workers=args.pool_workers, pool_start_method=args.pool_start_method,
+            **kwargs,
         )
         results[label] = out.result
     rows = results_to_rows(results, baseline_key="bsp")

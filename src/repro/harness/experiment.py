@@ -151,6 +151,8 @@ def build_cluster(
     topology: str = "ps",
     dtype: str = "float64",
     transport_dtype: Optional[str] = None,
+    pool_workers: int = 0,
+    pool_start_method: Optional[str] = None,
     eval_max_batches: Optional[int] = 4,
 ) -> SimulatedCluster:
     """Construct the simulated cluster for a workload preset."""
@@ -164,6 +166,8 @@ def build_cluster(
         topology=topology,
         dtype=dtype,
         transport_dtype=transport_dtype,
+        pool_workers=pool_workers,
+        pool_start_method=pool_start_method,
         top_k=preset.top_k,
         eval_max_batches=eval_max_batches,
     )
@@ -264,6 +268,8 @@ def run_experiment(
     batch_size: Optional[int] = None,
     dtype: str = "float64",
     transport_dtype: Optional[str] = None,
+    pool_workers: int = 0,
+    pool_start_method: Optional[str] = None,
     injection: Optional[Dict[str, float]] = None,
     **algorithm_kwargs,
 ) -> ExperimentResult:
@@ -273,10 +279,12 @@ def run_experiment(
     ``"float32"`` for the reduced-precision mode); ``transport_dtype``
     prices an alternative wire format on the simulated clock (``"float16"``
     halves every sync transfer without touching the arithmetic).
-    ``injection`` activates the non-IID data-injection path: a dict with
-    keys ``alpha``, ``beta`` (and optionally ``delta``) sets the SelSync
-    (α, β, δ) tuple and adjusts the per-worker batch size to b′ per
-    Eqn. (3).
+    ``pool_workers`` shards forward/backward over that many OS processes via
+    the shared-memory replica pool (``0`` = in-process;
+    ``pool_start_method`` picks fork/spawn).  ``injection`` activates the
+    non-IID data-injection path: a dict with keys ``alpha``, ``beta`` (and
+    optionally ``delta``) sets the SelSync (α, β, δ) tuple and adjusts the
+    per-worker batch size to b′ per Eqn. (3).
     """
     preset = build_workload(workload)
     if use_default_partitioning and partitioner is None:
@@ -302,10 +310,17 @@ def run_experiment(
         batch_size=effective_batch,
         dtype=dtype,
         transport_dtype=transport_dtype,
+        pool_workers=pool_workers,
+        pool_start_method=pool_start_method,
     )
-    trainer = make_trainer(
-        algorithm, cluster, preset, total_iterations=iterations, eval_every=eval_every,
-        **algorithm_kwargs,
-    )
-    result = trainer.run(iterations, convergence=convergence)
+    try:
+        trainer = make_trainer(
+            algorithm, cluster, preset, total_iterations=iterations, eval_every=eval_every,
+            **algorithm_kwargs,
+        )
+        result = trainer.run(iterations, convergence=convergence)
+    finally:
+        # Releases the replica pool's processes and shared-memory segments
+        # deterministically; a no-op for in-process clusters.
+        cluster.close()
     return ExperimentResult(workload=preset.name, algorithm=trainer.describe(), result=result)

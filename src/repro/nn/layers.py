@@ -159,7 +159,15 @@ class GELU(Module):
 
 
 class Dropout(Module):
-    """Inverted dropout; identity in eval mode."""
+    """Inverted dropout; identity in eval mode.
+
+    Masks come from a private per-layer generator by default.  When a
+    :class:`~repro.engine.dropout_stream.SharedDropoutStream` is attached
+    (:meth:`use_shared_stream`), the layer instead takes its worker's row of
+    the stream's deterministic per-(step, layer) mask block — the mode the
+    batched replica executor and the multiprocessing replica pool rely on
+    for exact cross-path / cross-process parity.
+    """
 
     def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
         super().__init__()
@@ -168,13 +176,32 @@ class Dropout(Module):
         self.p = float(p)
         self._rng = rng or np.random.default_rng()
         self._mask: Optional[np.ndarray] = None
+        self._shared_stream = None
+        self._stream_layer_id = 0
+        self._stream_slot = 0
+
+    def use_shared_stream(self, stream, layer_id: int, worker_slot: int) -> None:
+        """Draw future masks from ``stream`` (row ``worker_slot`` of layer blocks)."""
+        self._shared_stream = stream
+        self._stream_layer_id = int(layer_id)
+        self._stream_slot = int(worker_slot)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if not self.training or self.p == 0.0:
             self._mask = None
             return x
         keep = 1.0 - self.p
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        if self._shared_stream is not None:
+            mask = self._shared_stream.worker_mask(
+                self._stream_layer_id, x.shape, self.p, self._stream_slot
+            )
+            # Stay in the activation dtype (float32 mode); float64 masks keep
+            # the default path's arithmetic bit-identical.
+            if mask.dtype != x.dtype and np.issubdtype(x.dtype, np.floating):
+                mask = mask.astype(x.dtype)
+            self._mask = mask
+        else:
+            self._mask = (self._rng.random(x.shape) < keep) / keep
         return x * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:

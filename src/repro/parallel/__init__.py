@@ -1,0 +1,33 @@
+"""Shared-memory multiprocessing worker pool over the worker matrix.
+
+The engine's ``(N, D)`` worker matrix made per-step *framework* cost cheap;
+this subsystem removes the remaining single-process ceiling on *model* cost.
+:class:`~repro.parallel.shm.SharedMatrixStorage` backs the matrix with POSIX
+shared memory, and :class:`~repro.parallel.pool.ReplicaPool` shards
+forward/backward across one process per replica group while aggregation,
+Δ(gᵢ) tracking and compression stay on the parent — against the exact same
+matrices, bit-identically in float64.
+
+Enable it per cluster with ``ClusterConfig(pool_workers=P)`` (or
+``--pool-workers P`` on the CLI); see ARCHITECTURE.md "Process pool layer"
+for the ownership and parity contracts.
+"""
+
+from repro.parallel.pool import (
+    PoolCrashError,
+    ReplicaPool,
+    START_METHODS,
+    group_bounds,
+    resolve_start_method,
+)
+from repro.parallel.shm import SharedMatrixHandle, SharedMatrixStorage
+
+__all__ = [
+    "PoolCrashError",
+    "ReplicaPool",
+    "START_METHODS",
+    "SharedMatrixHandle",
+    "SharedMatrixStorage",
+    "group_bounds",
+    "resolve_start_method",
+]

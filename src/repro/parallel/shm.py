@@ -1,0 +1,164 @@
+"""Shared-memory backing for the worker matrix.
+
+One :class:`SharedMatrixStorage` owns the two POSIX shared-memory segments
+that hold a cluster's ``(N, D)`` parameter and gradient matrices.  The
+*parent* process creates the segments (``SharedMatrixStorage(...)``) and is
+their sole owner: only it may ``unlink`` them, and a ``weakref.finalize``
+guard unlinks them even if the owner is garbage collected or the interpreter
+exits without an explicit ``close()`` — no segment outlives the run.
+
+Replica-pool children *attach* by name (:meth:`SharedMatrixStorage.attach`)
+and never unlink; attaching immediately unregisters the segment from the
+child's ``resource_tracker`` so child exits cannot double-unlink or spam
+"leaked shared_memory" warnings (Python < 3.13 has no ``track=False``).
+
+Ownership contract (see ARCHITECTURE.md "Process pool layer"):
+
+* parent allocates → children attach → children close on exit → parent
+  unlinks (explicitly via ``close()`` or implicitly via the finalizer).
+* ``close()`` on the owner unlinks the *names* but deliberately keeps the
+  parent's own mapping alive: live NumPy views into the matrix (model
+  parameters, optimizer state) stay valid, and the memory is released when
+  the last mapping disappears — standard POSIX shm semantics.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SharedMatrixHandle:
+    """Picklable descriptor a child process needs to attach the storage."""
+
+    params_name: str
+    grads_name: str
+    num_workers: int
+    total_size: int
+    dtype_name: str
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without double-tracking it.
+
+    Pool children share the parent's resource-tracker process (fork inherits
+    its fd, spawn is handed it in the preparation data), and the tracker's
+    registry is a set — so on Python < 3.13 the child's implicit re-register
+    of the parent-owned name is a harmless no-op, and the parent's unlink
+    later clears the single entry.  The child must NOT unregister: that
+    would strip the parent's registration and break the leak guard.
+    Python >= 3.13 can skip tracking explicitly.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+def _unlink_segments(*segments: shared_memory.SharedMemory) -> None:
+    """Best-effort unlink used by both close() and the GC finalizer."""
+    for segment in segments:
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass  # already unlinked (idempotent close)
+
+
+class SharedMatrixStorage:
+    """Parent-owned shared ``(N, D)`` parameter and gradient arrays."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        total_size: int,
+        dtype,
+        _segments: Optional[Tuple[shared_memory.SharedMemory, ...]] = None,
+    ) -> None:
+        self.num_workers = int(num_workers)
+        self.total_size = int(total_size)
+        self.dtype = np.dtype(dtype)
+        if self.num_workers < 1 or self.total_size < 1:
+            raise ValueError(
+                f"storage needs num_workers >= 1 and total_size >= 1, got "
+                f"({num_workers}, {total_size})"
+            )
+        nbytes = self.num_workers * self.total_size * self.dtype.itemsize
+        if _segments is None:
+            self.owner = True
+            self._params_shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            self._grads_shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        else:
+            self.owner = False
+            self._params_shm, self._grads_shm = _segments
+        shape = (self.num_workers, self.total_size)
+        self.params = np.ndarray(shape, dtype=self.dtype, buffer=self._params_shm.buf)
+        self.grads = np.ndarray(shape, dtype=self.dtype, buffer=self._grads_shm.buf)
+        if self.owner:
+            self.params.fill(0.0)
+            self.grads.fill(0.0)
+            # Unlink-on-GC guard: must not capture ``self`` (that would make
+            # the storage immortal), so it closes over the segments alone.
+            self._finalizer = weakref.finalize(
+                self, _unlink_segments, self._params_shm, self._grads_shm
+            )
+        else:
+            self._finalizer = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def handle(self) -> SharedMatrixHandle:
+        return SharedMatrixHandle(
+            params_name=self._params_shm.name,
+            grads_name=self._grads_shm.name,
+            num_workers=self.num_workers,
+            total_size=self.total_size,
+            dtype_name=self.dtype.name,
+        )
+
+    @classmethod
+    def attach(cls, handle: SharedMatrixHandle) -> "SharedMatrixStorage":
+        """Attach an existing storage (child-process side; never unlinks)."""
+        segments = (
+            _attach_segment(handle.params_name),
+            _attach_segment(handle.grads_name),
+        )
+        return cls(handle.num_workers, handle.total_size, handle.dtype_name, _segments=segments)
+
+    # ------------------------------------------------------------------ #
+    def unlink(self) -> None:
+        """Remove the segment names (owner only; idempotent).
+
+        Existing mappings — the parent's matrix views and any still-attached
+        children — stay valid; the kernel frees the memory once the last
+        mapping is closed.
+        """
+        if not self.owner:
+            raise RuntimeError("only the owning (parent) storage may unlink segments")
+        if self._finalizer is not None:
+            self._finalizer()  # runs _unlink_segments exactly once
+        else:  # pragma: no cover - finalizer already detached
+            _unlink_segments(self._params_shm, self._grads_shm)
+
+    def close(self) -> None:
+        """Owner: unlink the names.  Child: drop this process's mapping."""
+        if self.owner:
+            self.unlink()
+            return
+        # BufferError means live array views still reference the mapping
+        # (e.g. models not yet garbage collected); the mapping then simply
+        # dies with the process, which is safe because children never own.
+        try:
+            self._params_shm.close()
+            self._grads_shm.close()
+        except BufferError:  # pragma: no cover - depends on caller's refs
+            pass
+
+    @property
+    def nbytes(self) -> int:
+        """Total shared bytes across both segments."""
+        return self.params.nbytes + self.grads.nbytes

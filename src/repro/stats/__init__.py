@@ -5,16 +5,25 @@
 * running variance / gradient-noise statistics,
 * Gaussian kernel density estimation for the gradient and weight
   distribution figures (Figs. 3 and 11),
+* batched per-layer norms / KDE inputs straight from ``ParamSpec`` column
+  slices of the ``(N, D)`` worker matrix (no per-worker unflatten),
 * Hessian top-eigenvalue estimation by power iteration on finite-difference
   Hessian-vector products (Fig. 4).
 """
 
 from repro.stats.ewma import EWMA, ewma_smooth
+from repro.stats.layer_stats import (
+    layer_sample,
+    layer_view,
+    matrix_layer_norms,
+    mean_layer_norms,
+)
 from repro.stats.variance import (
     RunningVariance,
     batch_gradient_statistic,
     gradient_variance,
     gradient_second_moment,
+    per_layer_norms,
 )
 from repro.stats.kde import gaussian_kde_density, histogram_density, distribution_summary
 from repro.stats.hessian import hessian_top_eigenvalue, hessian_vector_product
@@ -26,6 +35,11 @@ __all__ = [
     "batch_gradient_statistic",
     "gradient_variance",
     "gradient_second_moment",
+    "per_layer_norms",
+    "layer_sample",
+    "layer_view",
+    "matrix_layer_norms",
+    "mean_layer_norms",
     "gaussian_kde_density",
     "histogram_density",
     "distribution_summary",

@@ -1,0 +1,78 @@
+"""Batched per-layer statistics straight from worker-matrix slices.
+
+The pre-engine code computed layer-wise diagnostics by unflattening every
+worker's gradient vector back into a named dict and reducing tensor by
+tensor (:func:`repro.stats.variance.per_layer_norms` per worker).  Because
+every layer occupies one contiguous ``[offset, offset + size)`` column range
+of the ``(N, D)`` worker matrix (the :class:`~repro.engine.flat_buffer.ParamSpec`
+layout), the same diagnostics reduce to one vectorized NumPy call per layer
+over all workers at once — no per-worker unflatten, no copies.
+
+These helpers accept the raw ``(N, D)`` array plus its spec, so they work on
+the parameter matrix, the gradient matrix, or any same-layout stack (e.g. a
+momentum matrix).  KDE inputs (:func:`layer_sample`) feed
+:mod:`repro.stats.kde` consumers directly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+import numpy as np
+
+
+def _check_matrix(matrix: np.ndarray, spec) -> np.ndarray:
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[1] != spec.total_size:
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match layout (N, {spec.total_size})"
+        )
+    return matrix
+
+
+def layer_view(matrix: np.ndarray, spec, name: str) -> np.ndarray:
+    """Zero-copy ``(N, layer_size)`` view of one layer across all workers."""
+    matrix = _check_matrix(matrix, spec)
+    return matrix[:, spec.slice_of(name)]
+
+
+def matrix_layer_norms(matrix: np.ndarray, spec) -> "OrderedDict[str, np.ndarray]":
+    """Per-layer L2 norms for every worker: ``{name: (N,) norms}``.
+
+    One fused ``einsum`` per layer over the column slice — the batched
+    replacement for N calls to :func:`repro.stats.variance.per_layer_norms`.
+    """
+    matrix = _check_matrix(matrix, spec)
+    out: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    for name, _, offset, size in spec:
+        seg = matrix[:, offset : offset + size]
+        out[name] = np.sqrt(np.einsum("ij,ij->i", seg, seg))
+    return out
+
+
+def mean_layer_norms(matrix: np.ndarray, spec) -> Dict[str, float]:
+    """Worker-averaged per-layer L2 norms (scalar per layer)."""
+    return {name: float(n.mean()) for name, n in matrix_layer_norms(matrix, spec).items()}
+
+
+def layer_sample(
+    matrix: np.ndarray,
+    spec,
+    name: str,
+    max_samples: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Pooled entries of one layer across all workers, as KDE input.
+
+    Returns a flat float64 sample of the layer's entries over every replica
+    (the distribution Figs. 3 / 11 estimate).  ``max_samples`` subsamples
+    without replacement for large layers; the draw is deterministic for a
+    seeded ``rng``.
+    """
+    flat = layer_view(matrix, spec, name).ravel()
+    if max_samples is not None and flat.size > max_samples:
+        rng = rng or np.random.default_rng(0)
+        idx = rng.choice(flat.size, size=int(max_samples), replace=False)
+        flat = flat[idx]
+    return np.asarray(flat, dtype=np.float64)

@@ -55,9 +55,10 @@ class TestBuild:
         matrix.adopt(0, model)
         assert BatchedReplicaExecutor.build(matrix, model) is None
 
-    def test_active_dropout_falls_back(self):
-        # Dropout draws from per-worker RNG streams the batched path cannot
-        # replay, so any p > 0 must refuse to build.
+    def test_active_dropout_without_shared_stream_falls_back(self):
+        # Private per-layer dropout RNG streams cannot be replayed batched;
+        # p > 0 only builds once a SharedDropoutStream is attached (see
+        # tests/engine/test_dropout_stream.py).
         model = make_model(np.random.default_rng(0), dropout=0.2)
         model.flatten_parameters()
         matrix = WorkerMatrix(1, model.flat_spec)

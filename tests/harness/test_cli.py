@@ -44,6 +44,22 @@ class TestRunCommand:
         assert code == 0
         assert "bsp" in capsys.readouterr().out
 
+    @pytest.mark.pool
+    def test_run_with_pool_workers(self, capsys):
+        # ResNet has no batched executor, so the pool children run the
+        # per-worker fallback — the models-too-heavy-to-batch scenario.
+        code = main([
+            "run", "--workload", "resnet101", "--algorithm", "bsp",
+            "--workers", "2", "--iterations", "4", "--pool-workers", "2",
+        ])
+        assert code == 0
+        assert "bsp" in capsys.readouterr().out
+
+    def test_pool_start_method_choices_enforced(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "--pool-start-method", "threads"])
+
     def test_compare_outputs_table1_columns(self, capsys):
         code = main([
             "compare", "--workload", "resnet101", "--workers", "2",

@@ -103,6 +103,17 @@ class TestRunExperiment:
         assert out.result.iterations == 12
         assert "δ=0.3" in out.algorithm
 
+    @pytest.mark.pool
+    def test_pool_workers_matches_in_process_run(self):
+        # run_experiment builds/tears down the pool and the trajectories
+        # match the in-process run exactly (same seed, same algorithm).
+        single = run_experiment("resnet101", "bsp", num_workers=2, iterations=6,
+                                eval_every=6, seed=1)
+        pooled = run_experiment("resnet101", "bsp", num_workers=2, iterations=6,
+                                eval_every=6, seed=1, pool_workers=2)
+        assert pooled.result.final_metric == single.result.final_metric
+        assert pooled.result.final_loss == single.result.final_loss
+
     def test_default_partitioning_flag(self):
         out = run_experiment("resnet101", "bsp", num_workers=2, iterations=6,
                              eval_every=6, use_default_partitioning=True)

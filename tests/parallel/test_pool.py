@@ -1,0 +1,207 @@
+"""ReplicaPool mechanics: grouping, shared-matrix plumbing, crash handling."""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchedReplicaExecutor, WorkerMatrix
+from repro.nn.models import MLP
+from repro.parallel.pool import (
+    PoolCrashError,
+    _compute_group,
+    _compute_row,
+    group_bounds,
+    resolve_start_method,
+)
+from repro.utils.rng import spawn_rngs
+from tests.conftest import make_small_cluster
+
+
+@pytest.mark.pool
+class TestGroupBounds:
+    def test_even_split(self):
+        assert group_bounds(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_split_front_loads_remainder(self):
+        assert group_bounds(7, 3) == [(0, 3), (3, 5), (5, 7)]
+
+    def test_clamps_groups_to_workers(self):
+        assert group_bounds(2, 8) == [(0, 1), (1, 2)]
+
+    def test_single_group(self):
+        assert group_bounds(5, 1) == [(0, 5)]
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            group_bounds(0, 1)
+
+
+@pytest.mark.pool
+class TestStartMethod:
+    def test_default_prefers_fork_on_posix(self):
+        assert resolve_start_method(None) in ("fork", "spawn", "forkserver")
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_start_method("threads")
+
+
+@pytest.mark.pool
+class TestChildArithmetic:
+    """The child-side compute helpers, run in-process (they are pure).
+
+    These are the exact functions `_pool_child_main` dispatches to; pinning
+    them here keeps the cross-process parity contract unit-testable without
+    a subprocess.
+    """
+
+    def _make_group(self, n=3):
+        rngs = spawn_rngs(0, n)
+        models = [MLP((6, 8, 3), rng=r) for r in rngs]
+        models[0].flatten_parameters()
+        matrix = WorkerMatrix(n, models[0].flat_spec)
+        for i, model in enumerate(models):
+            matrix.adopt(i, model)
+        rng = np.random.default_rng(1)
+        batches = [
+            (rng.standard_normal((4, 6)), rng.integers(0, 3, size=4)) for _ in range(n)
+        ]
+        return matrix, models, batches
+
+    def test_compute_row_matches_worker_arithmetic(self):
+        matrix, models, batches = self._make_group()
+        loss, norm = _compute_row(models[0], batches[0])
+        grad = matrix.grads[0]
+        assert norm == float(np.sqrt(grad @ grad))
+        assert loss > 0.0
+
+    def test_compute_group_executor_and_fallback_agree(self):
+        matrix, models, batches = self._make_group()
+        executor = BatchedReplicaExecutor.build(matrix, models[0])
+        losses_exec, norms_exec = _compute_group(models, executor, batches)
+        grads_exec = matrix.grads.copy()
+        losses_loop, _ = _compute_group(models, None, batches)
+        np.testing.assert_array_equal(np.asarray(losses_exec), np.asarray(losses_loop))
+        np.testing.assert_array_equal(grads_exec, matrix.grads)
+        assert len(norms_exec) == len(models)
+
+    def test_compute_group_mismatched_batches_fall_back(self):
+        matrix, models, batches = self._make_group()
+        executor = BatchedReplicaExecutor.build(matrix, models[0])
+        # One worker's batch has a different shape: executor.step returns
+        # None and the per-worker loop takes over.
+        rng = np.random.default_rng(2)
+        batches[1] = (rng.standard_normal((2, 6)), rng.integers(0, 3, size=2))
+        losses, norms = _compute_group(models, executor, batches)
+        assert len(losses) == len(norms) == len(models)
+
+
+@pytest.mark.pool
+class TestPoolPlumbing:
+    def test_cluster_matrix_is_shared_memory_backed(self):
+        cluster = make_small_cluster(num_workers=4, pool_workers=2)
+        try:
+            storage = cluster._shared_storage
+            assert storage is not None
+            # The matrix and every worker's flat views alias the segments.
+            assert np.shares_memory(cluster.matrix.params, storage.params)
+            assert np.shares_memory(cluster.workers[0].param_vector, storage.params)
+            assert np.shares_memory(cluster.workers[3].grad_vector, storage.grads)
+        finally:
+            cluster.close()
+
+    def test_gradients_land_in_parent_matrix(self):
+        cluster = make_small_cluster(num_workers=4, pool_workers=2)
+        try:
+            assert not cluster.matrix.grads.any()
+            batches = [w.next_batch() for w in cluster.workers]
+            losses = cluster.compute_gradients_all(batches)
+            assert len(losses) == 4
+            # Every row received a gradient from some child process.
+            assert all(cluster.matrix.grads[i].any() for i in range(4))
+            # last_loss / last_grad_norm bookkeeping mirrors the local path.
+            for worker, loss in zip(cluster.workers, losses):
+                assert worker.last_loss == loss
+                assert worker.last_grad_norm > 0.0
+        finally:
+            cluster.close()
+
+    def test_parent_side_updates_visible_to_children(self):
+        cluster = make_small_cluster(num_workers=2, pool_workers=2, seed=5)
+        try:
+            batches = [w.next_batch() for w in cluster.workers]
+            cluster.compute_gradients_all(batches)
+            grads_before = cluster.matrix.grads.copy()
+            # Mutate the shared parameters from the parent, then recompute on
+            # the same batches: the children must see the new parameters.
+            cluster.matrix.broadcast(np.zeros(cluster.matrix.spec.total_size))
+            cluster.compute_gradients_all(batches)
+            assert not np.array_equal(grads_before, cluster.matrix.grads)
+        finally:
+            cluster.close()
+
+    def test_compute_one_matches_worker_row(self):
+        cluster = make_small_cluster(num_workers=3, pool_workers=3, seed=1)
+        reference = make_small_cluster(num_workers=3, seed=1)
+        try:
+            batch = cluster.workers[1].next_batch()
+            ref_batch = reference.workers[1].next_batch()
+            loss = cluster.compute_gradients_worker(cluster.workers[1], batch)
+            ref_loss = reference.compute_gradients_worker(reference.workers[1], ref_batch)
+            assert loss == ref_loss
+            np.testing.assert_array_equal(
+                cluster.matrix.grads[1], reference.matrix.grads[1]
+            )
+        finally:
+            cluster.close()
+            reference.close()
+
+    def test_close_is_idempotent_and_stops_children(self):
+        cluster = make_small_cluster(num_workers=2, pool_workers=2)
+        pool = cluster.pool
+        procs = list(pool._processes)
+        cluster.close()
+        cluster.close()
+        assert pool.closed
+        deadline = time.monotonic() + 5.0
+        while any(p.is_alive() for p in procs) and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert not any(p.is_alive() for p in procs)
+
+    def test_pool_workers_clamped_to_num_workers(self):
+        cluster = make_small_cluster(num_workers=2, pool_workers=8)
+        try:
+            assert cluster.pool.num_groups == 2
+        finally:
+            cluster.close()
+
+
+@pytest.mark.pool
+class TestPoolCrash:
+    def test_killed_child_raises_and_cleanup_unlinks_segments(self):
+        cluster = make_small_cluster(num_workers=4, pool_workers=2)
+        handle = cluster._shared_storage.handle
+        victim = cluster.pool._processes[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        batches = [w.next_batch() for w in cluster.workers]
+        with pytest.raises(PoolCrashError):
+            cluster.compute_gradients_all(batches)
+        assert cluster.pool.closed
+        # Cleanup after the crash: no leaked segments.
+        cluster.close()
+        from repro.parallel.shm import SharedMatrixStorage
+
+        with pytest.raises(FileNotFoundError):
+            SharedMatrixStorage.attach(handle)
+
+    def test_pool_refuses_work_after_close(self):
+        cluster = make_small_cluster(num_workers=2, pool_workers=2)
+        pool = cluster.pool
+        cluster.close()
+        with pytest.raises(RuntimeError):
+            pool.compute_all([None, None])

@@ -1,0 +1,171 @@
+"""Pool determinism: bit-identical float64 trajectories vs the single-process
+engine for BSP, SSP and SelSync, across pool sizes and start methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bsp import BSPTrainer
+from repro.algorithms.ssp import SSPTrainer
+from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+from repro.core.config import SelSyncConfig
+from repro.core.selsync import SelSyncTrainer
+from repro.data.datasets import make_image_splits, make_sequence_splits
+from repro.data.partition import SelSyncPartitioner
+from repro.nn.models import ConvNet, TransformerLM
+from repro.optim.sgd import SGD
+from tests.conftest import make_small_cluster
+
+STEPS = 6
+
+
+def make_conv_cluster(pool_workers=0, seed=0, num_workers=4, **config_kwargs):
+    train, test = make_image_splits(256, 64, 4, in_channels=1, image_size=8, seed=seed)
+    config = ClusterConfig(
+        num_workers=num_workers, batch_size=8, seed=seed, pool_workers=pool_workers,
+        **config_kwargs,
+    )
+    return SimulatedCluster(
+        model_factory=lambda rng: ConvNet(
+            in_channels=1, num_classes=4, image_size=8, channels=(3, 5), rng=rng
+        ),
+        optimizer_factory=lambda m: SGD(m, lr=0.05, momentum=0.9),
+        train_dataset=train,
+        test_dataset=test,
+        config=config,
+        partitioner=SelSyncPartitioner(seed=seed),
+    )
+
+
+def make_lm_cluster(pool_workers=0, seed=0, num_workers=4, dropout=0.3, **config_kwargs):
+    train, test = make_sequence_splits(4096, 512, 32, bptt=8, seed=seed)
+    config = ClusterConfig(
+        num_workers=num_workers, batch_size=4, seed=seed, task="language_modeling",
+        workload="transformer", pool_workers=pool_workers, **config_kwargs,
+    )
+    return SimulatedCluster(
+        model_factory=lambda rng: TransformerLM(
+            vocab_size=32, d_model=16, num_heads=2, num_layers=2,
+            dim_feedforward=32, dropout=dropout, rng=rng,
+        ),
+        optimizer_factory=lambda m: SGD(m, lr=0.1),
+        train_dataset=train,
+        test_dataset=test,
+        config=config,
+        partitioner=SelSyncPartitioner(seed=seed),
+    )
+
+
+def make_trainer(name, cluster):
+    if name == "bsp":
+        return BSPTrainer(cluster, eval_every=10_000)
+    if name == "ssp":
+        return SSPTrainer(cluster, staleness=10, eval_every=10_000)
+    return SelSyncTrainer(cluster, SelSyncConfig(delta=0.05), eval_every=10_000)
+
+
+def run_trajectory(cluster, algorithm, steps=STEPS):
+    """(losses, final params) after ``steps`` train steps; closes the cluster."""
+    try:
+        trainer = make_trainer(algorithm, cluster)
+        losses = []
+        for _ in range(steps):
+            info = trainer.train_step()
+            trainer.global_step += 1
+            cluster.global_step = trainer.global_step
+            losses.append(info["loss"])
+        return np.asarray(losses), cluster.matrix.params.copy()
+    finally:
+        cluster.close()
+
+
+def assert_identical(a, b):
+    np.testing.assert_array_equal(a[0], b[0])  # losses
+    np.testing.assert_array_equal(a[1], b[1])  # parameter matrix
+
+
+@pytest.mark.pool
+class TestMLPTrajectories:
+    @pytest.mark.parametrize("algorithm", ["bsp", "ssp", "selsync"])
+    def test_bit_identical_across_pool_sizes(self, algorithm):
+        single = run_trajectory(make_small_cluster(num_workers=4, seed=3), algorithm)
+        for pool_workers in (1, 2, 4):
+            pooled = run_trajectory(
+                make_small_cluster(num_workers=4, seed=3, pool_workers=pool_workers),
+                algorithm,
+            )
+            assert_identical(single, pooled)
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_bit_identical_across_start_methods(self, start_method):
+        single = run_trajectory(make_small_cluster(num_workers=4, seed=7), "bsp")
+        pooled = run_trajectory(
+            make_small_cluster(
+                num_workers=4, seed=7, pool_workers=2, pool_start_method=start_method
+            ),
+            "bsp",
+        )
+        assert_identical(single, pooled)
+
+
+@pytest.mark.pool
+class TestConvNetTrajectories:
+    @pytest.mark.parametrize("algorithm", ["bsp", "ssp", "selsync"])
+    def test_bit_identical_pool_vs_single(self, algorithm):
+        single = run_trajectory(make_conv_cluster(0, seed=2), algorithm)
+        pooled = run_trajectory(make_conv_cluster(2, seed=2), algorithm)
+        assert_identical(single, pooled)
+
+    def test_per_worker_fallback_children_match_batched_single(self):
+        # Children forced onto the per-worker loop (the models-too-heavy-to-
+        # batch scenario the pool exists for) still reproduce the batched
+        # single-process trajectory bit for bit.
+        single = run_trajectory(make_conv_cluster(0, seed=4), "bsp")
+        cluster = make_conv_cluster(2, seed=4)
+        cluster.pool.set_use_executor(False)
+        pooled = run_trajectory(cluster, "bsp")
+        assert_identical(single, pooled)
+
+
+@pytest.mark.pool
+class TestTransformerDropoutTrajectories:
+    def test_pool_matches_single_with_active_dropout(self):
+        # Active dropout (shared per-step stream) across process boundaries:
+        # masks are derived from the seed alone, so the pooled trajectory is
+        # bit-identical to the single-process batched one.
+        single = run_trajectory(make_lm_cluster(0, seed=1), "bsp")
+        pooled = run_trajectory(make_lm_cluster(3, seed=1), "bsp")
+        assert_identical(single, pooled)
+
+    def test_selsync_pool_matches_single_with_active_dropout(self):
+        single = run_trajectory(make_lm_cluster(0, seed=6), "selsync")
+        pooled = run_trajectory(make_lm_cluster(2, seed=6), "selsync")
+        assert_identical(single, pooled)
+
+    def test_direct_worker_step_works_before_any_trainer_step(self):
+        # The stream is armed at cluster construction, so public per-worker
+        # entry points (train_step / compute_gradients_flat) keep working in
+        # training mode with active dropout, as they did pre-stream.
+        with make_lm_cluster(0, seed=8) as cluster:
+            loss = cluster.workers[0].train_step(lr=0.1)
+            assert np.isfinite(loss)
+
+
+@pytest.mark.pool
+class TestSelSyncDecisionsParity:
+    def test_sync_step_indices_match(self):
+        def sync_indices(cluster):
+            trainer = make_trainer("selsync", cluster)
+            try:
+                for _ in range(STEPS):
+                    trainer.train_step()
+                    trainer.global_step += 1
+                    cluster.global_step = trainer.global_step
+                return list(trainer.sync_step_indices), trainer.sync_steps
+            finally:
+                cluster.close()
+
+        assert sync_indices(make_small_cluster(num_workers=4, seed=9)) == sync_indices(
+            make_small_cluster(num_workers=4, seed=9, pool_workers=2)
+        )

@@ -1,0 +1,89 @@
+"""Shared-memory storage: ownership, attach semantics, cleanup guarantees."""
+
+from __future__ import annotations
+
+import gc
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm import SharedMatrixStorage
+
+
+def _name_exists(name: str) -> bool:
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True
+
+
+@pytest.mark.pool
+class TestSharedMatrixStorage:
+    def test_allocates_zeroed_matrices(self):
+        storage = SharedMatrixStorage(3, 5, np.float64)
+        assert storage.params.shape == (3, 5)
+        assert storage.grads.shape == (3, 5)
+        assert storage.params.dtype == np.float64
+        assert not storage.params.any() and not storage.grads.any()
+        assert storage.owner
+        storage.close()
+
+    def test_validates_dimensions(self):
+        with pytest.raises(ValueError):
+            SharedMatrixStorage(0, 5, np.float64)
+        with pytest.raises(ValueError):
+            SharedMatrixStorage(3, 0, np.float64)
+
+    def test_attach_sees_owner_writes_and_vice_versa(self):
+        storage = SharedMatrixStorage(2, 4, np.float32)
+        attached = SharedMatrixStorage.attach(storage.handle)
+        assert not attached.owner
+        storage.params[1, 2] = 7.5
+        assert attached.params[1, 2] == np.float32(7.5)
+        attached.grads[0, 0] = -1.0
+        assert storage.grads[0, 0] == np.float32(-1.0)
+        attached.close()
+        storage.close()
+
+    def test_attached_side_may_not_unlink(self):
+        storage = SharedMatrixStorage(2, 4, np.float64)
+        attached = SharedMatrixStorage.attach(storage.handle)
+        with pytest.raises(RuntimeError):
+            attached.unlink()
+        storage.close()
+
+    def test_owner_close_is_idempotent_and_unlinks(self):
+        storage = SharedMatrixStorage(2, 4, np.float64)
+        name = storage.handle.params_name
+        assert _name_exists(name)
+        storage.close()
+        assert not _name_exists(name)
+        storage.close()  # second close is a no-op
+        # The owner's own views stay valid after unlink (mapping alive).
+        storage.params[0, 0] = 1.0
+        assert storage.params[0, 0] == 1.0
+
+    def test_attach_after_owner_unlink_fails(self):
+        storage = SharedMatrixStorage(2, 4, np.float64)
+        handle = storage.handle
+        storage.close()
+        with pytest.raises(FileNotFoundError):
+            SharedMatrixStorage.attach(handle)
+
+    def test_gc_finalizer_unlinks_abandoned_storage(self):
+        storage = SharedMatrixStorage(2, 4, np.float64)
+        name = storage.handle.params_name
+        del storage
+        gc.collect()
+        assert not _name_exists(name)
+
+    def test_handle_roundtrips_dtype(self):
+        storage = SharedMatrixStorage(2, 3, "float32")
+        attached = SharedMatrixStorage.attach(storage.handle)
+        assert attached.dtype == np.float32
+        assert attached.nbytes == storage.nbytes == 2 * (2 * 3 * 4)
+        attached.close()
+        storage.close()

@@ -1,0 +1,121 @@
+"""Batched per-layer statistics from worker-matrix slices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import ParamSpec, WorkerMatrix
+from repro.stats import (
+    layer_sample,
+    layer_view,
+    matrix_layer_norms,
+    mean_layer_norms,
+    per_layer_norms,
+)
+from tests.conftest import make_small_cluster
+
+N = 4
+SPEC = [("layer0.weight", (3, 2)), ("layer0.bias", (3,)), ("head.weight", (2, 3))]
+
+
+def make_matrix(seed=0):
+    spec = ParamSpec(SPEC)
+    matrix = WorkerMatrix(N, spec)
+    rng = np.random.default_rng(seed)
+    matrix.grads[:] = rng.standard_normal(matrix.grads.shape)
+    matrix.params[:] = rng.standard_normal(matrix.params.shape)
+    return matrix
+
+
+class TestMatrixLayerNorms:
+    def test_matches_per_worker_unflatten(self):
+        # The batched slice reduction must agree with the per-worker
+        # reference path (unflatten each row, reduce tensor by tensor).
+        matrix = make_matrix()
+        batched = matrix_layer_norms(matrix.grads, matrix.spec)
+        for worker_id in range(N):
+            named = matrix.spec.unflatten(matrix.grads[worker_id])
+            reference = per_layer_norms(named)
+            for name in reference:
+                assert batched[name][worker_id] == pytest.approx(reference[name])
+
+    def test_returns_one_entry_per_layer_in_spec_order(self):
+        matrix = make_matrix()
+        norms = matrix_layer_norms(matrix.grads, matrix.spec)
+        assert list(norms) == [name for name, _ in SPEC]
+        assert all(v.shape == (N,) for v in norms.values())
+
+    def test_mean_layer_norms_averages_workers(self):
+        matrix = make_matrix()
+        norms = matrix_layer_norms(matrix.grads, matrix.spec)
+        means = mean_layer_norms(matrix.grads, matrix.spec)
+        for name in means:
+            assert means[name] == pytest.approx(float(norms[name].mean()))
+
+    def test_shape_mismatch_rejected(self):
+        matrix = make_matrix()
+        with pytest.raises(ValueError):
+            matrix_layer_norms(matrix.grads[:, :-1], matrix.spec)
+
+
+class TestLayerViewAndSample:
+    def test_layer_view_is_zero_copy(self):
+        matrix = make_matrix()
+        view = layer_view(matrix.grads, matrix.spec, "layer0.bias")
+        assert view.shape == (N, 3)
+        assert np.shares_memory(view, matrix.grads)
+
+    def test_layer_sample_pools_all_workers(self):
+        matrix = make_matrix()
+        sample = layer_sample(matrix.grads, matrix.spec, "layer0.weight")
+        assert sample.shape == (N * 6,)
+        np.testing.assert_array_equal(
+            sample, layer_view(matrix.grads, matrix.spec, "layer0.weight").ravel()
+        )
+
+    def test_layer_sample_subsamples_deterministically(self):
+        matrix = make_matrix()
+        a = layer_sample(matrix.grads, matrix.spec, "layer0.weight", max_samples=5,
+                         rng=np.random.default_rng(1))
+        b = layer_sample(matrix.grads, matrix.spec, "layer0.weight", max_samples=5,
+                         rng=np.random.default_rng(1))
+        assert a.shape == (5,)
+        np.testing.assert_array_equal(a, b)
+
+    def test_unknown_layer_raises(self):
+        matrix = make_matrix()
+        with pytest.raises(KeyError):
+            layer_view(matrix.grads, matrix.spec, "missing")
+
+
+class TestClusterWiring:
+    def test_cluster_layer_gradient_norms_match_worker_grads(self):
+        cluster = make_small_cluster(num_workers=3, seed=2)
+        try:
+            batches = [w.next_batch() for w in cluster.workers]
+            cluster.compute_gradients_all(batches)
+            norms = cluster.layer_gradient_norms()
+            assert list(norms) == cluster.matrix.spec.names()
+            for worker_id, worker in enumerate(cluster.workers):
+                named = worker.model.grad_view()
+                for name, grad in named.items():
+                    assert norms[name][worker_id] == pytest.approx(
+                        float(np.linalg.norm(grad.ravel()))
+                    )
+        finally:
+            cluster.close()
+
+    def test_cluster_layer_parameter_norms_and_kde_sample(self):
+        cluster = make_small_cluster(num_workers=3, seed=2)
+        try:
+            name = cluster.matrix.spec.names()[0]
+            pnorms = cluster.layer_parameter_norms()
+            assert pnorms[name].shape == (3,)
+            batches = [w.next_batch() for w in cluster.workers]
+            cluster.compute_gradients_all(batches)
+            sample = cluster.layer_gradient_sample(name, max_samples=16)
+            assert sample.ndim == 1 and 0 < sample.size <= 16
+            assert sample.dtype == np.float64
+        finally:
+            cluster.close()
