@@ -42,7 +42,7 @@ def save_report(name: str, text: str, write: Optional[bool] = None) -> Path:
         write = WRITE_RESULTS
     path = RESULTS_DIR / f"{name}.txt"
     if write:
-        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(text + "\n")
         print(f"\n{text}\n[saved to {path}]")
     else:

@@ -33,6 +33,13 @@ N=64 (the models-too-heavy-to-batch scenario the pool targets), gated at
 bit-identical parity check always runs.  Nightly CI owns this section:
 
     PYTHONPATH=src python -m pytest benchmarks/perf_smoke.py --run-pool -q -s
+
+``--run-scenarios`` runs the paper-scale δ-sweep suite from the declarative
+scenario registry (``benchmarks/scenario_suite.py``), recording sweep
+outputs in ``BENCH_scenarios.json`` next to this file's
+``BENCH_engine.json``.  Standalone invocation accepts the same flags:
+
+    PYTHONPATH=src python -m benchmarks.perf_smoke --run-scenarios
 """
 
 from __future__ import annotations
@@ -522,14 +529,47 @@ def test_scale_sweep(request):
     assert sweep["transformer_batched_speedup_n8"] >= 3.0
 
 
-if __name__ == "__main__":  # standalone: python benchmarks/perf_smoke.py
-    print(
-        json.dumps(
-            {
-                **run_benchmark(),
-                "scale_sweep": run_scale_sweep(),
-                "pool": run_pool_benchmark(),
-            },
-            indent=2,
-        )
+def _standalone_main(argv=None) -> int:
+    """Standalone entry: ``python -m benchmarks.perf_smoke [--run-...]``.
+
+    With no flags every perf section runs (the historical behaviour) and the
+    merged report prints as JSON.  ``--run-scenarios`` additionally (or
+    exclusively) runs the paper-scale scenario sweep suite
+    (``benchmarks/scenario_suite.py``), which records its outputs in
+    ``BENCH_scenarios.json`` next to ``BENCH_engine.json``.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="benchmarks.perf_smoke", description=__doc__)
+    parser.add_argument("--run-perf", action="store_true", help="engine perf smoke sections")
+    parser.add_argument("--run-scale", action="store_true", help="large-N scale sweep")
+    parser.add_argument("--run-pool", action="store_true", help="replica-pool benchmark")
+    parser.add_argument(
+        "--run-scenarios", action="store_true", help="paper-scale scenario sweeps"
     )
+    parser.add_argument(
+        "--write-results",
+        action="store_true",
+        help="persist scenario reports to benchmarks/results/scenarios/",
+    )
+    args = parser.parse_args(argv)
+    run_all = not (args.run_perf or args.run_scale or args.run_pool or args.run_scenarios)
+
+    report = {}
+    if args.run_perf or run_all:
+        report.update(run_benchmark())
+    if args.run_scale or run_all:
+        report["scale_sweep"] = run_scale_sweep()
+    if args.run_pool or run_all:
+        report["pool"] = run_pool_benchmark()
+    if report:
+        print(json.dumps(report, indent=2))
+    if args.run_scenarios:
+        from benchmarks.scenario_suite import main as run_scenario_suite
+
+        run_scenario_suite(write_results=args.write_results)
+    return 0
+
+
+if __name__ == "__main__":  # standalone: python -m benchmarks.perf_smoke
+    raise SystemExit(_standalone_main())

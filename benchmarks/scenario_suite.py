@@ -1,0 +1,146 @@
+"""The paper-scale scenario sweep suite (δ-sweeps at N = 64–256).
+
+Runs every ``paper-scale``-tagged scenario from the declarative registry —
+the deep-MLP and transformer δ-sweeps at N ∈ {64, 128, 256} plus the pooled
+variant — through the single scenario runner, and records the outputs next
+to ``BENCH_engine.json``:
+
+* ``BENCH_scenarios.json`` (repo root) — every scenario's per-run records
+  and endpoint-parity verdicts, the artifact nightly CI uploads so the
+  δ-vs-LSSR/accuracy curves are tracked over time;
+* ``benchmarks/results/scenarios/<name>.{txt,json}`` — human-readable
+  tables and full reports, persisted only under ``--write-results`` like
+  the figure benchmarks.
+
+Each sweep is gated on the contract that makes it trustworthy: LSSR is
+monotone non-decreasing in δ, spans 0 → 1, and the δ=0 / δ=max runs
+reproduce the existing BSP and (never-syncing) local-SGD trainers exactly.
+The suite is heavier than tier-1, so it is gated behind ``--run-scenarios``:
+
+    PYTHONPATH=src python -m pytest benchmarks/scenario_suite.py --run-scenarios -q -s
+
+or, standalone (also reachable via ``python -m benchmarks.perf_smoke
+--run-scenarios``):
+
+    PYTHONPATH=src python -m benchmarks.scenario_suite
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from benchmarks._helpers import save_report
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
+SCENARIO_RESULTS_DIR = Path(__file__).resolve().parent / "results" / "scenarios"
+
+#: Registry tag selecting the suite's scenarios.
+SUITE_TAG = "paper-scale"
+
+
+def _sweep_names(pool: bool) -> List[str]:
+    """Paper-scale scenario names, split by whether they need the pool."""
+    from repro.scenarios import get_scenario, scenario_names
+
+    names = []
+    for name in scenario_names(tag=SUITE_TAG):
+        uses_pool = "pool" in get_scenario(name).tags
+        if uses_pool == pool:
+            names.append(name)
+    return names
+
+
+def run_suite(names: List[str], write_results: bool = False) -> Dict[str, dict]:
+    """Run the named scenarios; persist reports and return their summaries."""
+    from repro.scenarios import run_scenario
+
+    summaries: Dict[str, dict] = {}
+    for name in names:
+        report = run_scenario(name)
+        summaries[name] = report.to_dict()
+        save_report(f"scenarios/{name}", report.table(), write=write_results)
+        if write_results:
+            SCENARIO_RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+            path = SCENARIO_RESULTS_DIR / f"{name}.json"
+            path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    return summaries
+
+
+def merge_into_result_file(summaries: Dict[str, dict]) -> None:
+    """Merge scenario summaries into ``BENCH_scenarios.json`` (keep others)."""
+    report = {}
+    if RESULT_PATH.exists():
+        try:
+            report = json.loads(RESULT_PATH.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    report.update(summaries)
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def check_sweep_contract(summary: dict) -> None:
+    """Assert one δ-sweep's gates: monotone LSSR, full span, exact endpoints."""
+    records = summary["records"]
+    deltas = [r["params"]["delta"] for r in records]
+    assert deltas == sorted(deltas), "runner must emit grid order"
+    lssrs = [r["metrics"]["lssr"] for r in records]
+    # LSSR is monotone non-decreasing in δ and spans the full [0, 1] range.
+    assert all(b >= a - 1e-9 for a, b in zip(lssrs, lssrs[1:])), (
+        f"{summary['name']}: LSSR not monotone in δ: {lssrs}"
+    )
+    assert lssrs[0] == 0.0, f"{summary['name']}: δ=0 must synchronize every step"
+    assert lssrs[-1] == 1.0, f"{summary['name']}: δ=max must never synchronize"
+    # The extremes reproduce the existing trainers exactly (final loss,
+    # final metric and every evaluation point; see runner._exact_match).
+    endpoints = summary["endpoints"]
+    assert endpoints["bsp"]["matches_sweep_endpoint"], (
+        f"{summary['name']}: δ=0 diverged from BSPTrainer"
+    )
+    assert endpoints["local_sgd"]["matches_sweep_endpoint"], (
+        f"{summary['name']}: δ=max diverged from LocalSGDTrainer"
+    )
+
+
+@pytest.mark.perf
+def test_scenario_sweep_suite(request):
+    if not request.config.getoption("--run-scenarios"):
+        pytest.skip("scenario sweeps run only with --run-scenarios")
+    write = request.config.getoption("--write-results")
+    summaries = run_suite(_sweep_names(pool=False), write_results=write)
+    merge_into_result_file(summaries)
+    print(f"\n[{len(summaries)} scenario reports merged into {RESULT_PATH}]")
+    assert summaries, "no paper-scale scenarios registered"
+    for summary in summaries.values():
+        check_sweep_contract(summary)
+
+
+@pytest.mark.perf
+@pytest.mark.pool
+def test_scenario_sweep_suite_pooled(request):
+    if not request.config.getoption("--run-scenarios"):
+        pytest.skip("scenario sweeps run only with --run-scenarios")
+    write = request.config.getoption("--write-results")
+    summaries = run_suite(_sweep_names(pool=True), write_results=write)
+    merge_into_result_file(summaries)
+    assert summaries, "no pooled paper-scale scenarios registered"
+    for summary in summaries.values():
+        check_sweep_contract(summary)
+
+
+def main(write_results: bool = True) -> Dict[str, dict]:
+    """Standalone entry: run every paper-scale sweep and persist everything."""
+    names = _sweep_names(pool=False) + _sweep_names(pool=True)
+    summaries = run_suite(names, write_results=write_results)
+    merge_into_result_file(summaries)
+    for summary in summaries.values():
+        check_sweep_contract(summary)
+    print(f"[{len(summaries)} scenario reports merged into {RESULT_PATH}]")
+    return summaries
+
+
+if __name__ == "__main__":  # standalone: python -m benchmarks.scenario_suite
+    main()

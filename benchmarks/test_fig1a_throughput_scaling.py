@@ -3,44 +3,37 @@
 Paper: PS training of ResNet101, VGG11, AlexNet and Transformer on V100s
 over a 5 Gbps NIC scales far below linearly; ResNet101 improves only ~3x
 going from 1 to 16 workers and VGG11 (the largest model, 507 MB) is the
-worst scaler.
+worst scaler.  The workloads and worker grid live in the
+``fig1a-throughput`` entry of the scenario registry.
 """
 
 import pytest
 
 from benchmarks._helpers import save_report
 
-from repro.cluster.compute_model import PAPER_WORKLOADS
-from repro.comm.cost_model import CommunicationCostModel
-from repro.harness.reporting import format_table
-from repro.metrics.throughput import throughput_curve
+from repro.scenarios import get_scenario, run_scenario
 
-WORKER_COUNTS = [1, 2, 4, 8, 16]
+SCENARIO = "fig1a-throughput"
 
 
 def _compute_curves():
-    comm = CommunicationCostModel(topology="ps")
-    curves = {}
-    for name, spec in PAPER_WORKLOADS.items():
-        curves[name] = throughput_curve(spec, WORKER_COUNTS, spec.base_batch_size, comm)
-    return curves
+    report = run_scenario(SCENARIO)
+    curves = {name: {} for name in report.meta["workloads"]}
+    for record in report.records:
+        curves[record.params["workload"]][record.params["workers"]] = record.metrics[
+            "relative_throughput"
+        ]
+    return report, curves
 
 
 @pytest.mark.benchmark(group="fig1a")
 def test_fig1a_relative_throughput(benchmark):
-    curves = benchmark.pedantic(_compute_curves, rounds=1, iterations=1)
+    report, curves = benchmark.pedantic(_compute_curves, rounds=1, iterations=1)
+    save_report("fig1a_throughput_scaling", report.table())
 
-    rows = []
-    for n in WORKER_COUNTS:
-        rows.append([n] + [round(curves[m][n], 2) for m in PAPER_WORKLOADS])
-    report = format_table(
-        ["workers"] + list(PAPER_WORKLOADS), rows,
-        title="Fig. 1a — relative throughput vs cluster size (PS, 5 Gbps)",
-    )
-    save_report("fig1a_throughput_scaling", report)
-
+    workloads = get_scenario(SCENARIO).workloads
     # Shape assertions from the paper:
-    for name in PAPER_WORKLOADS:
+    for name in workloads:
         # throughput improves with workers...
         assert curves[name][16] > curves[name][2]
         # ...but stays far below linear (16 workers << 16x).
@@ -48,4 +41,4 @@ def test_fig1a_relative_throughput(benchmark):
     # ResNet101 tops out around ~3x when scaling 1 -> 16 workers.
     assert 1.5 < curves["resnet101"][16] < 5.0
     # VGG11 (507 MB) is the worst scaler of the four.
-    assert curves["vgg11"][16] == min(curves[m][16] for m in PAPER_WORKLOADS)
+    assert curves["vgg11"][16] == min(curves[m][16] for m in workloads)

@@ -3,61 +3,38 @@
 The figure in the paper is conceptual; this benchmark makes it quantitative:
 LSSR (the fraction of local steps) grows monotonically as δ slides from 0 to
 beyond the maximum observed Δ(gᵢ), with the two extremes matching BSP and
-local-SGD exactly.
+local-SGD exactly.  The grid, workload and cluster size live in the
+``fig6-delta-sweep`` entry of the scenario registry; this benchmark only
+rescales the iteration budget.
 """
 
 import pytest
 
 from benchmarks._helpers import full_scale, save_report
 
-from repro.core.config import SelSyncConfig
-from repro.core.selsync import SelSyncTrainer
-from repro.harness.experiment import build_cluster, build_workload
-from repro.harness.reporting import format_table
+from repro.scenarios import get_scenario, run_scenario
 
-DELTAS = [0.0, 0.05, 0.1, 0.25, 0.5, 1e9]
+SCENARIO = "fig6-delta-sweep"
 
 
 def _experiment():
-    iterations = 200 if full_scale() else 80
-    results = {}
-    for delta in DELTAS:
-        preset = build_workload("resnet101")
-        cluster = build_cluster(preset, num_workers=4, seed=0)
-        trainer = SelSyncTrainer(
-            cluster, SelSyncConfig(delta=delta),
-            lr_schedule=preset.lr_schedule_factory(iterations),
-            eval_every=max(iterations // 4, 1),
-        )
-        run = trainer.run(iterations)
-        results[delta] = {
-            "lssr": run.lssr,
-            "accuracy": run.best_metric,
-            "sim_time": run.sim_time_seconds,
-            "max_delta": run.extras["max_delta_observed"],
-        }
-    return results
+    scenario = get_scenario(SCENARIO)
+    iterations = scenario.iterations if full_scale() else 80
+    return run_scenario(scenario, iterations=iterations)
 
 
 @pytest.mark.benchmark(group="fig6")
 def test_fig6_delta_sweep(benchmark):
-    results = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    report = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    save_report("fig6_delta_sweep", report.table())
 
-    rows = [
-        [("∞ (local SGD)" if d == 1e9 else d), round(r["lssr"], 3),
-         round(r["accuracy"], 4), round(r["sim_time"], 1)]
-        for d, r in results.items()
-    ]
-    report = format_table(
-        ["δ", "LSSR", "best accuracy", "simulated time (s)"], rows,
-        title="Fig. 6 — δ sweep between fully synchronous (δ=0) and fully local training",
-    )
-    save_report("fig6_delta_sweep", report)
-
-    lssrs = [results[d]["lssr"] for d in DELTAS]
+    deltas = list(get_scenario(SCENARIO).grid["delta"])
+    lssr = report.series("delta", "lssr")
+    sim_time = report.series("delta", "sim_time_seconds")
     # LSSR is monotone non-decreasing in δ and spans the full [0, ~1] range.
+    lssrs = [lssr[d] for d in deltas]
     assert all(b >= a - 1e-9 for a, b in zip(lssrs, lssrs[1:]))
-    assert results[0.0]["lssr"] == 0.0
-    assert results[1e9]["lssr"] > 0.9
+    assert lssr[0.0] == 0.0
+    assert lssr[1e9] > 0.9
     # Simulated time shrinks as communication is eliminated.
-    assert results[1e9]["sim_time"] < results[0.0]["sim_time"]
+    assert sim_time[1e9] < sim_time[0.0]

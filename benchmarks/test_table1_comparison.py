@@ -3,75 +3,36 @@
 For every method the benchmark reports the Table-I columns: iterations run,
 LSSR, best accuracy/perplexity, convergence difference vs BSP, whether it
 outperforms BSP, and the overall (simulated wall-clock) speedup over BSP.
+The method grids and workload lists live in the ``table1-comparison`` /
+``table1-comparison-full`` entries of the scenario registry.
 
 By default only the ResNet101 workload is exercised so the benchmark stays
-CPU-friendly; set ``REPRO_FULL=1`` to sweep all four workloads with the
-paper's full method grid.
+CPU-friendly; set ``REPRO_FULL=1`` to run the full-scale scenario (all four
+workloads, the paper's full method grid).
 """
 
 import pytest
 
 from benchmarks._helpers import full_scale, save_report
 
-from repro.harness.experiment import build_cluster, build_workload, make_trainer
-from repro.harness.reporting import format_table, results_to_rows, table1_headers
-from repro.metrics.convergence import ConvergenceDetector
-
-
-def _method_grid():
-    methods = {
-        "bsp": ("bsp", {}),
-        "fedavg(1,0.25)": ("fedavg", {"participation": 1.0, "sync_factor": 0.25}),
-        "fedavg(0.5,0.25)": ("fedavg", {"participation": 0.5, "sync_factor": 0.25}),
-        "ssp(s=100)": ("ssp", {"staleness": 100}),
-        "selsync(0.3)": ("selsync", {"delta": 0.3}),
-        "selsync(0.5)": ("selsync", {"delta": 0.5}),
-    }
-    if full_scale():
-        methods.update({
-            "fedavg(1,0.125)": ("fedavg", {"participation": 1.0, "sync_factor": 0.125}),
-            "fedavg(0.5,0.125)": ("fedavg", {"participation": 0.5, "sync_factor": 0.125}),
-            "ssp(s=200)": ("ssp", {"staleness": 200}),
-        })
-    return methods
-
-
-def _run_workload(workload: str, iterations: int, num_workers: int, seed: int = 0):
-    results = {}
-    for label, (algorithm, kwargs) in _method_grid().items():
-        preset = build_workload(workload)
-        cluster = build_cluster(preset, num_workers=num_workers, seed=seed)
-        trainer = make_trainer(algorithm, cluster, preset, total_iterations=iterations,
-                               eval_every=max(iterations // 8, 1), **kwargs)
-        higher_is_better = preset.task != "language_modeling"
-        detector = ConvergenceDetector(higher_is_better=higher_is_better, patience=4,
-                                       min_delta=1e-3)
-        results[label] = trainer.run(iterations, convergence=detector)
-    return results
+from repro.scenarios import run_scenario
 
 
 def _experiment():
-    iterations = 400 if full_scale() else 160
-    num_workers = 16 if full_scale() else 4
-    workloads = ["resnet101", "vgg11", "alexnet", "transformer"] if full_scale() else ["resnet101"]
-    return {w: _run_workload(w, iterations, num_workers) for w in workloads}
+    if full_scale():
+        return run_scenario("table1-comparison-full")
+    return run_scenario("table1-comparison")
 
 
 @pytest.mark.benchmark(group="table1")
 def test_table1_method_comparison(benchmark):
-    all_results = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    report = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    save_report("table1_comparison", report.table())
 
-    reports = []
-    for workload, results in all_results.items():
-        rows = results_to_rows(results, baseline_key="bsp")
-        reports.append(format_table(table1_headers(), rows,
-                                    title=f"Table I — {workload}"))
-    save_report("table1_comparison", "\n\n".join(reports))
-
-    for workload, results in all_results.items():
-        bsp = results["bsp"]
-        sel_03 = results["selsync(0.3)"]
-        sel_05 = results["selsync(0.5)"]
+    for workload in report.meta["workloads"]:
+        bsp = report.results[f"{workload}/bsp"]
+        sel_03 = report.results[f"{workload}/selsync(0.3)"]
+        sel_05 = report.results[f"{workload}/selsync(0.5)"]
         higher = bsp.higher_is_better
 
         def at_least_bsp(result, slack):
@@ -87,4 +48,7 @@ def test_table1_method_comparison(benchmark):
             assert sel.speedup_over(bsp) > 1.0
         # BSP performs the most work per step, so it never needs more
         # iterations than the semi-synchronous methods here.
-        assert bsp.iterations <= max(r.iterations for r in results.values())
+        all_results = [
+            report.results[f"{workload}/{label}"] for label in report.meta["methods"]
+        ]
+        assert bsp.iterations <= max(r.iterations for r in all_results)

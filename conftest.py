@@ -18,6 +18,12 @@ from any invocation directory:
   single-process ConvNet at N = 64); merges a ``pool`` section into
   ``BENCH_engine.json``.  Runs in the nightly workflow (the speedup gate
   needs real cores).
+* ``--run-scenarios`` — the paper-scale scenario sweeps
+  (``benchmarks/scenario_suite.py``: deep-MLP and transformer δ-sweeps at
+  N = 64–256 from the declarative registry); writes
+  ``BENCH_scenarios.json`` at the repo root and, under ``--write-results``,
+  the per-scenario reports in ``benchmarks/results/scenarios/``.  Runs in
+  the nightly workflow.
 * ``--write-results`` — opt-in persistence of the figure benchmarks'
   ``benchmarks/results/*.txt`` reports.  Plain test runs never touch the
   working tree; CI and result-regeneration runs pass the flag.
@@ -44,6 +50,12 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="run the replica-pool benchmark (merges pool into BENCH_engine.json)",
+    )
+    parser.addoption(
+        "--run-scenarios",
+        action="store_true",
+        default=False,
+        help="run the paper-scale scenario sweeps (writes BENCH_scenarios.json)",
     )
     parser.addoption(
         "--write-results",

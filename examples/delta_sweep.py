@@ -5,58 +5,73 @@ For a grid of δ values the script reports the fraction of local steps
 the simulated wall-clock — making the parallel-vs-statistical-efficiency
 trade-off of §III-B concrete.
 
+The grids live in the declarative scenario registry (one
+``delta-sweep-<workload>`` entry per workload preset, see
+``repro.scenarios.catalog``); this script only resolves a name and rescales
+the run.  ``--scenario`` runs any other registered sweep by name, e.g. the
+paper-scale ``deep-mlp-delta-n256``.
+
 Usage:
-    python examples/delta_sweep.py [--iterations 120] [--workers 4]
+    python examples/delta_sweep.py [--workload resnet101] [--iterations 120]
+    python examples/delta_sweep.py --scenario deep-mlp-delta-n64
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.core.config import SelSyncConfig
-from repro.core.selsync import SelSyncTrainer
-from repro.harness.experiment import build_cluster, build_workload
+from repro.harness.experiment import WORKLOAD_PRESETS
 from repro.harness.reporting import format_table
 from repro.metrics.lssr import communication_reduction
-
-DELTAS = [0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 1e9]
+from repro.scenarios import run_scenario, scenario_names
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--workload", default="resnet101",
-                        choices=["resnet101", "vgg11", "alexnet", "transformer"])
-    parser.add_argument("--iterations", type=int, default=120)
-    parser.add_argument("--workers", type=int, default=4)
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workload", default="resnet101", choices=sorted(WORKLOAD_PRESETS))
+    parser.add_argument(
+        "--scenario", default=None, choices=scenario_names(tag="delta-sweep"),
+        help="run this registered δ-sweep instead of delta-sweep-<workload>",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=None,
+        help="override the scenario's iteration budget (default: keep it)",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
     args = parser.parse_args()
 
+    name = args.scenario or f"delta-sweep-{args.workload}"
+    report = run_scenario(
+        name, iterations=args.iterations, num_workers=args.workers, seed=args.seed
+    )
+
     rows = []
-    for delta in DELTAS:
-        preset = build_workload(args.workload)
-        cluster = build_cluster(preset, num_workers=args.workers, seed=args.seed)
-        trainer = SelSyncTrainer(
-            cluster, SelSyncConfig(delta=delta),
-            lr_schedule=preset.lr_schedule_factory(args.iterations),
-            eval_every=max(args.iterations // 4, 1),
-        )
-        result = trainer.run(args.iterations)
-        reduction = communication_reduction(result.lssr)
+    for record in report.records:
+        delta = record.params["delta"]
+        lssr = record.metrics["lssr"]
+        reduction = communication_reduction(lssr)
         rows.append([
-            "∞ (local only)" if delta == 1e9 else delta,
-            round(result.lssr, 3),
+            "∞ (local only)" if delta >= 1e9 else delta,
+            round(lssr, 3),
             "∞" if reduction == float("inf") else f"{reduction:.1f}x",
-            round(result.best_metric, 4),
-            round(result.sim_time_seconds, 1),
+            round(record.metrics["best_metric"], 4),
+            round(record.metrics["sim_time_seconds"], 1),
         ])
-        print(f"δ={delta}: LSSR={result.lssr:.3f}, metric={result.best_metric:.4f}")
+        print(f"δ={delta}: LSSR={lssr:.3f}, metric={record.metrics['best_metric']:.4f}")
 
     print()
     print(format_table(
-        ["δ", "LSSR", "comm. reduction", f"best metric", "simulated time (s)"],
+        ["δ", "LSSR", "comm. reduction", "best metric", "simulated time (s)"],
         rows,
-        title=f"δ sweep — {args.workload}, {args.workers} workers",
+        title=report.title,
     ))
+    if report.endpoints:
+        verdicts = ", ".join(
+            f"{anchor}={info['matches_sweep_endpoint']}"
+            for anchor, info in report.endpoints.items()
+        )
+        print(f"\nexact endpoint parity vs existing trainers: {verdicts}")
 
 
 if __name__ == "__main__":

@@ -1,8 +1,11 @@
 """Quickstart: train the ResNet-analog workload with SelSync on a simulated cluster.
 
-Runs BSP and SelSync (δ = 0.3) side by side on the CIFAR-10-like synthetic
-dataset with 4 simulated workers and prints accuracy, LSSR (the fraction of
-local steps), and the simulated wall-clock speedup.
+Runs BSP and SelSync side by side on the CIFAR-10-like synthetic dataset
+with 4 simulated workers and prints accuracy, LSSR (the fraction of local
+steps), and the simulated wall-clock speedup.  The default run resolves the
+``quickstart`` entry of the declarative scenario registry; a custom δ or
+workload builds the same comparison scenario ad hoc (scenarios are plain
+frozen dataclasses — no registration needed to run one).
 
 Usage:
     python examples/quickstart.py [--iterations 150] [--workers 4] [--delta 0.3]
@@ -12,8 +15,9 @@ from __future__ import annotations
 
 import argparse
 
-from repro.harness import run_experiment
+from repro.harness.experiment import WORKLOAD_PRESETS
 from repro.harness.reporting import format_table
+from repro.scenarios import ComparisonScenario, get_scenario, run_scenario
 
 
 def main() -> None:
@@ -21,40 +25,42 @@ def main() -> None:
     parser.add_argument("--iterations", type=int, default=150)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--delta", type=float, default=0.3)
-    parser.add_argument("--workload", default="resnet101",
-                        choices=["resnet101", "vgg11", "alexnet", "transformer"])
+    parser.add_argument("--workload", default="resnet101", choices=sorted(WORKLOAD_PRESETS))
     args = parser.parse_args()
 
+    registered = get_scenario("quickstart")
+    if args.delta == 0.3 and args.workload in registered.workloads:
+        scenario = registered
+    else:
+        scenario = ComparisonScenario(
+            name="quickstart-custom",
+            title=f"SelSync quickstart — BSP vs SelSync(δ={args.delta})",
+            methods={"bsp": ("bsp", {}), "selsync": ("selsync", {"delta": args.delta})},
+            workloads=(args.workload,),
+            eval_every=25,
+            use_convergence=False,
+        )
+
     print(f"Training workload {args.workload!r} on {args.workers} simulated workers...")
-
-    bsp = run_experiment(
-        args.workload, "bsp", num_workers=args.workers,
-        iterations=args.iterations, eval_every=max(args.iterations // 6, 1),
-    )
-    selsync = run_experiment(
-        args.workload, "selsync", num_workers=args.workers,
-        iterations=args.iterations, eval_every=max(args.iterations // 6, 1),
-        delta=args.delta,
+    report = run_scenario(
+        scenario, iterations=args.iterations, num_workers=args.workers
     )
 
-    rows = []
-    for out in (bsp, selsync):
-        r = out.result
-        rows.append([
-            out.algorithm,
-            r.iterations,
-            round(r.lssr, 3),
-            round(r.best_metric, 4),
-            round(r.sim_time_seconds, 1),
-        ])
-    speedup = selsync.result.speedup_over(bsp.result)
+    bsp = report.results[f"{args.workload}/bsp"]
+    selsync = report.results[f"{args.workload}/selsync"]
+    rows = [
+        [r.algorithm, r.iterations, round(r.lssr, 3), round(r.best_metric, 4),
+         round(r.sim_time_seconds, 1)]
+        for r in (bsp, selsync)
+    ]
     print(format_table(
-        ["method", "iterations", "LSSR", f"best {bsp.result.metric_name}", "simulated time (s)"],
+        ["method", "iterations", "LSSR", f"best {bsp.metric_name}", "simulated time (s)"],
         rows,
         title=f"SelSync quickstart — {args.workload}",
     ))
+    speedup = selsync.speedup_over(bsp)
     print(f"\nSelSync simulated speedup over BSP: {speedup:.2f}x "
-          f"(communication skipped on {selsync.result.lssr:.0%} of steps)")
+          f"(communication skipped on {selsync.lssr:.0%} of steps)")
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ subpackages for the full API:
 * :mod:`repro.stats`       — EWMA, KDE, Hessian eigenvalue estimation
 * :mod:`repro.metrics`     — accuracy/perplexity, LSSR, throughput, convergence
 * :mod:`repro.harness`     — workload presets, experiment runner, reporting
+* :mod:`repro.scenarios`   — declarative scenario registry and runner
 """
 
 from repro.core import SelSyncConfig, SelSyncTrainer, GradientChangeTracker
@@ -29,6 +30,7 @@ from repro.algorithms import (
     TrainingResult,
 )
 from repro.harness import build_workload, build_cluster, make_trainer, run_experiment
+from repro.scenarios import get_scenario, run_scenario, scenario_names
 
 __version__ = "0.1.0"
 
@@ -48,5 +50,8 @@ __all__ = [
     "build_cluster",
     "make_trainer",
     "run_experiment",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
     "__version__",
 ]

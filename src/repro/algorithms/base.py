@@ -50,6 +50,7 @@ class TrainingResult:
 
     @property
     def higher_is_better(self) -> bool:
+        """Metric polarity: accuracy-style metrics rise, perplexity falls."""
         return self.metric_name != "perplexity"
 
     def speedup_over(self, baseline: "TrainingResult") -> float:
@@ -100,14 +101,17 @@ class BaseTrainer:
     # shared helpers
     # ------------------------------------------------------------------ #
     def current_lr(self) -> Optional[float]:
+        """Learning rate at the current step (``None`` = optimizer default)."""
         if self.lr_schedule is None:
             return None
         return self.lr_schedule(self.global_step)
 
     def mean_epoch_progress(self) -> float:
+        """Average fraction of the training set seen across workers."""
         return float(np.mean([w.epoch_progress for w in self.cluster.workers]))
 
     def evaluate(self) -> EvalResult:
+        """Evaluate :meth:`global_state` on the held-out test set."""
         result = self.cluster.evaluate_state(self.global_state())
         self._last_eval = result
         return result
@@ -197,6 +201,7 @@ class BaseTrainer:
     # descriptions
     # ------------------------------------------------------------------ #
     def describe(self) -> str:
+        """Human-readable label used in result records and report tables."""
         return self.name
 
     def result_extras(self) -> Dict[str, float]:

@@ -49,6 +49,7 @@ class FedAvgTrainer(BaseTrainer):
         self.aggregation_rounds = 0
 
     def describe(self) -> str:
+        """Label including participation and sync factor."""
         return f"fedavg(C={self.participation}, E={self.sync_factor})"
 
     def result_extras(self) -> Dict[str, float]:

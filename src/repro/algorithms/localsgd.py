@@ -34,6 +34,7 @@ class LocalSGDTrainer(BaseTrainer):
         self.sync_period = int(sync_period)
 
     def describe(self) -> str:
+        """Label including the sync period, e.g. ``local_sgd(H=10)``."""
         return f"local_sgd(H={self.sync_period})"
 
     def train_step(self) -> Dict[str, float]:

@@ -51,6 +51,7 @@ class SSPTrainer(BaseTrainer):
         self._last_pulled = [initial for _ in range(cluster.num_workers)]
 
     def describe(self) -> str:
+        """Label including the staleness bound, e.g. ``ssp(s=100)``."""
         return f"ssp(s={self.staleness})"
 
     def result_extras(self) -> Dict[str, float]:

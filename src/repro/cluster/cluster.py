@@ -472,7 +472,9 @@ class SimulatedCluster:
             self._shared_storage = None
 
     def __enter__(self) -> "SimulatedCluster":
+        """Context-manager entry; pairs pool/shm ownership with a scope."""
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: always :meth:`close` (idempotent)."""
         self.close()

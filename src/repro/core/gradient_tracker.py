@@ -66,10 +66,12 @@ class GradientChangeTracker:
     # ------------------------------------------------------------------ #
     @property
     def window(self) -> int:
+        """EWMA window size (the paper's default is 25)."""
         return self._ewma.window
 
     @property
     def alpha(self) -> float:
+        """EWMA smoothing factor (paper rule: ``num_workers / 100``)."""
         return self._ewma.alpha
 
     def _reduce(self, grads) -> float:
@@ -120,6 +122,7 @@ class GradientChangeTracker:
 
     @property
     def last_delta(self) -> float:
+        """Most recent Δ(gᵢ); raises if no gradient has been seen yet."""
         if not self.history:
             raise RuntimeError("tracker has not seen any gradients yet")
         return self.history[-1]
@@ -132,6 +135,7 @@ class GradientChangeTracker:
         return float(max(self.history))
 
     def reset(self) -> None:
+        """Clear all EWMA state, as if freshly constructed."""
         self._ewma.reset()
         self._previous_smoothed = None
         self.history.clear()

@@ -77,6 +77,7 @@ class SelSyncTrainer(BaseTrainer):
 
     # ------------------------------------------------------------------ #
     def describe(self) -> str:
+        """The config's short label, e.g. ``SelSync(δ=0.3, param)``."""
         return self.config.label()
 
     def result_extras(self) -> Dict[str, float]:
@@ -167,17 +168,24 @@ class SelSyncTrainer(BaseTrainer):
 
     # ------------------------------------------------------------------ #
     def global_state(self) -> Dict[str, np.ndarray]:
-        """Checkpoint state: the PS state after a PA sync, else the replica average.
+        """Checkpoint state: the PS state after a sync, else the replica average.
 
-        Under PA the parameter-server copy is authoritative whenever the
-        *most recent* step synchronized (all replicas equal the PS state
-        then); after any trailing local steps the replicas have moved on, so
-        the checkpoint is their average.
+        The parameter-server copy is authoritative when the *most recent*
+        step synchronized AND it actually equals every replica: under PA a
+        sync pushes the average back out, so that always holds; under GA a
+        sync applies the same averaged gradient but never repairs earlier
+        drift, so the PS (which tracks replica 0) only equals the replicas
+        while **no local step has ever occurred**.  In that degenerate δ=0
+        regime the PS pull keeps the checkpoint bit-identical to
+        ``BSPTrainer`` (which checkpoints replica 0; an N-row mean of
+        identical replicas can differ in the last ulp).  Everywhere else —
+        trailing local steps, or GA after any drift — the checkpoint is the
+        replica average.
         """
         if (
-            self.aggregation is AggregationMode.PARAMETER
-            and self.sync_steps > 0
+            self.sync_steps > 0
             and self._last_step_synced
+            and (self.aggregation is AggregationMode.PARAMETER or self.local_steps == 0)
         ):
             return self.cluster.ps.pull()
         return self.cluster.average_worker_states()

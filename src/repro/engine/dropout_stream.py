@@ -47,6 +47,7 @@ class SharedDropoutStream:
 
     @property
     def step(self) -> int:
+        """The current step tick (``-1`` until :meth:`set_step` is called)."""
         return self._step
 
     def worker_mask(

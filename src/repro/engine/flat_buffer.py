@@ -89,12 +89,15 @@ class ParamSpec:
         return name in self._index
 
     def names(self) -> List[str]:
+        """Tensor names in layout order."""
         return [name for name, _, _, _ in self.entries]
 
     def shape_of(self, name: str) -> Tuple[int, ...]:
+        """Original tensor shape of ``name``."""
         return self.entries[self._index[name]][1]
 
     def slice_of(self, name: str) -> slice:
+        """Column slice ``[offset, offset + size)`` of ``name`` in a flat vector."""
         _, _, offset, size = self.entries[self._index[name]]
         return slice(offset, offset + size)
 
@@ -118,6 +121,7 @@ class ParamSpec:
     # vector <-> tree conversion
     # ------------------------------------------------------------------ #
     def allocate(self) -> np.ndarray:
+        """Fresh zero vector of ``total_size`` in the spec's dtype."""
         return np.zeros(self.total_size, dtype=self.dtype)
 
     def views(self, vector: np.ndarray) -> "OrderedDict[str, np.ndarray]":
@@ -209,10 +213,12 @@ class FlatBuffer:
 
     @property
     def size(self) -> int:
+        """Total number of scalars in the buffer (= ``spec.total_size``)."""
         return self.spec.total_size
 
     @property
     def dtype(self) -> np.dtype:
+        """The buffer's compute dtype (owned by the spec)."""
         return self.spec.dtype
 
     def as_dict(self, copy: bool = False) -> Dict[str, np.ndarray]:
@@ -234,12 +240,15 @@ class FlatBuffer:
         self.vector[:] = vector
 
     def load_tree(self, tree: Mapping[str, np.ndarray]) -> None:
+        """Copy a named tensor dict into the flat vector, layout order."""
         self.spec.flatten_tree(tree, out=self.vector)
 
     def fill(self, value: float = 0.0) -> None:
+        """Set every entry (and therefore every view) to ``value``."""
         self.vector.fill(value)
 
     def copy_vector(self) -> np.ndarray:
+        """Detached copy of the flat vector (a cold-path snapshot)."""
         return self.vector.copy()
 
     def rebind(self, vector: np.ndarray, preserve: bool = True) -> None:

@@ -70,6 +70,7 @@ class WorkerMatrix:
 
     @property
     def dtype(self) -> np.dtype:
+        """Compute dtype shared by both matrices (owned by the spec)."""
         return self.spec.dtype
 
     # ------------------------------------------------------------------ #
@@ -88,10 +89,12 @@ class WorkerMatrix:
         )
 
     def param_row(self, worker_id: int) -> np.ndarray:
+        """Zero-copy view of worker ``worker_id``'s flat parameters."""
         self._check_worker(worker_id)
         return self.params[worker_id]
 
     def grad_row(self, worker_id: int) -> np.ndarray:
+        """Zero-copy view of worker ``worker_id``'s flat gradients."""
         self._check_worker(worker_id)
         return self.grads[worker_id]
 
@@ -134,6 +137,7 @@ class WorkerMatrix:
         return self.spec.unflatten(self.params[worker_id])
 
     def mean_state_dict(self) -> Dict[str, np.ndarray]:
+        """Replica-averaged parameters as a named dict (PA aggregation)."""
         return self.spec.unflatten(self.mean_params())
 
     def _check_worker(self, worker_id: int) -> None:

@@ -14,13 +14,22 @@ Compare against BSP and print a Table-I style row::
 List the available workloads and algorithms::
 
     python -m repro.harness.cli list
+
+Run a registered scenario from the declarative registry (see
+:mod:`repro.scenarios`), optionally rescaled and archived as JSON::
+
+    python -m repro.harness.cli scenario                     # list scenarios
+    python -m repro.harness.cli scenario --tag paper-scale   # filter by tag
+    python -m repro.harness.cli scenario fig6-delta-sweep --iterations 80 \
+        --json /tmp/fig6.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.harness.experiment import WORKLOAD_PRESETS, run_experiment
 from repro.harness.reporting import format_table, results_to_rows, table1_headers
@@ -135,7 +144,45 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import ScenarioError, get_scenario, run_scenario, scenario_names
+
+    if args.name is None:
+        rows = []
+        for name in scenario_names(tag=args.tag):
+            scenario = get_scenario(name)
+            rows.append([name, scenario.kind, ", ".join(scenario.tags), scenario.title])
+        title = "registered scenarios" + (f" (tag: {args.tag})" if args.tag else "")
+        print(format_table(["name", "kind", "tags", "title"], rows, title=title))
+        return 0
+    print(f"running scenario {args.name!r} ...", file=sys.stderr)
+    try:
+        report = run_scenario(
+            args.name,
+            iterations=args.iterations,
+            num_workers=args.workers,
+            seed=args.seed,
+        )
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.table())
+    if report.endpoints:
+        verdicts = ", ".join(
+            f"{anchor}={info['matches_sweep_endpoint']}"
+            for anchor, info in report.endpoints.items()
+        )
+        print(f"\nexact endpoint parity vs existing trainers: {verdicts}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"[report written to {args.json}]", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser (``list`` / ``run`` / ``compare`` /
+    ``scenario`` subcommands)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -158,10 +205,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(compare_parser)
     compare_parser.add_argument("--delta", type=float, default=0.3)
     compare_parser.set_defaults(func=_cmd_compare)
+
+    scenario_parser = sub.add_parser(
+        "scenario", help="list or run scenarios from the declarative registry"
+    )
+    scenario_parser.add_argument(
+        "name", nargs="?", default=None,
+        help="registered scenario name (omit to list scenarios)",
+    )
+    scenario_parser.add_argument("--tag", default=None, help="filter the listing by tag")
+    scenario_parser.add_argument(
+        "--iterations", type=int, default=None, help="override the scenario's iterations"
+    )
+    scenario_parser.add_argument(
+        "--workers", type=int, default=None, help="override the scenario's cluster size"
+    )
+    scenario_parser.add_argument(
+        "--seed", type=int, default=None, help="override the scenario's seed"
+    )
+    scenario_parser.add_argument(
+        "--json", default=None, metavar="PATH", help="write the report as JSON to PATH"
+    )
+    scenario_parser.set_defaults(func=_cmd_scenario)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

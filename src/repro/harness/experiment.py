@@ -27,7 +27,7 @@ from repro.core.selsync import SelSyncTrainer
 from repro.data.datasets import DatasetBundle, build_dataset
 from repro.data.injection import adjusted_batch_size
 from repro.data.partition import DefaultPartitioner, Partitioner, SelSyncPartitioner
-from repro.nn.models import AlexNetLike, ResNetLike, TransformerLM, VGGLike
+from repro.nn.models import MLP, AlexNetLike, ResNetLike, TransformerLM, VGGLike
 from repro.nn.module import Module
 from repro.optim.adam import Adam
 from repro.optim.sgd import SGD
@@ -125,11 +125,35 @@ def _transformer_preset() -> WorkloadPreset:
     )
 
 
+def _deep_mlp_preset() -> WorkloadPreset:
+    """Deep-narrow MLP analog for large-N scale sweeps (not a paper workload).
+
+    Per-layer framework overhead grows with depth while the raw matmul work
+    stays tiny, so this preset makes N = 64–256 δ-sweeps affordable on a CPU
+    — the regime the batched ``(N, D)`` engine exists for.  The cost model
+    reuses the ResNet101 spec so simulated times stay paper-scale.
+    """
+    return WorkloadPreset(
+        name="deep_mlp",
+        dataset_name="cifar10",
+        task="classification",
+        model_factory=lambda rng: MLP((32, 48, 48, 48, 48, 10), rng=rng),
+        optimizer_factory=lambda m: SGD(m, lr=0.05, momentum=0.9),
+        lr_schedule_factory=lambda total: MultiStepDecay(
+            0.05, milestones=[int(total * 0.66), int(total * 0.9)], gamma=0.1
+        ),
+        batch_size=4,
+        workload_spec="resnet101",
+        dataset_kwargs={"input_dim": 32},
+    )
+
+
 WORKLOAD_PRESETS: Dict[str, Callable[[], WorkloadPreset]] = {
     "resnet101": _resnet_preset,
     "vgg11": _vgg_preset,
     "alexnet": _alexnet_preset,
     "transformer": _transformer_preset,
+    "deep_mlp": _deep_mlp_preset,
 }
 
 
@@ -196,6 +220,9 @@ def make_trainer(
     ``"local_sgd"`` or ``"compressed_bsp"``; algorithm-specific options are
     passed as keyword arguments (e.g. ``delta=0.3``, ``participation=0.5``,
     ``staleness=100``, ``sync_period=8``, ``compressor=TopKCompressor()``).
+    For SelSync every :class:`~repro.core.config.SelSyncConfig` field is
+    accepted (``aggregation``, ``statistic``, ``sync_on_first_step``, …), or
+    pass a fully built ``config=SelSyncConfig(...)``.
     """
     schedule = preset.lr_schedule_factory(total_iterations)
     key = algorithm.lower()
@@ -208,6 +235,8 @@ def make_trainer(
                 delta=kwargs.pop("delta", 0.25),
                 aggregation=kwargs.pop("aggregation", "param"),
                 ewma_window=kwargs.pop("ewma_window", 25),
+                statistic=kwargs.pop("statistic", "variance"),
+                sync_on_first_step=kwargs.pop("sync_on_first_step", True),
                 injection_alpha=kwargs.pop("injection_alpha", None),
                 injection_beta=kwargs.pop("injection_beta", None),
             )

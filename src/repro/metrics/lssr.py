@@ -35,23 +35,28 @@ class LSSRTracker:
         self.sync_steps = 0
 
     def record_local(self, count: int = 1) -> None:
+        """Count ``count`` steps that skipped synchronization (local SGD)."""
         if count < 0:
             raise ValueError("count must be non-negative")
         self.local_steps += count
 
     def record_sync(self, count: int = 1) -> None:
+        """Count ``count`` fully synchronous (BSP-style) steps."""
         if count < 0:
             raise ValueError("count must be non-negative")
         self.sync_steps += count
 
     @property
     def total_steps(self) -> int:
+        """All recorded steps, local and synchronous."""
         return self.local_steps + self.sync_steps
 
     @property
     def value(self) -> float:
+        """The LSSR score so far (0 before any step is recorded)."""
         return lssr(self.local_steps, self.sync_steps)
 
     @property
     def reduction_factor(self) -> float:
+        """Communication reduction vs BSP, ``1 / (1 - LSSR)`` (∞ at 1)."""
         return communication_reduction(self.value)

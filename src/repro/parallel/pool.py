@@ -258,13 +258,16 @@ class ReplicaPool:
     # ------------------------------------------------------------------ #
     @property
     def num_groups(self) -> int:
+        """Number of child processes (= replica groups) the pool runs."""
         return len(self.bounds)
 
     @property
     def closed(self) -> bool:
+        """Whether :meth:`close` has run; a closed pool refuses commands."""
         return self._closed
 
     def group_of(self, worker_id: int) -> int:
+        """Index of the replica group (child process) owning ``worker_id``."""
         for g, (lo, hi) in enumerate(self.bounds):
             if lo <= worker_id < hi:
                 return g

@@ -112,6 +112,12 @@ class SharedMatrixStorage:
     # ------------------------------------------------------------------ #
     @property
     def handle(self) -> SharedMatrixHandle:
+        """Picklable attach token: segment names + layout for :meth:`attach`.
+
+        This is the only thing that crosses the process boundary at pool
+        start-up — children rebuild their `(N, D)` views from it without
+        copying a byte of matrix data.
+        """
         return SharedMatrixHandle(
             params_name=self._params_shm.name,
             grads_name=self._grads_shm.name,

@@ -1,0 +1,421 @@
+"""The single executor for registered scenarios.
+
+:func:`run_scenario` takes a scenario (or a registry name), executes it
+through :func:`repro.harness.experiment.run_experiment` (training kinds) or
+the analytic cost model (throughput kind), and returns a
+:class:`ScenarioReport`: structured per-run records that serialize to JSON
+for artifact tracking, the raw :class:`~repro.algorithms.base.TrainingResult`
+objects for assertions, and ready-made :mod:`repro.harness.reporting` tables.
+
+δ-sweep scenarios with ``verify_endpoints=True`` additionally run the
+existing :class:`~repro.algorithms.bsp.BSPTrainer` and a never-syncing
+:class:`~repro.algorithms.localsgd.LocalSGDTrainer` as *anchors* and record
+whether the sweep's δ=0 and δ=max runs reproduce them exactly — final loss,
+final metric and the full evaluation history.  This pins the registry's
+large-N sweeps to the trainers the unit suite already trusts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.algorithms.base import TrainingResult
+from repro.harness.reporting import format_table, results_to_rows, table1_headers
+from repro.harness.sweep import grid_sweep
+from repro.metrics.convergence import ConvergenceDetector
+from repro.scenarios.registry import Scenario, get_scenario
+from repro.scenarios.spec import (
+    ComparisonScenario,
+    ScenarioError,
+    SweepScenario,
+    ThroughputScenario,
+)
+
+__all__ = ["ScenarioRecord", "ScenarioReport", "run_scenario"]
+
+
+@dataclass
+class ScenarioRecord:
+    """One run (or one analytic point) of a scenario, as plain data."""
+
+    params: Dict[str, Any]
+    label: str
+    metrics: Dict[str, float]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        return {"params": dict(self.params), "label": self.label, "metrics": dict(self.metrics)}
+
+
+@dataclass
+class ScenarioReport:
+    """Everything one scenario execution produced.
+
+    ``records`` are JSON-serializable summaries (one per run);
+    ``results`` keeps the raw :class:`~repro.algorithms.base.TrainingResult`
+    objects keyed like the records for exact assertions; ``endpoints`` holds
+    the anchor records and parity verdicts of ``verify_endpoints`` sweeps.
+    """
+
+    name: str
+    title: str
+    kind: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+    records: List[ScenarioRecord] = field(default_factory=list)
+    results: Dict[str, TrainingResult] = field(default_factory=dict)
+    endpoints: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (drops the raw ``results`` objects)."""
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "title": self.title,
+            "kind": self.kind,
+            "meta": dict(self.meta),
+            "records": [record.to_dict() for record in self.records],
+        }
+        if self.endpoints:
+            payload["endpoints"] = self.endpoints
+        return payload
+
+    def series(self, param: str, metric: str) -> Dict[Any, float]:
+        """One ``{param value -> metric}`` series across the records."""
+        return {
+            record.params[param]: record.metrics[metric]
+            for record in self.records
+            if param in record.params and metric in record.metrics
+        }
+
+    def table(self) -> str:
+        """Human-readable report table(s), one :func:`format_table` per kind."""
+        if self.kind == "comparison":
+            return self._comparison_table()
+        if self.kind == "throughput":
+            return self._throughput_table()
+        return self._sweep_table()
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _format_param(name: str, value: Any) -> Any:
+        # The 1e9 δ sentinel means "beyond any observed Δ(gᵢ)" — print it as
+        # the local-SGD extreme it represents, like Fig. 6 in the paper.
+        if name == "delta" and isinstance(value, float) and value >= 1e9:
+            return "∞ (local SGD)"
+        return value
+
+    def _sweep_table(self) -> str:
+        param_names = sorted({name for r in self.records for name in r.params})
+        metric_names = ["lssr", "best_metric", "final_loss", "sim_time_seconds"]
+        rows = []
+        for record in self.records:
+            cells: List[Any] = [
+                self._format_param(name, record.params.get(name, "-"))
+                for name in param_names
+            ]
+            for metric in metric_names:
+                value = record.metrics.get(metric)
+                cells.append("-" if value is None else round(value, 4))
+            rows.append(cells)
+        return format_table(param_names + metric_names, rows, title=self.title)
+
+    def _comparison_table(self) -> str:
+        tables = []
+        for workload in self.meta.get("workloads", []):
+            results = {
+                label: self.results[f"{workload}/{label}"]
+                for label in self.meta.get("methods", [])
+                if f"{workload}/{label}" in self.results
+            }
+            if not results:
+                continue
+            rows = results_to_rows(results, baseline_key=self.meta["baseline"])
+            tables.append(
+                format_table(table1_headers(), rows, title=f"{self.title} — {workload}")
+            )
+        return "\n\n".join(tables)
+
+    def _throughput_table(self) -> str:
+        workloads = list(self.meta.get("workloads", []))
+        curves: Dict[str, Dict[int, float]] = {name: {} for name in workloads}
+        for record in self.records:
+            curves[record.params["workload"]][record.params["workers"]] = record.metrics[
+                "relative_throughput"
+            ]
+        rows = [
+            [n] + [round(curves[name][n], 2) for name in workloads]
+            for n in self.meta.get("worker_counts", [])
+        ]
+        return format_table(["workers"] + workloads, rows, title=self.title)
+
+
+# --------------------------------------------------------------------------- #
+# execution
+# --------------------------------------------------------------------------- #
+def _result_metrics(result: TrainingResult) -> Dict[str, float]:
+    """The serializable per-run summary shared by every training record."""
+    metrics = {
+        "iterations": float(result.iterations),
+        "lssr": result.lssr,
+        "best_metric": result.best_metric,
+        "final_metric": result.final_metric,
+        "final_loss": result.final_loss,
+        "sim_time_seconds": result.sim_time_seconds,
+        "communication_bytes": result.communication_bytes,
+    }
+    for key, value in result.extras.items():
+        metrics.setdefault(key, float(value))
+    return metrics
+
+
+def _exact_match(result: TrainingResult, anchor: TrainingResult) -> bool:
+    """Bit-exact trajectory equality: final numbers plus every eval point.
+
+    Simulated time is excluded on purpose — SelSync charges the per-step
+    flags all-gather that BSP / local SGD never pay, so clocks differ even
+    when the parameter trajectories are identical.
+    """
+    if result.final_loss != anchor.final_loss:
+        return False
+    if result.final_metric != anchor.final_metric:
+        return False
+    if len(result.history) != len(anchor.history):
+        return False
+    return all(
+        a.step == b.step and a.metric == b.metric and a.loss == b.loss
+        for a, b in zip(result.history, anchor.history)
+    )
+
+
+def _run_sweep(
+    scenario: SweepScenario,
+    iterations: int,
+    num_workers: int,
+    seed: int,
+) -> ScenarioReport:
+    from repro.harness.experiment import run_experiment
+
+    eval_every = scenario.resolved_eval_every(iterations)
+    common = dict(
+        num_workers=num_workers,
+        iterations=iterations,
+        seed=seed,
+        eval_every=eval_every,
+        batch_size=scenario.batch_size,
+        dtype=scenario.dtype,
+        transport_dtype=scenario.transport_dtype,
+        pool_workers=scenario.pool_workers,
+        pool_start_method=scenario.pool_start_method,
+    )
+    report = ScenarioReport(
+        name=scenario.name,
+        title=scenario.title,
+        kind=scenario.kind,
+        meta={
+            "workload": scenario.workload,
+            "algorithm": scenario.algorithm,
+            "num_workers": num_workers,
+            "iterations": iterations,
+            "seed": seed,
+            "eval_every": eval_every,
+            "grid": {key: list(values) for key, values in scenario.grid.items()},
+            "fixed": dict(scenario.fixed),
+            "dtype": scenario.dtype,
+            "transport_dtype": scenario.transport_dtype,
+            "pool_workers": scenario.pool_workers,
+            "tags": list(scenario.tags),
+        },
+    )
+
+    def one_run(**params):
+        return run_experiment(
+            scenario.workload, scenario.algorithm, **common, **scenario.fixed, **params
+        )
+
+    sweep = grid_sweep(one_run, scenario.grid)
+    for run in sweep.runs:
+        out = run["output"]
+        key = "/".join(f"{k}={v}" for k, v in run["params"].items())
+        report.results[key] = out.result
+        report.records.append(
+            ScenarioRecord(
+                params=dict(run["params"]),
+                label=out.algorithm,
+                metrics=_result_metrics(out.result),
+            )
+        )
+
+    if scenario.verify_endpoints:
+        report.endpoints = _verify_delta_endpoints(scenario, report, common)
+    return report
+
+
+def _verify_delta_endpoints(
+    scenario: SweepScenario, report: ScenarioReport, common: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Anchor the δ-sweep's extremes on the existing BSP / local-SGD trainers."""
+    from repro.harness.experiment import run_experiment
+
+    deltas = list(scenario.grid["delta"])
+    lo, hi = min(deltas), max(deltas)
+    bsp = run_experiment(scenario.workload, "bsp", **common)
+    local = run_experiment(
+        scenario.workload,
+        "local_sgd",
+        sync_period=common["iterations"] + 1,
+        **common,
+    )
+    delta_lo = report.results[f"delta={lo}"]
+    delta_hi = report.results[f"delta={hi}"]
+    endpoints = {
+        "bsp": {
+            "delta": lo,
+            "record": ScenarioRecord(
+                params={"anchor": "bsp"}, label=bsp.algorithm,
+                metrics=_result_metrics(bsp.result),
+            ).to_dict(),
+            "matches_sweep_endpoint": _exact_match(delta_lo, bsp.result),
+        },
+        "local_sgd": {
+            "delta": hi,
+            "record": ScenarioRecord(
+                params={"anchor": "local_sgd"}, label=local.algorithm,
+                metrics=_result_metrics(local.result),
+            ).to_dict(),
+            "matches_sweep_endpoint": _exact_match(delta_hi, local.result),
+        },
+    }
+    report.results["anchor/bsp"] = bsp.result
+    report.results["anchor/local_sgd"] = local.result
+    return endpoints
+
+
+def _run_comparison(
+    scenario: ComparisonScenario,
+    iterations: int,
+    num_workers: int,
+    seed: int,
+) -> ScenarioReport:
+    from repro.harness.experiment import build_workload, run_experiment
+
+    eval_every = scenario.resolved_eval_every(iterations)
+    report = ScenarioReport(
+        name=scenario.name,
+        title=scenario.title,
+        kind=scenario.kind,
+        meta={
+            "workloads": list(scenario.workloads),
+            "methods": list(scenario.methods),
+            "baseline": scenario.baseline,
+            "num_workers": num_workers,
+            "iterations": iterations,
+            "seed": seed,
+            "eval_every": eval_every,
+            "tags": list(scenario.tags),
+        },
+    )
+    for workload in scenario.workloads:
+        higher_is_better = build_workload(workload).task != "language_modeling"
+        for label, (algorithm, kwargs) in scenario.methods.items():
+            convergence = None
+            if scenario.use_convergence:
+                convergence = ConvergenceDetector(
+                    higher_is_better=higher_is_better,
+                    patience=scenario.convergence_patience,
+                    min_delta=scenario.convergence_min_delta,
+                )
+            out = run_experiment(
+                workload,
+                algorithm,
+                num_workers=num_workers,
+                iterations=iterations,
+                seed=seed,
+                eval_every=eval_every,
+                convergence=convergence,
+                dtype=scenario.dtype,
+                transport_dtype=scenario.transport_dtype,
+                pool_workers=scenario.pool_workers,
+                pool_start_method=scenario.pool_start_method,
+                **kwargs,
+            )
+            report.results[f"{workload}/{label}"] = out.result
+            report.records.append(
+                ScenarioRecord(
+                    params={"workload": workload, "method": label},
+                    label=out.algorithm,
+                    metrics=_result_metrics(out.result),
+                )
+            )
+    return report
+
+
+def _run_throughput(scenario: ThroughputScenario) -> ScenarioReport:
+    from repro.cluster.compute_model import PAPER_WORKLOADS
+    from repro.comm.cost_model import CommunicationCostModel
+    from repro.metrics.throughput import throughput_curve
+
+    comm = CommunicationCostModel(topology=scenario.topology)
+    report = ScenarioReport(
+        name=scenario.name,
+        title=scenario.title,
+        kind=scenario.kind,
+        meta={
+            "workloads": list(scenario.workloads),
+            "worker_counts": list(scenario.worker_counts),
+            "topology": scenario.topology,
+            "tags": list(scenario.tags),
+        },
+    )
+    for workload in scenario.workloads:
+        spec = PAPER_WORKLOADS[workload]
+        curve = throughput_curve(
+            spec, list(scenario.worker_counts), spec.base_batch_size, comm
+        )
+        for workers, value in curve.items():
+            report.records.append(
+                ScenarioRecord(
+                    params={"workload": workload, "workers": int(workers)},
+                    label=workload,
+                    metrics={"relative_throughput": float(value)},
+                )
+            )
+    return report
+
+
+def run_scenario(
+    scenario: Union[str, Scenario],
+    iterations: Optional[int] = None,
+    num_workers: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> ScenarioReport:
+    """Execute a scenario (by object or registry name) and return its report.
+
+    ``iterations`` / ``num_workers`` / ``seed`` override the scenario's
+    defaults without mutating it — the benchmark suite uses this to scale
+    the same registered scenario between smoke and full-scale runs.
+    Overrides are rejected for analytic throughput scenarios, which have no
+    training loop to resize.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if isinstance(scenario, ThroughputScenario):
+        if iterations is not None or num_workers is not None or seed is not None:
+            raise ScenarioError(
+                f"scenario {scenario.name!r} is analytic; iterations/num_workers/"
+                "seed overrides do not apply"
+            )
+        return _run_throughput(scenario)
+    iterations = scenario.iterations if iterations is None else int(iterations)
+    num_workers = scenario.num_workers if num_workers is None else int(num_workers)
+    seed = scenario.seed if seed is None else int(seed)
+    if iterations < 1:
+        raise ScenarioError(f"iterations override must be >= 1, got {iterations}")
+    if num_workers < 1:
+        raise ScenarioError(f"num_workers override must be >= 1, got {num_workers}")
+    if seed < 0:
+        raise ScenarioError(f"seed override must be >= 0, got {seed}")
+    if isinstance(scenario, SweepScenario):
+        return _run_sweep(scenario, iterations, num_workers, seed)
+    if isinstance(scenario, ComparisonScenario):
+        return _run_comparison(scenario, iterations, num_workers, seed)
+    raise ScenarioError(f"unsupported scenario type {type(scenario).__name__}")

@@ -1,0 +1,120 @@
+"""Static validation of the documentation site.
+
+CI builds the site with ``mkdocs build --strict`` (every warning fails the
+build), but mkdocs is not a test dependency — these checks statically
+validate the same failure surface so docs breakage is caught by tier-1
+without installing the docs toolchain:
+
+* every file referenced in the ``mkdocs.yml`` nav exists under ``docs/``;
+* every ``::: identifier`` directive in the reference pages imports (module)
+  or resolves (attribute) against the installed package;
+* every relative Markdown link between docs pages points at a real file;
+* every ``repro`` subsystem has an API reference page wired into the nav.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+import re
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOCS_DIR = REPO_ROOT / "docs"
+MKDOCS_YML = REPO_ROOT / "mkdocs.yml"
+
+
+def nav_files(node) -> list:
+    """Flatten the mkdocs nav tree into its file paths."""
+    files = []
+    if isinstance(node, str):
+        files.append(node)
+    elif isinstance(node, list):
+        for item in node:
+            files.extend(nav_files(item))
+    elif isinstance(node, dict):
+        for value in node.values():
+            files.extend(nav_files(value))
+    return files
+
+
+def load_config() -> dict:
+    return yaml.safe_load(MKDOCS_YML.read_text())
+
+
+class TestMkdocsConfig:
+    def test_config_parses(self):
+        config = load_config()
+        assert config["site_name"]
+        assert "nav" in config
+
+    def test_every_nav_entry_exists(self):
+        for rel in nav_files(load_config()["nav"]):
+            assert (DOCS_DIR / rel).is_file(), f"nav references missing file {rel}"
+
+    def test_mkdocstrings_configured_for_src_layout(self):
+        config = load_config()
+        plugins = config["plugins"]
+        mkdocstrings = next(
+            p["mkdocstrings"] for p in plugins
+            if isinstance(p, dict) and "mkdocstrings" in p
+        )
+        assert "src" in mkdocstrings["handlers"]["python"]["paths"]
+
+
+class TestReferencePages:
+    def identifiers(self):
+        for page in sorted((DOCS_DIR / "reference").glob("*.md")):
+            for line in page.read_text().splitlines():
+                match = re.match(r"^::: (\S+)$", line)
+                if match:
+                    yield page.name, match.group(1)
+
+    def test_every_identifier_resolves(self):
+        checked = 0
+        for page, identifier in self.identifiers():
+            try:
+                importlib.import_module(identifier)
+            except ImportError:
+                module_name, _, attr = identifier.rpartition(".")
+                module = importlib.import_module(module_name)
+                assert hasattr(module, attr), (
+                    f"{page}: identifier {identifier!r} does not resolve"
+                )
+            checked += 1
+        assert checked > 0
+
+    def test_every_subsystem_has_a_reference_page(self):
+        import repro
+
+        subsystems = {
+            name for _, name, ispkg in pkgutil.iter_modules(repro.__path__) if ispkg
+        }
+        pages = {p.stem for p in (DOCS_DIR / "reference").glob("*.md")}
+        missing = subsystems - pages
+        assert not missing, f"subsystems without a reference page: {sorted(missing)}"
+        nav_refs = {
+            Path(rel).stem
+            for rel in nav_files(load_config()["nav"])
+            if rel.startswith("reference/")
+        }
+        assert subsystems <= nav_refs, "reference pages exist but are not in the nav"
+
+
+class TestInternalLinks:
+    LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
+
+    def test_relative_markdown_links_resolve(self):
+        checked = 0
+        for page in DOCS_DIR.rglob("*.md"):
+            for target in self.LINK.findall(page.read_text()):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                resolved = (page.parent / target).resolve()
+                assert resolved.exists(), f"{page.relative_to(REPO_ROOT)}: broken link {target}"
+                checked += 1
+        assert checked > 0

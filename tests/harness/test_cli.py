@@ -69,3 +69,48 @@ class TestRunCommand:
         out = capsys.readouterr().out
         assert "Outperform BSP?" in out
         assert "Overall speedup" in out
+
+
+class TestScenarioCommand:
+    def test_listing_names_and_kinds(self, capsys):
+        assert main(["scenario"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6-delta-sweep" in out
+        assert "throughput" in out
+
+    def test_listing_filtered_by_tag(self, capsys):
+        assert main(["scenario", "--tag", "paper-scale"]) == 0
+        out = capsys.readouterr().out
+        assert "deep-mlp-delta-n256" in out
+        assert "fig1a-throughput" not in out
+
+    def test_run_scenario_with_overrides_and_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "report.json"
+        code = main([
+            "scenario", "fig6-delta-sweep", "--iterations", "4",
+            "--workers", "2", "--json", str(path),
+        ])
+        assert code == 0
+        assert "lssr" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "fig6-delta-sweep"
+        assert payload["meta"]["iterations"] == 4
+
+    def test_run_verified_scenario_prints_parity(self, capsys):
+        code = main([
+            "scenario", "deep-mlp-delta-n64", "--iterations", "4",
+            "--workers", "4",
+        ])
+        assert code == 0
+        assert "endpoint parity" in capsys.readouterr().out
+
+    def test_unknown_scenario_exits_cleanly(self, capsys):
+        assert main(["scenario", "not-a-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_invalid_override_exits_cleanly(self, capsys):
+        # Analytic throughput scenarios reject training overrides.
+        assert main(["scenario", "fig1a-throughput", "--workers", "8"]) == 2
+        assert "analytic" in capsys.readouterr().err

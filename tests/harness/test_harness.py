@@ -23,8 +23,19 @@ from repro.harness.sweep import grid_sweep
 
 
 class TestPresets:
-    def test_all_four_paper_workloads(self):
-        assert set(WORKLOAD_PRESETS) == {"resnet101", "vgg11", "alexnet", "transformer"}
+    def test_all_workload_presets_registered(self):
+        # The paper's four workloads plus the deep-MLP large-N sweep analog.
+        assert set(WORKLOAD_PRESETS) == {
+            "resnet101", "vgg11", "alexnet", "transformer", "deep_mlp",
+        }
+
+    def test_deep_mlp_preset_is_classification_mlp(self):
+        from repro.nn.models import MLP
+
+        preset = build_workload("deep_mlp")
+        assert preset.task == "classification"
+        model = preset.model_factory(np.random.default_rng(0))
+        assert isinstance(model, MLP)
 
     def test_build_workload_case_insensitive(self):
         assert build_workload("ResNet101").name == "resnet101"
@@ -94,6 +105,17 @@ class TestMakeTrainer:
         with pytest.raises(ValueError):
             make_trainer("compressed_bsp", cluster, preset, total_iterations=10)
 
+    def test_selsync_accepts_all_config_fields(self):
+        preset = build_workload("resnet101")
+        cluster = build_cluster(preset, num_workers=2, seed=0, batch_size=8)
+        trainer = make_trainer(
+            "selsync", cluster, preset, total_iterations=10,
+            delta=0.1, aggregation="grad", statistic="norm", sync_on_first_step=False,
+        )
+        assert trainer.config.aggregation == "grad"
+        assert trainer.config.statistic == "norm"
+        assert trainer.config.sync_on_first_step is False
+
 
 class TestRunExperiment:
     def test_selsync_end_to_end(self):
@@ -140,11 +162,37 @@ class TestSweep:
     def test_best_selection(self):
         result = grid_sweep(lambda a: -(a - 2) ** 2, {"a": [0, 1, 2, 3]})
         assert result.best(key=lambda out: out)["params"]["a"] == 2
-        assert result.best(key=lambda out: out, maximize=False)["params"]["a"] in (0,)
+
+    def test_best_minimize_selects_smallest(self):
+        result = grid_sweep(lambda a: (a - 2) ** 2, {"a": [0, 1, 2, 3]})
+        best = result.best(key=lambda out: out, maximize=False)
+        assert best["params"]["a"] == 2
+        assert best["output"] == 0
+
+    def test_best_on_empty_result_rejected(self):
+        from repro.harness.sweep import SweepResult
+
+        with pytest.raises(ValueError, match="no runs"):
+            SweepResult().best(key=lambda out: out)
 
     def test_empty_grid_rejected(self):
         with pytest.raises(ValueError):
             grid_sweep(lambda: None, {})
+
+    def test_empty_grid_entry_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            grid_sweep(lambda a: a, {"a": []})
+
+    def test_fixed_grid_collision_rejected(self):
+        # Without the up-front check this would surface as a confusing
+        # TypeError("multiple values for 'a'") from the swept function.
+        with pytest.raises(ValueError, match="both grid and fixed"):
+            grid_sweep(lambda a: a, {"a": [1, 2]}, fixed={"a": 3})
+
+    def test_iterator_grid_values_run_fully(self):
+        # The emptiness guard must not consume single-pass grid values.
+        result = grid_sweep(lambda a: a * 2, {"a": iter([1, 2, 3])})
+        assert result.outputs() == [2, 4, 6]
 
 
 class TestReporting:

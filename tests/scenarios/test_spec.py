@@ -1,0 +1,179 @@
+"""Validation tests for the scenario dataclasses."""
+
+import dataclasses
+
+import pytest
+
+from repro.scenarios.spec import (
+    ComparisonScenario,
+    ScenarioError,
+    SweepScenario,
+    ThroughputScenario,
+)
+
+
+def sweep(**overrides) -> SweepScenario:
+    base = dict(
+        name="test-sweep",
+        title="a test sweep",
+        workload="resnet101",
+        algorithm="selsync",
+        grid={"delta": (0.0, 0.5)},
+    )
+    base.update(overrides)
+    return SweepScenario(**base)
+
+
+class TestSweepScenario:
+    def test_valid_scenario_normalizes_grid_to_tuples(self):
+        scenario = sweep(grid={"delta": [0.0, 0.5]})
+        assert scenario.grid == {"delta": (0.0, 0.5)}
+        assert scenario.kind == "sweep"
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            sweep().iterations = 1
+
+    def test_unknown_workload(self):
+        with pytest.raises(ScenarioError, match="unknown workload"):
+            sweep(workload="bert")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ScenarioError, match="unknown algorithm"):
+            sweep(algorithm="gossip")
+
+    def test_empty_grid(self):
+        with pytest.raises(ScenarioError, match="grid must not be empty"):
+            sweep(grid={})
+
+    def test_empty_grid_entry(self):
+        with pytest.raises(ScenarioError, match="no values"):
+            sweep(grid={"delta": ()})
+
+    def test_reserved_grid_key(self):
+        with pytest.raises(ScenarioError, match="reserved"):
+            sweep(grid={"num_workers": (2, 4)})
+
+    def test_reserved_fixed_key(self):
+        with pytest.raises(ScenarioError, match="reserved"):
+            sweep(fixed={"dtype": "float32"})
+
+    def test_grid_fixed_collision(self):
+        with pytest.raises(ScenarioError, match="both"):
+            sweep(grid={"delta": (0.0,)}, fixed={"delta": 0.5})
+
+    def test_whitespace_name_rejected(self):
+        with pytest.raises(ScenarioError, match="whitespace"):
+            sweep(name="bad name")
+
+    @pytest.mark.parametrize("field,value", [
+        ("num_workers", 0), ("iterations", 0), ("seed", -1), ("eval_every", 0),
+    ])
+    def test_bad_run_settings(self, field, value):
+        with pytest.raises(ScenarioError):
+            sweep(**{field: value})
+
+    def test_verify_endpoints_requires_selsync_delta_grid(self):
+        with pytest.raises(ScenarioError, match="selsync"):
+            sweep(algorithm="ssp", grid={"staleness": (10, 100)},
+                  verify_endpoints=True)
+
+    def test_verify_endpoints_requires_delta_only_grid(self):
+        with pytest.raises(ScenarioError, match="exactly 'delta'"):
+            sweep(grid={"delta": (0.0, 1.0), "ewma_window": (5, 25)},
+                  fixed={"aggregation": "grad", "sync_on_first_step": False},
+                  verify_endpoints=True)
+
+    def test_verify_endpoints_requires_zero_delta(self):
+        with pytest.raises(ScenarioError, match="BSP endpoint"):
+            sweep(grid={"delta": (0.1, 1.0)},
+                  fixed={"aggregation": "grad", "sync_on_first_step": False},
+                  verify_endpoints=True)
+
+    def test_verify_endpoints_requires_exact_parity_config(self):
+        with pytest.raises(ScenarioError, match="aggregation='grad'"):
+            sweep(grid={"delta": (0.0, 1e9)}, verify_endpoints=True)
+
+    def test_verify_endpoints_valid(self):
+        scenario = sweep(
+            grid={"delta": (0.0, 1e9)},
+            fixed={"aggregation": "grad", "sync_on_first_step": False},
+            verify_endpoints=True,
+        )
+        assert scenario.verify_endpoints
+
+    def test_resolved_eval_every_scales_with_override(self):
+        scenario = sweep(iterations=80)
+        assert scenario.resolved_eval_every() == 20
+        assert scenario.resolved_eval_every(8) == 2
+        assert sweep(eval_every=7).resolved_eval_every(1000) == 7
+
+
+class TestComparisonScenario:
+    def comparison(self, **overrides) -> ComparisonScenario:
+        base = dict(
+            name="test-comparison",
+            title="a test comparison",
+            methods={"bsp": ("bsp", {}), "selsync": ("selsync", {"delta": 0.3})},
+        )
+        base.update(overrides)
+        return ComparisonScenario(**base)
+
+    def test_valid(self):
+        scenario = self.comparison()
+        assert scenario.kind == "comparison"
+        assert scenario.baseline == "bsp"
+
+    def test_empty_methods(self):
+        with pytest.raises(ScenarioError, match="methods"):
+            self.comparison(methods={})
+
+    def test_malformed_method_entry(self):
+        with pytest.raises(ScenarioError, match="pair"):
+            self.comparison(methods={"bsp": "bsp"})
+
+    def test_unknown_method_algorithm(self):
+        with pytest.raises(ScenarioError, match="unknown algorithm"):
+            self.comparison(methods={"x": ("gossip", {})})
+
+    def test_reserved_method_kwarg(self):
+        with pytest.raises(ScenarioError, match="reserved"):
+            self.comparison(methods={"bsp": ("bsp", {"seed": 3})})
+
+    def test_missing_baseline(self):
+        with pytest.raises(ScenarioError, match="baseline"):
+            self.comparison(methods={"selsync": ("selsync", {})})
+
+    def test_unknown_workload(self):
+        with pytest.raises(ScenarioError, match="unknown workload"):
+            self.comparison(workloads=("bert",))
+
+    def test_empty_workloads(self):
+        with pytest.raises(ScenarioError, match="workloads"):
+            self.comparison(workloads=())
+
+
+class TestThroughputScenario:
+    def test_valid(self):
+        scenario = ThroughputScenario(
+            name="t", title="t", workloads=("resnet101", "vgg11")
+        )
+        assert scenario.kind == "throughput"
+        assert scenario.worker_counts == (1, 2, 4, 8, 16)
+
+    def test_unknown_paper_workload(self):
+        # deep_mlp is a harness preset but not a paper-scale cost-model spec.
+        with pytest.raises(ScenarioError, match="paper workload"):
+            ThroughputScenario(name="t", title="t", workloads=("deep_mlp",))
+
+    def test_bad_worker_counts(self):
+        with pytest.raises(ScenarioError, match=">= 1"):
+            ThroughputScenario(
+                name="t", title="t", workloads=("resnet101",), worker_counts=(0, 4)
+            )
+
+    def test_empty_worker_counts(self):
+        with pytest.raises(ScenarioError, match="worker_counts"):
+            ThroughputScenario(
+                name="t", title="t", workloads=("resnet101",), worker_counts=()
+            )
