@@ -6,6 +6,15 @@ the *current* run.  Every numeric leaf that lives under a ``steps_per_sec``
 key (or whose own key ends in ``steps_per_sec``) is compared; a drop larger
 than ``--max-regression`` (default 25%) on any shared key fails the script.
 
+``--scenario-baseline`` / ``--scenario-current`` optionally add the same
+comparison for a pair of ``BENCH_scenarios.json`` files: the
+``stacked_sweep`` section's sequential / stacked steps-per-sec rows, plus a
+synthesized ``<scenario>.sweep_steps_per_sec`` row for every scenario report
+that recorded its sweep wall-clock (total trainer steps across the grid over
+``meta.sweep_wall_seconds``).  The current file's stacked-vs-sequential
+speedups are also rendered as their own (dimensionless, hence
+hardware-insensitive) markdown table.
+
 A per-key delta table is printed as GitHub-flavoured markdown on stdout and,
 when the ``GITHUB_STEP_SUMMARY`` environment variable is set, appended to
 the job summary.  Keys present in only one file are listed but never fail
@@ -21,6 +30,8 @@ sections (which are dimensionless) before blaming a change.
 Usage::
 
     python benchmarks/compare_bench.py baseline.json current.json \
+        [--scenario-baseline BENCH_scenarios_base.json] \
+        [--scenario-current BENCH_scenarios.json] \
         [--max-regression 0.25]
 """
 
@@ -51,8 +62,71 @@ def load_metrics(path: Path) -> Dict[str, float]:
     return _collect_steps_per_sec(json.loads(path.read_text()))
 
 
+def _scenario_sweep_rate(summary: dict) -> float | None:
+    """Total trainer steps across the grid per second of sweep wall-clock."""
+    meta = summary.get("meta") or {}
+    wall = meta.get("sweep_wall_seconds")
+    records = summary.get("records") or []
+    iterations = meta.get("iterations")
+    if not wall or not records or not iterations:
+        return None
+    return iterations * len(records) / wall
+
+
+def load_scenario_metrics(path: Path) -> Dict[str, float]:
+    """Flatten a BENCH_scenarios.json file into comparable steps/sec rows.
+
+    Includes every ``steps_per_sec`` leaf (the ``stacked_sweep`` section's
+    sequential / stacked rates) plus one synthesized
+    ``<scenario>.sweep_steps_per_sec`` row per scenario report.
+    """
+    report = json.loads(path.read_text())
+    metrics = _collect_steps_per_sec(report)
+    for name, summary in report.items():
+        if not isinstance(summary, dict):
+            continue
+        rate = _scenario_sweep_rate(summary)
+        if rate is not None:
+            metrics[f"{name}.sweep_steps_per_sec"] = rate
+    return metrics
+
+
+def stacked_speedup_table(path: Path) -> str:
+    """Markdown table of the current stacked-vs-sequential speedups.
+
+    Speedups are dimensionless, so unlike raw steps/sec they transfer
+    between hosts; an empty string is returned when the file has no
+    ``stacked_sweep`` section.
+    """
+    report = json.loads(path.read_text())
+    section = report.get("stacked_sweep") or {}
+    scenarios = section.get("scenarios") or {}
+    if not scenarios:
+        return ""
+    lines = [
+        "### Stacked sweep executor: fused vs sequential",
+        "",
+        "| scenario | sequential (s) | stacked (s) | speedup | exact parity |",
+        "| --- | ---: | ---: | ---: | :--- |",
+    ]
+    for name in sorted(scenarios):
+        row = scenarios[name]
+        lines.append(
+            f"| {name} | {row['sequential_seconds']:.2f} | "
+            f"{row['stacked_seconds']:.2f} | {row['speedup']:.2f}x | "
+            f"{'yes' if row.get('exact_parity') else 'NO'} |"
+        )
+    cores = (section.get("config") or {}).get("cpu_count")
+    lines.append("")
+    lines.append(f"Measured on a host with {cores} cores.")
+    return "\n".join(lines)
+
+
 def compare(
-    baseline: Dict[str, float], current: Dict[str, float], max_regression: float
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    max_regression: float,
+    title: str = "### Engine perf: baseline vs current (steps/sec)",
 ) -> Tuple[str, bool]:
     """Render the delta table; returns (markdown, any_regression_beyond_limit)."""
     shared = sorted(set(baseline) & set(current))
@@ -60,7 +134,7 @@ def compare(
     only_current = sorted(set(current) - set(baseline))
 
     lines = [
-        "### Engine perf: baseline vs current (steps/sec)",
+        title,
         "",
         "| key | baseline | current | delta | status |",
         "| --- | ---: | ---: | ---: | :--- |",
@@ -95,6 +169,18 @@ def main(argv=None) -> int:
         default=0.25,
         help="fractional steps/sec drop that fails the job (default 0.25)",
     )
+    parser.add_argument(
+        "--scenario-baseline",
+        type=Path,
+        default=None,
+        help="checked-in BENCH_scenarios.json to compare against",
+    )
+    parser.add_argument(
+        "--scenario-current",
+        type=Path,
+        default=None,
+        help="freshly measured BENCH_scenarios.json",
+    )
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():
@@ -107,11 +193,38 @@ def main(argv=None) -> int:
     table, failed = compare(
         load_metrics(args.baseline), load_metrics(args.current), args.max_regression
     )
-    print(table)
+    sections = [table]
+    if args.scenario_current is not None:
+        if not args.scenario_current.exists():
+            print(
+                f"current scenario results missing at {args.scenario_current}; "
+                "benchmark did not write output"
+            )
+            return 1
+        if args.scenario_baseline is not None and args.scenario_baseline.exists():
+            scenario_table, scenario_failed = compare(
+                load_scenario_metrics(args.scenario_baseline),
+                load_scenario_metrics(args.scenario_current),
+                args.max_regression,
+                title="### Scenario sweeps: baseline vs current (steps/sec)",
+            )
+            sections.append(scenario_table)
+            failed |= scenario_failed
+        else:
+            print(
+                f"no scenario baseline at {args.scenario_baseline}; "
+                "skipping the scenario delta table"
+            )
+        speedups = stacked_speedup_table(args.scenario_current)
+        if speedups:
+            sections.append(speedups)
+
+    output = "\n\n".join(sections)
+    print(output)
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:
         with open(summary_path, "a") as fh:
-            fh.write(table + "\n")
+            fh.write(output + "\n")
     return 1 if failed else 0
 
 

@@ -37,9 +37,13 @@ bit-identical parity check always runs.  Nightly CI owns this section:
 ``--run-scenarios`` runs the paper-scale δ-sweep suite from the declarative
 scenario registry (``benchmarks/scenario_suite.py``), recording sweep
 outputs in ``BENCH_scenarios.json`` next to this file's
-``BENCH_engine.json``.  Standalone invocation accepts the same flags:
+``BENCH_engine.json``.  ``--stacked`` additionally runs the suite's
+stacked-vs-sequential contrast (the fused ``(S·N, D)`` sweep executor
+against S sequential runs, with exact-parity gating), merging a
+``stacked_sweep`` section into ``BENCH_scenarios.json``.  Standalone
+invocation accepts the same flags:
 
-    PYTHONPATH=src python -m benchmarks.perf_smoke --run-scenarios
+    PYTHONPATH=src python -m benchmarks.perf_smoke --run-scenarios --stacked
 """
 
 from __future__ import annotations
@@ -548,6 +552,14 @@ def _standalone_main(argv=None) -> int:
         "--run-scenarios", action="store_true", help="paper-scale scenario sweeps"
     )
     parser.add_argument(
+        "--stacked",
+        action="store_true",
+        help=(
+            "with --run-scenarios: also run the stacked-vs-sequential contrast "
+            "(merges stacked_sweep into BENCH_scenarios.json)"
+        ),
+    )
+    parser.add_argument(
         "--write-results",
         action="store_true",
         help="persist scenario reports to benchmarks/results/scenarios/",
@@ -567,7 +579,7 @@ def _standalone_main(argv=None) -> int:
     if args.run_scenarios:
         from benchmarks.scenario_suite import main as run_scenario_suite
 
-        run_scenario_suite(write_results=args.write_results)
+        run_scenario_suite(write_results=args.write_results, stacked=args.stacked)
     return 0
 
 

@@ -24,6 +24,12 @@ from any invocation directory:
   ``BENCH_scenarios.json`` at the repo root and, under ``--write-results``,
   the per-scenario reports in ``benchmarks/results/scenarios/``.  Runs in
   the nightly workflow.
+* ``--stacked`` — with ``--run-scenarios``: also run the stacked contrast
+  (every stackable paper-scale sweep through both the sequential runner and
+  the fused ``(S·N, D)`` stacked executor), merging a ``stacked_sweep``
+  section (wall-clock, steps/sec, speedup, exact-parity verdicts) into
+  ``BENCH_scenarios.json``.  Runs in the nightly workflow and the per-PR
+  perf job.
 * ``--write-results`` — opt-in persistence of the figure benchmarks'
   ``benchmarks/results/*.txt`` reports.  Plain test runs never touch the
   working tree; CI and result-regeneration runs pass the flag.
@@ -56,6 +62,15 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="run the paper-scale scenario sweeps (writes BENCH_scenarios.json)",
+    )
+    parser.addoption(
+        "--stacked",
+        action="store_true",
+        default=False,
+        help=(
+            "with --run-scenarios: also run the stacked-vs-sequential sweep "
+            "contrast (merges stacked_sweep into BENCH_scenarios.json)"
+        ),
     )
     parser.addoption(
         "--write-results",

@@ -141,6 +141,34 @@ class BaseTrainer:
         If a :class:`ConvergenceDetector` is supplied the run stops early
         once the test metric plateaus (the Table-I stopping rule).
         """
+        stepper = self.run_stepwise(
+            max_iterations, convergence=convergence, eval_every=eval_every
+        )
+        while True:
+            try:
+                next(stepper)
+            except StopIteration as stop:
+                return stop.value
+
+    def run_stepwise(
+        self,
+        max_iterations: int,
+        convergence: Optional[ConvergenceDetector] = None,
+        eval_every: Optional[int] = None,
+    ):
+        """Generator form of :meth:`run`: yields the step number after every
+        global step, then returns the :class:`TrainingResult` (raised as
+        ``StopIteration.value``).
+
+        :meth:`run` simply drains this generator, so the two are identical
+        run for run.  The stepwise form exists so a driver can interleave
+        several trainers one global step at a time — the stacked sweep
+        executor (:mod:`repro.engine.sweep_exec`) advances S trainers in
+        lockstep over one fused ``(S·N, D)`` gradient computation.
+
+        Note the usual generator caveat: argument validation only fires on
+        the first ``next()``, not at call time.
+        """
         if max_iterations < 1:
             raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
         eval_every = eval_every or self.eval_every
@@ -152,22 +180,26 @@ class BaseTrainer:
             self.train_step()
             self.global_step += 1
             self.cluster.global_step = self.global_step
+            converged = False
             should_eval = (
                 self.global_step % eval_every == 0 or self.global_step == max_iterations
             )
-            if not should_eval:
-                continue
-            result = self.evaluate()
-            final_result = result
-            higher_is_better = result.metric_name != "perplexity"
-            self._record_eval(result)
-            if best_metric is None:
-                best_metric = result.metric
-            elif higher_is_better:
-                best_metric = max(best_metric, result.metric)
-            else:
-                best_metric = min(best_metric, result.metric)
-            if convergence is not None and convergence.update(result.metric, self.global_step):
+            if should_eval:
+                result = self.evaluate()
+                final_result = result
+                higher_is_better = result.metric_name != "perplexity"
+                self._record_eval(result)
+                if best_metric is None:
+                    best_metric = result.metric
+                elif higher_is_better:
+                    best_metric = max(best_metric, result.metric)
+                else:
+                    best_metric = min(best_metric, result.metric)
+                converged = convergence is not None and convergence.update(
+                    result.metric, self.global_step
+                )
+            yield self.global_step
+            if converged:
                 break
 
         if final_result is None:

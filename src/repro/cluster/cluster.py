@@ -145,19 +145,9 @@ class SimulatedCluster:
         # All worker replicas live as rows of one (N, D) matrix: parameters
         # and gradients are zero-copy views into it, so aggregation,
         # broadcast and Δ(gᵢ) tracking are single vectorized operations.
-        # With pool_workers the rows live in parent-owned shared memory, so
-        # replica-pool child processes see the same matrix (zero-copy).
         spec = reference_model.flat_spec
         self._shared_storage = None
-        if config.pool_workers:
-            from repro.parallel.shm import SharedMatrixStorage
-
-            self._shared_storage = SharedMatrixStorage(n, spec.total_size, spec.dtype)
-            self.matrix = WorkerMatrix(
-                n, spec, params=self._shared_storage.params, grads=self._shared_storage.grads
-            )
-        else:
-            self.matrix = WorkerMatrix(n, spec)
+        self.matrix = self._build_matrix(spec)
 
         self.workers: List[Worker] = []
         for worker_id in range(n):
@@ -244,6 +234,29 @@ class SimulatedCluster:
         self.speed_model = config.speed_model
         self._eval_rng = rngs[n]
         self.global_step = 0
+
+    # ------------------------------------------------------------------ #
+    # matrix construction (extension point)
+    # ------------------------------------------------------------------ #
+    def _build_matrix(self, spec) -> WorkerMatrix:
+        """Build the cluster's ``(N, D)`` worker matrix for ``spec``.
+
+        The flat layout is only known once the reference model has been
+        built, so this runs mid-``__init__`` — it is the extension point for
+        alternative storage owners: with ``pool_workers`` the rows live in
+        parent-owned shared memory (replica-pool children map the same
+        segments zero-copy), and :class:`StackedSliceCluster` overrides this
+        to adopt donated row slices of a sweep-wide stacked matrix.
+        """
+        n = self.config.num_workers
+        if self.config.pool_workers:
+            from repro.parallel.shm import SharedMatrixStorage
+
+            self._shared_storage = SharedMatrixStorage(n, spec.total_size, spec.dtype)
+            return WorkerMatrix(
+                n, spec, params=self._shared_storage.params, grads=self._shared_storage.grads
+            )
+        return WorkerMatrix(n, spec)
 
     # ------------------------------------------------------------------ #
     # properties
@@ -478,3 +491,54 @@ class SimulatedCluster:
     def __exit__(self, exc_type, exc, tb) -> None:
         """Context-manager exit: always :meth:`close` (idempotent)."""
         self.close()
+
+
+class StackedSliceCluster(SimulatedCluster):
+    """One grid point of a stacked sweep, living as an N-row slice of a
+    sweep-wide ``(S·N, D)`` matrix.
+
+    Built by :func:`repro.harness.sweep.run_sweep_stacked`: each of the S
+    grid points gets a full :class:`SimulatedCluster` — its own workers,
+    loaders, parameter server, backend and clock — but parameter/gradient
+    storage is donated by a
+    :class:`~repro.engine.sweep_exec.StackedSweepMatrix`, and gradient
+    computation defers to the coordinator's fused pass over all S·N rows.
+    Everything a sync policy touches (aggregation, Δ(gᵢ) statistics, fused
+    optimizer state, PS pushes) operates on this slice's rows only, so the
+    slice evolves exactly as its sequential run would.
+    """
+
+    def __init__(self, *args, stacked_matrix=None, slice_index: int = 0, **kwargs) -> None:
+        if stacked_matrix is None:
+            raise ValueError("StackedSliceCluster requires a stacked_matrix")
+        # Set before super().__init__: _build_matrix runs mid-construction.
+        self._stacked_matrix = stacked_matrix
+        self._slice_index = int(slice_index)
+        super().__init__(*args, **kwargs)
+
+    def _build_matrix(self, spec) -> WorkerMatrix:
+        if self.config.pool_workers:
+            raise ValueError(
+                "stacked sweep execution is incompatible with the replica pool "
+                "(pool_workers must be 0); sharding the stacked matrix across "
+                "pool processes is a planned follow-on"
+            )
+        params, grads = self._stacked_matrix.slice_storage(self._slice_index, spec)
+        return WorkerMatrix(self.config.num_workers, spec, params=params, grads=grads)
+
+    def compute_gradients_all(self, batches) -> List[float]:
+        """Per-worker losses for this slice, served by the fused stacked pass.
+
+        The first slice to request a given global step triggers one fused
+        forward/backward over all S·N rows; later slices read their cached
+        row ranges.  The shared dropout stream still advances one tick per
+        gradient computation, keeping tick parity with the sequential path.
+        """
+        self._next_dropout_tick()
+        losses, norms = self._stacked_matrix.gradients_for_slice(
+            self._slice_index, batches
+        )
+        for worker, loss, norm in zip(self.workers, losses, norms):
+            worker.last_loss = float(loss)
+            worker.last_grad_norm = float(norm)
+        return [float(l) for l in losses]

@@ -885,6 +885,28 @@ class BatchedReplicaExecutor:
         else:
             x = np.stack([np.asarray(b[0], dtype=self._matrix.dtype) for b in batches])
         targets = np.stack([b[1] for b in batches])
+        return self.step_stacked(x, targets)
+
+    def step_stacked(
+        self, x: np.ndarray, targets: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """One fused gradient computation from pre-stacked input blocks.
+
+        ``x`` / ``targets`` carry the replica axis already stacked —
+        ``(N, batch, ...)`` — so callers that assemble the block themselves
+        (:meth:`step`, and the stacked sweep executor which tiles one
+        N-worker batch block across S grid slices) skip the per-row
+        ``np.stack``.  Same contract as :meth:`step` otherwise: gradients
+        land in the matrix rows, per-replica mean losses are returned,
+        ``None`` flags an unsupported shape/dtype combination.
+        """
+        if x.shape[0] != self._matrix.num_workers:
+            return None
+        if self._token_input:
+            if not np.issubdtype(x.dtype, np.integer):
+                return None
+        else:
+            x = np.asarray(x, dtype=self._matrix.dtype)
         if x.ndim != self._input_ndim or not np.issubdtype(targets.dtype, np.integer):
             return None
         for layer in self._layers:
@@ -909,3 +931,8 @@ class BatchedReplicaExecutor:
         """Per-replica gradient L2 norms in one pass over the gradient matrix."""
         g = self._matrix.grads
         return np.sqrt(np.einsum("ij,ij->i", g, g))
+
+    @property
+    def token_input(self) -> bool:
+        """Whether inputs are integer token blocks (stay uncast) or features."""
+        return self._token_input

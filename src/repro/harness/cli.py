@@ -22,6 +22,12 @@ Run a registered scenario from the declarative registry (see
     python -m repro.harness.cli scenario --tag paper-scale   # filter by tag
     python -m repro.harness.cli scenario fig6-delta-sweep --iterations 80 \
         --json /tmp/fig6.json
+
+Run a δ-sweep scenario through the fused stacked executor (one (S·N, D)
+batched pass per step instead of S sequential runs; bit-identical in
+float64)::
+
+    python -m repro.harness.cli scenario deep-mlp-delta-n64 --stacked
 """
 
 from __future__ import annotations
@@ -162,6 +168,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             iterations=args.iterations,
             num_workers=args.workers,
             seed=args.seed,
+            stacked=True if args.stacked else None,
+            max_stacked_rows=args.max_stacked_rows,
         )
     except ScenarioError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -222,6 +230,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_parser.add_argument(
         "--seed", type=int, default=None, help="override the scenario's seed"
+    )
+    scenario_parser.add_argument(
+        "--stacked",
+        action="store_true",
+        help="run a sweep scenario through the fused (S*N, D) stacked executor",
+    )
+    scenario_parser.add_argument(
+        "--max-stacked-rows",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="cap rows per fused slab in stacked mode (bit-identical chunking)",
     )
     scenario_parser.add_argument(
         "--json", default=None, metavar="PATH", help="write the report as JSON to PATH"

@@ -178,8 +178,15 @@ def build_cluster(
     pool_workers: int = 0,
     pool_start_method: Optional[str] = None,
     eval_max_batches: Optional[int] = 4,
+    cluster_factory: Optional[Callable[..., SimulatedCluster]] = None,
 ) -> SimulatedCluster:
-    """Construct the simulated cluster for a workload preset."""
+    """Construct the simulated cluster for a workload preset.
+
+    ``cluster_factory`` substitutes an alternative cluster constructor
+    called with the exact :class:`SimulatedCluster` keyword arguments — the
+    stacked sweep executor uses this to build
+    :class:`~repro.cluster.cluster.StackedSliceCluster` slices.
+    """
     bundle = bundle or build_dataset(preset.dataset_name, seed=seed, **preset.dataset_kwargs)
     config = ClusterConfig(
         num_workers=num_workers,
@@ -195,7 +202,8 @@ def build_cluster(
         top_k=preset.top_k,
         eval_max_batches=eval_max_batches,
     )
-    return SimulatedCluster(
+    factory = cluster_factory or SimulatedCluster
+    return factory(
         model_factory=preset.model_factory,
         optimizer_factory=preset.optimizer_factory,
         train_dataset=bundle.train,

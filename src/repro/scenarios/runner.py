@@ -17,12 +17,14 @@ large-N sweeps to the trainers the unit suite already trusts.
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
 from repro.algorithms.base import TrainingResult
 from repro.harness.reporting import format_table, results_to_rows, table1_headers
-from repro.harness.sweep import grid_sweep
+from repro.harness.sweep import grid_sweep, run_sweep_stacked
 from repro.metrics.convergence import ConvergenceDetector
 from repro.scenarios.registry import Scenario, get_scenario
 from repro.scenarios.spec import (
@@ -223,25 +225,62 @@ def _run_sweep(
             "dtype": scenario.dtype,
             "transport_dtype": scenario.transport_dtype,
             "pool_workers": scenario.pool_workers,
+            "stacked": scenario.stacked,
+            "max_stacked_rows": scenario.max_stacked_rows,
             "tags": list(scenario.tags),
         },
     )
 
-    def one_run(**params):
-        return run_experiment(
-            scenario.workload, scenario.algorithm, **common, **scenario.fixed, **params
+    run_walls: List[float] = []
+    sweep_start = time.perf_counter()
+    if scenario.stacked:
+        sweep = run_sweep_stacked(
+            scenario.workload,
+            scenario.algorithm,
+            scenario.grid,
+            scenario.fixed,
+            num_workers=num_workers,
+            iterations=iterations,
+            seed=seed,
+            eval_every=eval_every,
+            batch_size=scenario.batch_size,
+            dtype=scenario.dtype,
+            transport_dtype=scenario.transport_dtype,
+            max_stacked_rows=scenario.max_stacked_rows,
         )
+        # One fused computation covered every grid point; attribute an equal
+        # share of the sweep's wall-clock to each run's record.
+        run_walls = [(time.perf_counter() - sweep_start) / len(sweep.runs)] * len(
+            sweep.runs
+        )
+    else:
 
-    sweep = grid_sweep(one_run, scenario.grid)
-    for run in sweep.runs:
+        def one_run(**params):
+            start = time.perf_counter()
+            out = run_experiment(
+                scenario.workload,
+                scenario.algorithm,
+                **common,
+                **scenario.fixed,
+                **params,
+            )
+            run_walls.append(time.perf_counter() - start)
+            return out
+
+        sweep = grid_sweep(one_run, scenario.grid)
+    report.meta["sweep_wall_seconds"] = time.perf_counter() - sweep_start
+
+    for run, wall in zip(sweep.runs, run_walls):
         out = run["output"]
         key = "/".join(f"{k}={v}" for k, v in run["params"].items())
         report.results[key] = out.result
+        metrics = _result_metrics(out.result)
+        metrics["wall_seconds"] = wall
         report.records.append(
             ScenarioRecord(
                 params=dict(run["params"]),
                 label=out.algorithm,
-                metrics=_result_metrics(out.result),
+                metrics=metrics,
             )
         )
 
@@ -258,21 +297,29 @@ def _verify_delta_endpoints(
 
     deltas = list(scenario.grid["delta"])
     lo, hi = min(deltas), max(deltas)
+    bsp_start = time.perf_counter()
     bsp = run_experiment(scenario.workload, "bsp", **common)
+    bsp_wall = time.perf_counter() - bsp_start
+    local_start = time.perf_counter()
     local = run_experiment(
         scenario.workload,
         "local_sgd",
         sync_period=common["iterations"] + 1,
         **common,
     )
+    local_wall = time.perf_counter() - local_start
     delta_lo = report.results[f"delta={lo}"]
     delta_hi = report.results[f"delta={hi}"]
+    bsp_metrics = _result_metrics(bsp.result)
+    bsp_metrics["wall_seconds"] = bsp_wall
+    local_metrics = _result_metrics(local.result)
+    local_metrics["wall_seconds"] = local_wall
     endpoints = {
         "bsp": {
             "delta": lo,
             "record": ScenarioRecord(
                 params={"anchor": "bsp"}, label=bsp.algorithm,
-                metrics=_result_metrics(bsp.result),
+                metrics=bsp_metrics,
             ).to_dict(),
             "matches_sweep_endpoint": _exact_match(delta_lo, bsp.result),
         },
@@ -280,7 +327,7 @@ def _verify_delta_endpoints(
             "delta": hi,
             "record": ScenarioRecord(
                 params={"anchor": "local_sgd"}, label=local.algorithm,
-                metrics=_result_metrics(local.result),
+                metrics=local_metrics,
             ).to_dict(),
             "matches_sweep_endpoint": _exact_match(delta_hi, local.result),
         },
@@ -387,14 +434,21 @@ def run_scenario(
     iterations: Optional[int] = None,
     num_workers: Optional[int] = None,
     seed: Optional[int] = None,
+    stacked: Optional[bool] = None,
+    max_stacked_rows: Optional[int] = None,
 ) -> ScenarioReport:
     """Execute a scenario (by object or registry name) and return its report.
 
     ``iterations`` / ``num_workers`` / ``seed`` override the scenario's
     defaults without mutating it — the benchmark suite uses this to scale
     the same registered scenario between smoke and full-scale runs.
-    Overrides are rejected for analytic throughput scenarios, which have no
-    training loop to resize.
+    ``stacked`` / ``max_stacked_rows`` likewise switch a sweep scenario
+    between the sequential runner and the fused ``(S·N, D)`` executor (see
+    :func:`repro.harness.sweep.run_sweep_stacked`); the override re-runs the
+    scenario's own validation, so an unstackable scenario is rejected with a
+    :class:`ScenarioError` before any training starts.  Overrides are
+    rejected for analytic throughput scenarios, which have no training loop
+    to resize, and ``stacked`` overrides for non-sweep kinds.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -404,6 +458,20 @@ def run_scenario(
                 f"scenario {scenario.name!r} is analytic; iterations/num_workers/"
                 "seed overrides do not apply"
             )
+    if stacked is not None or max_stacked_rows is not None:
+        if not isinstance(scenario, SweepScenario):
+            raise ScenarioError(
+                f"scenario {scenario.name!r} is a {scenario.kind} scenario; "
+                "stacked execution applies to sweep scenarios only"
+            )
+        overrides: Dict[str, Any] = {}
+        if stacked is not None:
+            overrides["stacked"] = bool(stacked)
+        if max_stacked_rows is not None:
+            overrides["max_stacked_rows"] = int(max_stacked_rows)
+        # replace() re-runs __post_init__, i.e. the stackability validation.
+        scenario = dataclasses.replace(scenario, **overrides)
+    if isinstance(scenario, ThroughputScenario):
         return _run_throughput(scenario)
     iterations = scenario.iterations if iterations is None else int(iterations)
     num_workers = scenario.num_workers if num_workers is None else int(num_workers)

@@ -1,0 +1,73 @@
+"""Tests for the benchmark comparison script's scenario-file support.
+
+The engine-file comparison path is exercised implicitly by CI on every PR;
+these tests pin the BENCH_scenarios.json additions: the synthesized
+per-scenario sweep rate, the ``stacked_sweep`` steps/sec rows, and the
+stacked-speedup markdown rendering.
+"""
+
+import json
+
+from benchmarks.compare_bench import (
+    compare,
+    load_scenario_metrics,
+    stacked_speedup_table,
+)
+
+
+def scenario_file(tmp_path, name="BENCH_scenarios.json", sequential=10.0, stacked=30.0):
+    payload = {
+        "deep-mlp-delta-n64": {
+            "name": "deep-mlp-delta-n64",
+            "meta": {"iterations": 24, "sweep_wall_seconds": 2.0},
+            "records": [{"params": {"delta": d}, "metrics": {}} for d in (0.0, 1e9)],
+        },
+        "stacked_sweep": {
+            "config": {"cpu_count": 8},
+            "scenarios": {
+                "deep-mlp-delta-n64": {
+                    "sequential_seconds": 4.8,
+                    "stacked_seconds": 1.6,
+                    "steps_per_sec": {"sequential": sequential, "stacked": stacked},
+                    "speedup": 3.0,
+                    "exact_parity": True,
+                }
+            },
+        },
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestScenarioMetrics:
+    def test_collects_stacked_sweep_rates_and_synthesized_sweep_rate(self, tmp_path):
+        metrics = load_scenario_metrics(scenario_file(tmp_path))
+        key = "stacked_sweep.scenarios.deep-mlp-delta-n64.steps_per_sec"
+        assert metrics[f"{key}.sequential"] == 10.0
+        assert metrics[f"{key}.stacked"] == 30.0
+        # 24 iterations × 2 grid points over 2.0s of sweep wall-clock.
+        assert metrics["deep-mlp-delta-n64.sweep_steps_per_sec"] == 24.0
+
+    def test_regression_detected_across_files(self, tmp_path):
+        baseline = load_scenario_metrics(scenario_file(tmp_path, "base.json"))
+        current = load_scenario_metrics(
+            scenario_file(tmp_path, "cur.json", stacked=10.0)
+        )
+        _, failed = compare(baseline, current, max_regression=0.25)
+        assert failed
+        _, ok = compare(baseline, baseline, max_regression=0.25)
+        assert not ok
+
+
+class TestSpeedupTable:
+    def test_renders_speedup_rows(self, tmp_path):
+        table = stacked_speedup_table(scenario_file(tmp_path))
+        assert "3.00x" in table
+        assert "deep-mlp-delta-n64" in table
+        assert "8 cores" in table
+
+    def test_empty_without_stacked_section(self, tmp_path):
+        path = tmp_path / "plain.json"
+        path.write_text(json.dumps({"some-scenario": {"records": []}}))
+        assert stacked_speedup_table(path) == ""

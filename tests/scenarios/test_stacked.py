@@ -1,0 +1,202 @@
+"""Stacked sweep execution at the scenario level: validation and parity.
+
+The contract under test: a ``SweepScenario`` run with ``stacked=True``
+produces *bit-identical* float64 records to the sequential runner — same
+final loss, same full evaluation history, same LSSR / simulated time /
+communication bytes — for SelSync and local SGD, with the BSP and
+never-syncing local-SGD endpoint anchors reproduced exactly.  Chunked
+stacked execution (``max_stacked_rows``) is bit-identical to unchunked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import ScenarioError, SweepScenario, run_scenario
+
+EXACT_ENDPOINT_FIXED = {"aggregation": "grad", "sync_on_first_step": False}
+
+
+def delta_scenario(**overrides) -> SweepScenario:
+    base = dict(
+        name="stacked-parity",
+        title="stacked parity δ sweep",
+        workload="deep_mlp",
+        algorithm="selsync",
+        grid={"delta": (0.0, 0.5, 1e9)},
+        fixed=dict(EXACT_ENDPOINT_FIXED),
+        num_workers=4,
+        iterations=6,
+        batch_size=4,
+        verify_endpoints=True,
+    )
+    base.update(overrides)
+    return SweepScenario(**base)
+
+
+def stripped_records(report):
+    """Record params/metrics without wall_seconds (a runner measurement)."""
+    return [
+        (
+            record.params,
+            {k: v for k, v in record.metrics.items() if k != "wall_seconds"},
+        )
+        for record in report.records
+    ]
+
+
+class TestStackedSpecValidation:
+    def test_stacked_scenario_constructs(self):
+        scenario = delta_scenario(stacked=True, max_stacked_rows=8)
+        assert scenario.stacked and scenario.max_stacked_rows == 8
+
+    def test_non_lockstep_algorithm_rejected(self):
+        with pytest.raises(ScenarioError, match="lockstep"):
+            delta_scenario(
+                algorithm="ssp",
+                grid={"staleness": (1, 2)},
+                fixed={},
+                verify_endpoints=False,
+                stacked=True,
+            )
+
+    def test_non_policy_grid_key_rejected(self):
+        with pytest.raises(ScenarioError, match="cannot\\s+vary across stacked"):
+            delta_scenario(
+                grid={"participation": (0.5, 1.0)},
+                algorithm="selsync",
+                verify_endpoints=False,
+                stacked=True,
+            )
+
+    def test_unbatchable_workload_rejected(self):
+        with pytest.raises(ScenarioError, match="batched replica\\s+executor"):
+            delta_scenario(workload="resnet101", stacked=True)
+
+    def test_pool_and_stacked_mutually_exclusive(self):
+        with pytest.raises(ScenarioError, match="mutually exclusive"):
+            delta_scenario(stacked=True, pool_workers=2)
+
+    def test_bad_max_stacked_rows_rejected(self):
+        with pytest.raises(ScenarioError, match="max_stacked_rows"):
+            delta_scenario(max_stacked_rows=0)
+
+
+class TestStackedOverrides:
+    def test_override_revalidates(self):
+        # The scenario itself is valid sequentially; the stacked override
+        # must re-run validation and reject it.
+        scenario = delta_scenario(
+            workload="resnet101", verify_endpoints=False, grid={"delta": (0.0, 1e9)}
+        )
+        with pytest.raises(ScenarioError, match="batched replica\\s+executor"):
+            run_scenario(scenario, stacked=True)
+
+    def test_non_sweep_kind_rejected(self):
+        with pytest.raises(ScenarioError, match="sweep scenarios only"):
+            run_scenario("fig1a-throughput", stacked=True)
+
+    def test_meta_records_mode(self):
+        report = run_scenario(delta_scenario(), stacked=True, max_stacked_rows=6)
+        assert report.meta["stacked"] is True
+        assert report.meta["max_stacked_rows"] == 6
+
+
+class TestStackedParity:
+    def test_deep_mlp_float64_bit_identical(self):
+        scenario = delta_scenario()
+        sequential = run_scenario(scenario)
+        stacked = run_scenario(scenario, stacked=True)
+        assert stripped_records(sequential) == stripped_records(stacked)
+        # Full-trajectory equality of the raw results, not just summaries.
+        for key, seq_result in sequential.results.items():
+            stk_result = stacked.results[key]
+            assert seq_result.final_loss == stk_result.final_loss
+            assert [(p.step, p.loss, p.metric) for p in seq_result.history] == [
+                (p.step, p.loss, p.metric) for p in stk_result.history
+            ]
+        # δ=0 ≡ BSPTrainer and δ=max ≡ never-syncing LocalSGDTrainer, both
+        # computed through the fused stacked pass.
+        for anchor in stacked.endpoints.values():
+            assert anchor["matches_sweep_endpoint"]
+
+    def test_local_sgd_sync_period_grid_bit_identical(self):
+        scenario = delta_scenario(
+            algorithm="local_sgd",
+            grid={"sync_period": (1, 2, 4)},
+            fixed={},
+            verify_endpoints=False,
+        )
+        sequential = run_scenario(scenario)
+        stacked = run_scenario(scenario, stacked=True)
+        assert stripped_records(sequential) == stripped_records(stacked)
+
+    def test_transformer_float64_bit_identical(self):
+        scenario = delta_scenario(
+            workload="transformer",
+            num_workers=2,
+            iterations=4,
+            batch_size=2,
+            grid={"delta": (0.0, 1e9)},
+        )
+        sequential = run_scenario(scenario)
+        stacked = run_scenario(scenario, stacked=True)
+        assert stripped_records(sequential) == stripped_records(stacked)
+        for anchor in stacked.endpoints.values():
+            assert anchor["matches_sweep_endpoint"]
+
+    def test_float32_parity_within_tolerance(self):
+        scenario = delta_scenario(
+            dtype="float32", verify_endpoints=False, grid={"delta": (0.0, 0.5, 1e9)}
+        )
+        sequential = run_scenario(scenario)
+        stacked = run_scenario(scenario, stacked=True)
+        for seq_rec, stk_rec in zip(sequential.records, stacked.records):
+            assert seq_rec.params == stk_rec.params
+            np.testing.assert_allclose(
+                stk_rec.metrics["final_loss"],
+                seq_rec.metrics["final_loss"],
+                rtol=1e-3,
+            )
+            assert stk_rec.metrics["lssr"] == seq_rec.metrics["lssr"]
+
+    def test_chunked_bit_identical_to_unchunked(self):
+        scenario = delta_scenario()
+        unchunked = run_scenario(scenario, stacked=True)
+        # 5 rows does not divide the 12 stacked rows or the 4-row slices:
+        # slabs straddle slice boundaries on purpose.
+        chunked = run_scenario(scenario, stacked=True, max_stacked_rows=5)
+        assert stripped_records(unchunked) == stripped_records(chunked)
+
+
+class TestWallClockRecording:
+    @pytest.mark.parametrize("stacked", [False, True])
+    def test_records_and_meta_carry_wall_seconds(self, stacked):
+        report = run_scenario(delta_scenario(), stacked=stacked or None)
+        assert report.meta["sweep_wall_seconds"] > 0
+        for record in report.records:
+            assert record.metrics["wall_seconds"] > 0
+        for anchor in report.endpoints.values():
+            assert anchor["record"]["metrics"]["wall_seconds"] > 0
+
+
+class TestStackedCli:
+    def test_scenario_run_stacked_flag(self, capsys):
+        from repro.harness.cli import main
+
+        code = main(
+            [
+                "scenario",
+                "deep-mlp-delta-n64",
+                "--stacked",
+                "--workers",
+                "4",
+                "--iterations",
+                "4",
+                "--max-stacked-rows",
+                "8",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "exact endpoint parity" in out
+        assert "bsp=True" in out and "local_sgd=True" in out
