@@ -27,11 +27,20 @@ the perf job stays ``continue-on-error`` and the threshold is generous.
 Treat a red comparison as a prompt to look at the *relative* speedup
 sections (which are dimensionless) before blaming a change.
 
+``--service-baseline`` / ``--service-current`` add the comparison for a
+pair of ``BENCH_service.json`` files (the experiment-service load benchmark,
+``benchmarks/service_load.py``): submit/e2e latency p50/p99 compared
+*lower-is-better*, so growth beyond ``--max-regression`` (>25% p99 by
+default) fails exactly like a steps/sec drop on the engine side.  The
+current run's sustained jobs/sec is reported as an informational line.
+
 Usage::
 
     python benchmarks/compare_bench.py baseline.json current.json \
         [--scenario-baseline BENCH_scenarios_base.json] \
         [--scenario-current BENCH_scenarios.json] \
+        [--service-baseline BENCH_service_base.json] \
+        [--service-current BENCH_service.json] \
         [--max-regression 0.25]
 """
 
@@ -122,13 +131,49 @@ def stacked_speedup_table(path: Path) -> str:
     return "\n".join(lines)
 
 
+def load_service_metrics(path: Path) -> Dict[str, float]:
+    """Flatten a BENCH_service.json file into comparable latency rows.
+
+    Only the latency percentiles gate (lower is better); ``jobs_per_sec``
+    is tracked in the same table but as a higher-is-better row would invert
+    the comparison, so it is reported via :func:`service_throughput_line`
+    instead.
+    """
+    report = json.loads(path.read_text())
+    load = report.get("load") or {}
+    metrics: Dict[str, float] = {}
+    for section in ("submit_latency_ms", "e2e_latency_ms"):
+        for quantile in ("p50", "p99"):
+            value = (load.get(section) or {}).get(quantile)
+            if value is not None:
+                metrics[f"{section}.{quantile}"] = float(value)
+    return metrics
+
+
+def service_throughput_line(path: Path) -> str:
+    """One informational line for the current run's sustained throughput."""
+    load = (json.loads(path.read_text()) or {}).get("load") or {}
+    if not load:
+        return ""
+    return (
+        f"Current sustained throughput: {load.get('jobs_per_sec', 0)} jobs/s "
+        f"({load.get('completed_jobs', 0)}/{load.get('total_jobs', 0)} jobs, "
+        f"{load.get('failures', 0)} failures)."
+    )
+
+
 def compare(
     baseline: Dict[str, float],
     current: Dict[str, float],
     max_regression: float,
     title: str = "### Engine perf: baseline vs current (steps/sec)",
+    lower_is_better: bool = False,
 ) -> Tuple[str, bool]:
-    """Render the delta table; returns (markdown, any_regression_beyond_limit)."""
+    """Render the delta table; returns (markdown, any_regression_beyond_limit).
+
+    ``lower_is_better=True`` flips the regression direction for latency-style
+    metrics: growth beyond ``max_regression`` fails instead of shrinkage.
+    """
     shared = sorted(set(baseline) & set(current))
     only_baseline = sorted(set(baseline) - set(current))
     only_current = sorted(set(current) - set(baseline))
@@ -143,17 +188,23 @@ def compare(
     for key in shared:
         base, cur = baseline[key], current[key]
         delta = (cur - base) / base if base else float("inf")
-        regressed = delta < -max_regression
+        if lower_is_better:
+            regressed = delta > max_regression
+            improved = delta <= 0
+        else:
+            regressed = delta < -max_regression
+            improved = delta >= 0
         failed |= regressed
-        status = "REGRESSION" if regressed else ("ok" if delta >= 0 else "ok (within limit)")
+        status = "REGRESSION" if regressed else ("ok" if improved else "ok (within limit)")
         lines.append(f"| {key} | {base:.1f} | {cur:.1f} | {delta:+.1%} | {status} |")
     for key in only_baseline:
         lines.append(f"| {key} | {baseline[key]:.1f} | — | — | not measured in this run |")
     for key in only_current:
         lines.append(f"| {key} | — | {current[key]:.1f} | — | new key |")
     lines.append("")
+    direction = "above" if lower_is_better else "below"
     lines.append(
-        f"Regression limit: {max_regression:.0%} below baseline "
+        f"Regression limit: {max_regression:.0%} {direction} baseline "
         f"({'FAILED' if failed else 'passed'})."
     )
     return "\n".join(lines), failed
@@ -180,6 +231,18 @@ def main(argv=None) -> int:
         type=Path,
         default=None,
         help="freshly measured BENCH_scenarios.json",
+    )
+    parser.add_argument(
+        "--service-baseline",
+        type=Path,
+        default=None,
+        help="checked-in BENCH_service.json to compare against",
+    )
+    parser.add_argument(
+        "--service-current",
+        type=Path,
+        default=None,
+        help="freshly measured BENCH_service.json",
     )
     args = parser.parse_args(argv)
 
@@ -218,6 +281,32 @@ def main(argv=None) -> int:
         speedups = stacked_speedup_table(args.scenario_current)
         if speedups:
             sections.append(speedups)
+
+    if args.service_current is not None:
+        if not args.service_current.exists():
+            print(
+                f"current service results missing at {args.service_current}; "
+                "benchmark did not write output"
+            )
+            return 1
+        if args.service_baseline is not None and args.service_baseline.exists():
+            service_table, service_failed = compare(
+                load_service_metrics(args.service_baseline),
+                load_service_metrics(args.service_current),
+                args.max_regression,
+                title="### Service load: baseline vs current (latency ms, lower is better)",
+                lower_is_better=True,
+            )
+            sections.append(service_table)
+            failed |= service_failed
+        else:
+            print(
+                f"no service baseline at {args.service_baseline}; "
+                "skipping the service delta table"
+            )
+        throughput = service_throughput_line(args.service_current)
+        if throughput:
+            sections.append(throughput)
 
     output = "\n\n".join(sections)
     print(output)

@@ -30,6 +30,12 @@ from any invocation directory:
   section (wall-clock, steps/sec, speedup, exact-parity verdicts) into
   ``BENCH_scenarios.json``.  Runs in the nightly workflow and the per-PR
   perf job.
+* ``--run-service`` — the experiment-service load benchmark
+  (``benchmarks/service_load.py``: sustained concurrent submissions against
+  a live :mod:`repro.service` instance over HTTP); writes
+  ``BENCH_service.json`` (submit/e2e latency p50/p99) at the repo root.
+  Runs in the per-PR perf job as a smoke and is compared by
+  ``compare_bench.py --service-baseline/--service-current``.
 * ``--write-results`` — opt-in persistence of the figure benchmarks'
   ``benchmarks/results/*.txt`` reports.  Plain test runs never touch the
   working tree; CI and result-regeneration runs pass the flag.
@@ -70,6 +76,15 @@ def pytest_addoption(parser):
         help=(
             "with --run-scenarios: also run the stacked-vs-sequential sweep "
             "contrast (merges stacked_sweep into BENCH_scenarios.json)"
+        ),
+    )
+    parser.addoption(
+        "--run-service",
+        action="store_true",
+        default=False,
+        help=(
+            "run the experiment-service load benchmark "
+            "(benchmarks/service_load.py; writes BENCH_service.json)"
         ),
     )
     parser.addoption(

@@ -28,6 +28,12 @@ batched pass per step instead of S sequential runs; bit-identical in
 float64)::
 
     python -m repro.harness.cli scenario deep-mlp-delta-n64 --stacked
+
+Serve the experiment service and submit jobs to it over HTTP (see
+:mod:`repro.service`)::
+
+    python -m repro.harness.cli serve --port 8080 --db jobs.sqlite3
+    python -m repro.harness.cli submit scenario '{"name": "quickstart"}' --wait
 """
 
 from __future__ import annotations
@@ -99,23 +105,25 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    eval_every = args.eval_every or max(args.iterations // 8, 1)
-    out = run_experiment(
-        args.workload,
-        args.algorithm,
+    from repro.api import RunRequest, run as api_run
+
+    out = api_run(RunRequest(
+        kind="experiment",
+        workload=args.workload,
+        algorithm=args.algorithm,
+        params=_algorithm_kwargs(args),
         num_workers=args.workers,
         iterations=args.iterations,
         seed=args.seed,
-        eval_every=eval_every,
+        eval_every=args.eval_every or max(args.iterations // 8, 1),
         dtype=args.dtype,
         transport_dtype=args.transport_dtype,
         pool_workers=args.pool_workers,
         pool_start_method=args.pool_start_method,
-        **_algorithm_kwargs(args),
-    )
-    result = out.result
+    ))
+    result = out.results["run"]
     rows = [[
-        out.algorithm, result.iterations, round(result.lssr, 3),
+        out.label, result.iterations, round(result.lssr, 3),
         round(result.best_metric, 4), round(result.sim_time_seconds, 1),
     ]]
     print(format_table(
@@ -150,8 +158,23 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro scenario run`` exit codes (stable CLI contract, asserted by tests).
+EXIT_SCENARIO_ERROR = 2
+EXIT_PARITY_FAILURE = 3
+
+
+def _emit_json_error(path: Optional[str], *, code: str, message: str, **extra: object) -> None:
+    """Write a structured JSON error (instead of a report) under ``--json``."""
+    if not path:
+        return
+    with open(path, "w") as fh:
+        json.dump({"error": {"code": code, "message": message, **extra}}, fh, indent=2)
+    print(f"[error report written to {path}]", file=sys.stderr)
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
-    from repro.scenarios import ScenarioError, get_scenario, run_scenario, scenario_names
+    from repro.api import ApiError, RunRequest, run as api_run
+    from repro.scenarios import ScenarioError, get_scenario, scenario_names
 
     if args.name is None:
         rows = []
@@ -163,17 +186,21 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         return 0
     print(f"running scenario {args.name!r} ...", file=sys.stderr)
     try:
-        report = run_scenario(
-            args.name,
+        out = api_run(RunRequest(
+            kind="scenario",
+            scenario=args.name,
             iterations=args.iterations,
             num_workers=args.workers,
             seed=args.seed,
             stacked=True if args.stacked else None,
             max_stacked_rows=args.max_stacked_rows,
-        )
-    except ScenarioError as exc:
+        ))
+    except (ApiError, ScenarioError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        _emit_json_error(args.json, code="scenario_error", message=str(exc),
+                         scenario=args.name)
+        return EXIT_SCENARIO_ERROR
+    report = out.report
     print(report.table())
     if report.endpoints:
         verdicts = ", ".join(
@@ -181,10 +208,89 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             for anchor, info in report.endpoints.items()
         )
         print(f"\nexact endpoint parity vs existing trainers: {verdicts}")
+        failed = sorted(
+            anchor for anchor, info in report.endpoints.items()
+            if not info["matches_sweep_endpoint"]
+        )
+        if failed:
+            print(f"error: endpoint parity verification failed for {failed}",
+                  file=sys.stderr)
+            _emit_json_error(
+                args.json, code="endpoint_parity_failure",
+                message=f"endpoint parity verification failed for {failed}",
+                scenario=args.name, failed_anchors=failed,
+                endpoints=report.endpoints,
+            )
+            return EXIT_PARITY_FAILURE
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(report.to_dict(), fh, indent=2)
         print(f"[report written to {args.json}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import QuotaManager, serve
+
+    quotas = QuotaManager(
+        max_active_jobs=args.max_active if args.max_active > 0 else None,
+        rate=args.rate if args.rate > 0 else None,
+        burst=args.burst,
+    )
+    serve(
+        host=args.host,
+        port=args.port,
+        db_path=args.db,
+        workers=args.service_workers,
+        quotas=quotas,
+    )
+    return 0
+
+
+def _parse_payload(raw: str) -> Dict[str, object]:
+    if raw.startswith("@"):
+        with open(raw[1:]) as fh:
+            raw = fh.read()
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: payload is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"error: payload must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url, tenant=args.tenant)
+    payload = _parse_payload(args.payload)
+    try:
+        job = client.submit(args.action, payload)
+        if args.wait:
+            job = client.wait(job["id"], timeout=args.timeout)
+    except ServiceClientError as exc:
+        print(f"error ({exc.status} {exc.code}): {exc}", file=sys.stderr)
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(exc.body or {"error": {"code": exc.code, "message": str(exc)}},
+                          fh, indent=2)
+        return 2
+    except (TimeoutError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.wait and job["state"] != "DONE":
+        print(f"job {job['id']} finished {job['state']}"
+              + (f": {job.get('error')}" if job.get("error") else ""), file=sys.stderr)
+        print(json.dumps(job, indent=2))
+        return 1
+    output: Dict[str, object] = {"job": job}
+    if args.wait:
+        output["records"] = list(client.iter_records(job["id"]))
+    print(json.dumps(output, indent=2))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(output, fh, indent=2)
     return 0
 
 
@@ -247,6 +353,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH", help="write the report as JSON to PATH"
     )
     scenario_parser.set_defaults(func=_cmd_scenario)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the multi-tenant experiment service (see repro.service)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8080)
+    serve_parser.add_argument(
+        "--db", default="repro_jobs.sqlite3",
+        help="SQLite job-queue path (':memory:' for ephemeral)",
+    )
+    serve_parser.add_argument(
+        "--service-workers", type=int, default=2, metavar="N",
+        help="concurrent job-executing worker threads",
+    )
+    serve_parser.add_argument(
+        "--max-active", type=int, default=8, metavar="N",
+        help="per-tenant active-job quota (0 disables)",
+    )
+    serve_parser.add_argument(
+        "--rate", type=float, default=10.0,
+        help="per-tenant sustained submissions/second (0 disables rate limiting)",
+    )
+    serve_parser.add_argument(
+        "--burst", type=float, default=20.0, help="per-tenant submission burst size"
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a job to a running experiment service"
+    )
+    submit_parser.add_argument(
+        "action",
+        choices=("experiment", "sweep", "comparison", "throughput", "scenario"),
+        help="submission action (one top-level action key)",
+    )
+    submit_parser.add_argument(
+        "payload",
+        help="JSON payload for the action, inline or @file "
+        "(e.g. '{\"name\": \"quickstart\"}')",
+    )
+    submit_parser.add_argument("--url", default="http://127.0.0.1:8080")
+    submit_parser.add_argument("--tenant", default="default")
+    submit_parser.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job is terminal and print its records",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=600.0, help="--wait timeout in seconds"
+    )
+    submit_parser.add_argument(
+        "--json", default=None, metavar="PATH", help="also write the output JSON to PATH"
+    )
+    submit_parser.set_defaults(func=_cmd_submit)
     return parser
 
 

@@ -37,7 +37,13 @@ from repro.scenarios.registry import (
     register_scenario,
     scenario_names,
 )
-from repro.scenarios.runner import ScenarioRecord, ScenarioReport, run_scenario
+from repro.scenarios.runner import (
+    RunCancelled,
+    ScenarioRecord,
+    ScenarioReport,
+    result_metrics,
+    run_scenario,
+)
 
 # Populate the global REGISTRY with the built-in scenarios eagerly, so
 # direct REGISTRY access and register_scenario() collisions behave the same
@@ -49,6 +55,7 @@ __all__ = [
     "KNOWN_ALGORITHMS",
     "REGISTRY",
     "RESERVED_PARAMETERS",
+    "RunCancelled",
     "Scenario",
     "ScenarioError",
     "ScenarioRecord",
@@ -58,6 +65,7 @@ __all__ = [
     "ThroughputScenario",
     "get_scenario",
     "register_scenario",
+    "result_metrics",
     "run_scenario",
     "scenario_names",
 ]

@@ -34,7 +34,27 @@ from repro.scenarios.spec import (
     ThroughputScenario,
 )
 
-__all__ = ["ScenarioRecord", "ScenarioReport", "run_scenario"]
+__all__ = [
+    "RunCancelled",
+    "ScenarioRecord",
+    "ScenarioReport",
+    "result_metrics",
+    "run_scenario",
+]
+
+
+class RunCancelled(Exception):
+    """A scenario run was cancelled cooperatively between runs.
+
+    Raised by :func:`run_scenario` when the ``cancel_check`` callback
+    returns ``True`` at a checkpoint (before each grid point, comparison
+    method or endpoint anchor).  The experiment service's task manager maps
+    this to the job lifecycle's CANCELLED state."""
+
+
+def _check_cancelled(cancel_check: Optional[Any]) -> None:
+    if cancel_check is not None and cancel_check():
+        raise RunCancelled("scenario run cancelled by cancel_check")
 
 
 @dataclass
@@ -154,8 +174,12 @@ class ScenarioReport:
 # --------------------------------------------------------------------------- #
 # execution
 # --------------------------------------------------------------------------- #
-def _result_metrics(result: TrainingResult) -> Dict[str, float]:
-    """The serializable per-run summary shared by every training record."""
+def result_metrics(result: TrainingResult) -> Dict[str, float]:
+    """The serializable per-run summary shared by every training record.
+
+    Public because the :mod:`repro.api` façade builds single-run records in
+    exactly this shape, so local and service-submitted runs serialize
+    identically."""
     metrics = {
         "iterations": float(result.iterations),
         "lssr": result.lssr,
@@ -194,6 +218,7 @@ def _run_sweep(
     iterations: int,
     num_workers: int,
     seed: int,
+    cancel_check=None,
 ) -> ScenarioReport:
     from repro.harness.experiment import run_experiment
 
@@ -234,6 +259,8 @@ def _run_sweep(
     run_walls: List[float] = []
     sweep_start = time.perf_counter()
     if scenario.stacked:
+        # One fused computation has no between-run checkpoint; check once.
+        _check_cancelled(cancel_check)
         sweep = run_sweep_stacked(
             scenario.workload,
             scenario.algorithm,
@@ -256,6 +283,7 @@ def _run_sweep(
     else:
 
         def one_run(**params):
+            _check_cancelled(cancel_check)
             start = time.perf_counter()
             out = run_experiment(
                 scenario.workload,
@@ -274,7 +302,7 @@ def _run_sweep(
         out = run["output"]
         key = "/".join(f"{k}={v}" for k, v in run["params"].items())
         report.results[key] = out.result
-        metrics = _result_metrics(out.result)
+        metrics = result_metrics(out.result)
         metrics["wall_seconds"] = wall
         report.records.append(
             ScenarioRecord(
@@ -285,21 +313,26 @@ def _run_sweep(
         )
 
     if scenario.verify_endpoints:
-        report.endpoints = _verify_delta_endpoints(scenario, report, common)
+        report.endpoints = _verify_delta_endpoints(scenario, report, common, cancel_check)
     return report
 
 
 def _verify_delta_endpoints(
-    scenario: SweepScenario, report: ScenarioReport, common: Dict[str, Any]
+    scenario: SweepScenario,
+    report: ScenarioReport,
+    common: Dict[str, Any],
+    cancel_check=None,
 ) -> Dict[str, Any]:
     """Anchor the δ-sweep's extremes on the existing BSP / local-SGD trainers."""
     from repro.harness.experiment import run_experiment
 
     deltas = list(scenario.grid["delta"])
     lo, hi = min(deltas), max(deltas)
+    _check_cancelled(cancel_check)
     bsp_start = time.perf_counter()
     bsp = run_experiment(scenario.workload, "bsp", **common)
     bsp_wall = time.perf_counter() - bsp_start
+    _check_cancelled(cancel_check)
     local_start = time.perf_counter()
     local = run_experiment(
         scenario.workload,
@@ -310,9 +343,9 @@ def _verify_delta_endpoints(
     local_wall = time.perf_counter() - local_start
     delta_lo = report.results[f"delta={lo}"]
     delta_hi = report.results[f"delta={hi}"]
-    bsp_metrics = _result_metrics(bsp.result)
+    bsp_metrics = result_metrics(bsp.result)
     bsp_metrics["wall_seconds"] = bsp_wall
-    local_metrics = _result_metrics(local.result)
+    local_metrics = result_metrics(local.result)
     local_metrics["wall_seconds"] = local_wall
     endpoints = {
         "bsp": {
@@ -342,6 +375,7 @@ def _run_comparison(
     iterations: int,
     num_workers: int,
     seed: int,
+    cancel_check=None,
 ) -> ScenarioReport:
     from repro.harness.experiment import build_workload, run_experiment
 
@@ -364,6 +398,7 @@ def _run_comparison(
     for workload in scenario.workloads:
         higher_is_better = build_workload(workload).task != "language_modeling"
         for label, (algorithm, kwargs) in scenario.methods.items():
+            _check_cancelled(cancel_check)
             convergence = None
             if scenario.use_convergence:
                 convergence = ConvergenceDetector(
@@ -390,7 +425,7 @@ def _run_comparison(
                 ScenarioRecord(
                     params={"workload": workload, "method": label},
                     label=out.algorithm,
-                    metrics=_result_metrics(out.result),
+                    metrics=result_metrics(out.result),
                 )
             )
     return report
@@ -436,6 +471,7 @@ def run_scenario(
     seed: Optional[int] = None,
     stacked: Optional[bool] = None,
     max_stacked_rows: Optional[int] = None,
+    cancel_check=None,
 ) -> ScenarioReport:
     """Execute a scenario (by object or registry name) and return its report.
 
@@ -449,6 +485,11 @@ def run_scenario(
     :class:`ScenarioError` before any training starts.  Overrides are
     rejected for analytic throughput scenarios, which have no training loop
     to resize, and ``stacked`` overrides for non-sweep kinds.
+
+    ``cancel_check`` is an optional zero-argument callable polled between
+    runs (each grid point, comparison method and endpoint anchor); when it
+    returns ``True`` the execution stops by raising :class:`RunCancelled`.
+    The experiment service uses this for cooperative job cancellation.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -483,7 +524,7 @@ def run_scenario(
     if seed < 0:
         raise ScenarioError(f"seed override must be >= 0, got {seed}")
     if isinstance(scenario, SweepScenario):
-        return _run_sweep(scenario, iterations, num_workers, seed)
+        return _run_sweep(scenario, iterations, num_workers, seed, cancel_check)
     if isinstance(scenario, ComparisonScenario):
-        return _run_comparison(scenario, iterations, num_workers, seed)
+        return _run_comparison(scenario, iterations, num_workers, seed, cancel_check)
     raise ScenarioError(f"unsupported scenario type {type(scenario).__name__}")

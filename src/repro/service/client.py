@@ -1,0 +1,143 @@
+"""Thin stdlib HTTP client for the experiment service.
+
+Mirrors the CRUD split of the container-service-extension client: one
+:class:`ServiceClient` per (server, tenant) with a method per endpoint,
+returning parsed JSON bodies and raising :class:`ServiceClientError`
+(status + structured error payload) on non-2xx responses.  Used by
+``repro submit``, the end-to-end tests, and the load benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, Mapping, Optional
+from urllib.parse import urlencode
+
+from repro.service.jobs import TERMINAL_STATES
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(Exception):
+    """A non-2xx service response, with the parsed error body when present."""
+
+    def __init__(self, status: int, body: Dict[str, Any]):
+        error = body.get("error", {}) if isinstance(body, dict) else {}
+        message = error.get("message") or f"service returned HTTP {status}"
+        super().__init__(message)
+        self.status = status
+        self.code = error.get("code", "unknown")
+        self.body = body
+
+
+class ServiceClient:
+    """JSON client over :mod:`urllib` — no third-party HTTP stack.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8080"`` (no trailing slash needed).
+    tenant:
+        Sent as the ``X-Tenant`` header on every request.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, *, tenant: str = "default", timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------- #
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[Mapping[str, Any]] = None,
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        url = self.base_url + path
+        if params:
+            clean = {k: v for k, v in params.items() if v is not None}
+            if clean:
+                url += "?" + urlencode(clean)
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            url,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json", "X-Tenant": self.tenant},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {}
+            raise ServiceClientError(exc.code, payload) from exc
+
+    # -- endpoints ------------------------------------------------------------ #
+    def describe(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1")
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def submit(self, action: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """Submit ``{action: payload}``; returns the queued job view."""
+        return self._request("POST", "/v1/jobs", body={action: dict(payload)})["job"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(
+        self,
+        *,
+        marker: Optional[str] = None,
+        limit: Optional[int] = None,
+        state: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        return self._request(
+            "GET", "/v1/jobs", params={"marker": marker, "limit": limit, "state": state}
+        )
+
+    def records(
+        self, job_id: str, *, offset: int = 0, limit: Optional[int] = None
+    ) -> Dict[str, Any]:
+        return self._request(
+            "GET", f"/v1/jobs/{job_id}/records", params={"offset": offset, "limit": limit}
+        )
+
+    def iter_records(self, job_id: str, *, page_size: int = 50) -> Iterator[Dict[str, Any]]:
+        """Yield every record, paging with ``offset`` under the hood."""
+        offset = 0
+        while True:
+            page = self.records(job_id, offset=offset, limit=page_size)
+            yield from page["records"]
+            offset += page["count"]
+            if page["count"] == 0 or offset >= page["total"]:
+                return
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/action", body={"cancel": {}})["job"]
+
+    def wait(
+        self, job_id: str, *, timeout: float = 300.0, poll_interval: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state (or raise TimeoutError)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after {timeout:.0f}s"
+                )
+            time.sleep(poll_interval)

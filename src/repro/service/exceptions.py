@@ -1,0 +1,82 @@
+"""Error taxonomy for the experiment service.
+
+Every service-layer failure is a :class:`ServiceError` carrying an HTTP
+status code and a stable machine-readable ``code`` string, so the WSGI app
+(:mod:`repro.service.app`) can map any controller/task-manager exception to
+a structured JSON error body without per-endpoint handling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "BadRequest",
+    "Conflict",
+    "IllegalTransition",
+    "NotFound",
+    "QuotaExceeded",
+    "RateLimited",
+    "ServiceError",
+]
+
+
+class ServiceError(Exception):
+    """Base class: an HTTP-mappable service failure."""
+
+    status = 500
+    code = "internal_error"
+
+    def __init__(self, message: str, *, details: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.message = message
+        self.details = dict(details or {})
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "error": {"code": self.code, "status": self.status, "message": self.message}
+        }
+        if self.details:
+            payload["error"]["details"] = self.details
+        return payload
+
+
+class BadRequest(ServiceError):
+    """The request body failed schema or deep scenario validation."""
+
+    status = 400
+    code = "bad_request"
+
+
+class NotFound(ServiceError):
+    """No such job (or the job belongs to a different tenant)."""
+
+    status = 404
+    code = "not_found"
+
+
+class Conflict(ServiceError):
+    """The requested action is invalid for the job's current state."""
+
+    status = 409
+    code = "conflict"
+
+
+class IllegalTransition(Conflict):
+    """A job-lifecycle transition outside the legal state machine."""
+
+    code = "illegal_transition"
+
+
+class QuotaExceeded(ServiceError):
+    """The tenant is at its active-job quota."""
+
+    status = 403
+    code = "quota_exceeded"
+
+
+class RateLimited(ServiceError):
+    """The tenant's token bucket is empty; retry later."""
+
+    status = 429
+    code = "rate_limited"

@@ -1,0 +1,140 @@
+"""The job lifecycle state machine.
+
+A *job* is one accepted submission (a validated :class:`repro.api.RunRequest`
+plus bookkeeping) moving through::
+
+    QUEUED ──▶ RUNNING ──▶ DONE
+       │          ├──────▶ FAILED
+       └──────────┴──────▶ CANCELLED
+
+:data:`TRANSITIONS` is the whole legal state machine; everything else is an
+:class:`~repro.service.exceptions.IllegalTransition`.  Cancellation is
+cooperative and race-free by construction:
+
+* cancelling a ``QUEUED`` job transitions it to ``CANCELLED`` directly (it
+  never starts);
+* cancelling a ``RUNNING`` job only sets the ``cancel_requested`` flag — the
+  worker polls it between runs via ``cancel_check`` and performs the
+  ``RUNNING → CANCELLED`` transition itself.  Only the owning worker ever
+  moves a job out of ``RUNNING``, so if the run finishes first, ``DONE``
+  wins and the late cancel is a no-op on state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Mapping, Optional
+
+from repro.service.exceptions import IllegalTransition
+
+__all__ = [
+    "ACTIVE_STATES",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "Job",
+    "JOB_STATES",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "validate_transition",
+]
+
+QUEUED = "QUEUED"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+#: state → states it may legally move to.  Terminal states map to nothing.
+TRANSITIONS: Mapping[str, FrozenSet[str]] = {
+    QUEUED: frozenset({RUNNING, CANCELLED}),
+    RUNNING: frozenset({DONE, FAILED, CANCELLED}),
+    DONE: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+#: States counted against a tenant's active-job quota.
+ACTIVE_STATES = frozenset({QUEUED, RUNNING})
+
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+def validate_transition(old: str, new: str) -> None:
+    """Raise :class:`IllegalTransition` unless ``old → new`` is legal."""
+    if old not in TRANSITIONS:
+        raise IllegalTransition(f"unknown job state {old!r}")
+    if new not in TRANSITIONS:
+        raise IllegalTransition(f"unknown job state {new!r}")
+    if new not in TRANSITIONS[old]:
+        raise IllegalTransition(
+            f"illegal job transition {old} -> {new}; "
+            f"legal from {old}: {sorted(TRANSITIONS[old]) or 'none (terminal)'}"
+        )
+
+
+@dataclass
+class Job:
+    """One submission's full service-side state (store row ↔ API view)."""
+
+    id: str
+    tenant: str
+    action: str
+    request: Dict[str, Any]
+    state: str = QUEUED
+    cancel_requested: bool = False
+    error: Optional[str] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+    endpoints: Dict[str, Any] = field(default_factory=dict)
+    num_records: int = 0
+    seq: Optional[int] = None
+    created_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The public JSON view served by ``GET /v1/jobs/<id>``."""
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "tenant": self.tenant,
+            "action": self.action,
+            "state": self.state,
+            "cancel_requested": self.cancel_requested,
+            "request": dict(self.request),
+            "num_records": self.num_records,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        if self.endpoints:
+            payload["endpoints"] = dict(self.endpoints)
+        return payload
+
+    @classmethod
+    def from_row(cls, row: Mapping[str, Any]) -> "Job":
+        """Rehydrate from a :mod:`sqlite3` row (see the store's schema)."""
+        return cls(
+            id=row["id"],
+            tenant=row["tenant"],
+            action=row["action"],
+            request=json.loads(row["request"]),
+            state=row["state"],
+            cancel_requested=bool(row["cancel_requested"]),
+            error=row["error"],
+            meta=json.loads(row["meta"]) if row["meta"] else {},
+            endpoints=json.loads(row["endpoints"]) if row["endpoints"] else {},
+            num_records=row["num_records"],
+            seq=row["seq"],
+            created_at=row["created_at"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+        )

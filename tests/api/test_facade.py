@@ -1,0 +1,200 @@
+"""Tests for the unified repro.api façade: requests, aliases, execution."""
+
+import pytest
+
+from repro.api import (
+    ApiError,
+    KINDS,
+    RunCancelled,
+    RunRequest,
+    apply_aliases,
+    request_from_action,
+    run,
+)
+from repro.harness.experiment import run_experiment
+from repro.scenarios import ScenarioError, run_scenario
+
+
+class TestRunRequest:
+    def test_kind_is_validated(self):
+        with pytest.raises(ApiError, match="unknown request kind"):
+            RunRequest(kind="magic")
+        assert set(KINDS) == {"experiment", "sweep", "comparison", "throughput", "scenario"}
+
+    def test_per_kind_required_fields(self):
+        with pytest.raises(ApiError, match="requires 'workload'"):
+            RunRequest(kind="experiment", algorithm="bsp")
+        with pytest.raises(ApiError, match="requires 'grid'"):
+            RunRequest(kind="sweep", workload="deep_mlp", algorithm="selsync")
+        with pytest.raises(ApiError, match="methods"):
+            RunRequest(kind="comparison")
+        with pytest.raises(ApiError, match="workloads"):
+            RunRequest(kind="throughput")
+        with pytest.raises(ApiError, match="requires 'scenario'"):
+            RunRequest(kind="scenario")
+
+    def test_kinds_reject_foreign_fields(self):
+        with pytest.raises(ApiError, match="does not accept"):
+            RunRequest(kind="experiment", workload="resnet101", algorithm="bsp",
+                       grid={"delta": [0.1]})
+        with pytest.raises(ApiError, match="does not accept"):
+            RunRequest(kind="scenario", scenario="quickstart", workload="resnet101")
+        with pytest.raises(ApiError, match="does not accept"):
+            RunRequest(kind="throughput", options={"workloads": ["resnet101"]},
+                       iterations=5)
+
+    def test_run_settings_bounds(self):
+        with pytest.raises(ApiError, match="num_workers"):
+            RunRequest(kind="experiment", workload="resnet101", algorithm="bsp",
+                       num_workers=0)
+        with pytest.raises(ApiError, match="seed"):
+            RunRequest(kind="experiment", workload="resnet101", algorithm="bsp", seed=-1)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ApiError, match="unknown request fields"):
+            RunRequest.from_dict({"kind": "experiment", "workload": "resnet101",
+                                  "algorithm": "bsp", "turbo": True})
+
+    def test_to_dict_round_trips(self):
+        request = RunRequest(kind="sweep", workload="deep_mlp", algorithm="selsync",
+                             grid={"delta": [0.1, 0.3]}, num_workers=2, iterations=6)
+        clone = RunRequest.from_dict(request.to_dict())
+        assert clone == request
+
+    def test_deep_validation_catches_scenario_level_errors(self):
+        request = RunRequest(kind="sweep", workload="deep_mlp", algorithm="selsync",
+                             grid={"seed": [1, 2]})  # reserved run setting
+        with pytest.raises((ApiError, ScenarioError)):
+            request.validate()
+        with pytest.raises((ApiError, ScenarioError), match="stacked"):
+            RunRequest(kind="scenario", scenario="table1-comparison",
+                       stacked=True).validate()
+        with pytest.raises((ApiError, ScenarioError), match="analytic"):
+            RunRequest(kind="scenario", scenario="fig1a-throughput",
+                       iterations=5).validate()
+
+
+class TestDeprecatedAliases:
+    def test_aliases_warn_and_canonicalize(self):
+        with pytest.warns(DeprecationWarning, match="workers"):
+            out = apply_aliases({"workers": 4})
+        assert out == {"num_workers": 4}
+        with pytest.warns(DeprecationWarning, match="algo"):
+            assert apply_aliases({"algo": "bsp"}) == {"algorithm": "bsp"}
+        with pytest.warns(DeprecationWarning, match="fixed"):
+            assert apply_aliases({"fixed": {"delta": 0.1}}) == {"params": {"delta": 0.1}}
+
+    def test_alias_plus_canonical_is_ambiguous(self):
+        with pytest.raises(ApiError, match="use 'num_workers' only"):
+            apply_aliases({"workers": 4, "num_workers": 2})
+
+    def test_run_kwargs_accept_aliases(self):
+        with pytest.warns(DeprecationWarning):
+            request = RunRequest.from_dict({
+                "kind": "experiment", "workload": "resnet101", "algo": "bsp",
+                "workers": 2, "iterations": 4,
+            })
+        assert request.algorithm == "bsp" and request.num_workers == 2
+
+
+class TestRequestFromAction:
+    def test_scenario_action_maps_name(self):
+        request = request_from_action("scenario", {"name": "quickstart", "iterations": 9})
+        assert request.kind == "scenario"
+        assert request.scenario == "quickstart"
+        assert request.iterations == 9
+
+    def test_scenario_action_requires_name(self):
+        with pytest.raises(ApiError, match="name"):
+            request_from_action("scenario", {"iterations": 9})
+
+    def test_extra_keys_fold_into_options(self):
+        request = request_from_action("comparison", {
+            "methods": {"a": ["bsp", {}]}, "workloads": ["resnet101"],
+            "iterations": 6, "use_convergence": False,
+        })
+        assert request.iterations == 6
+        assert request.options == {
+            "methods": {"a": ["bsp", {}]},
+            "workloads": ["resnet101"],
+            "use_convergence": False,
+        }
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ApiError, match="unknown action"):
+            request_from_action("frobnicate", {})
+
+
+class TestRunExecution:
+    def test_experiment_kind_matches_run_experiment(self):
+        request = RunRequest(kind="experiment", workload="resnet101", algorithm="selsync",
+                             params={"delta": 0.3}, num_workers=2, iterations=6,
+                             seed=3, eval_every=2)
+        out = run(request)
+        direct = run_experiment("resnet101", "selsync", num_workers=2, iterations=6,
+                                seed=3, eval_every=2, delta=0.3)
+        assert out.kind == "experiment"
+        assert out.label == direct.algorithm
+        assert len(out.records) == 1
+        record = out.records[0]
+        assert record["params"] == {"delta": 0.3}
+        assert record["metrics"]["final_loss"] == direct.result.final_loss
+        assert record["metrics"]["best_metric"] == direct.result.best_metric
+        assert record["metrics"]["communication_bytes"] == direct.result.communication_bytes
+        assert out.results["run"].final_loss == direct.result.final_loss
+        assert out.meta["eval_every"] == 2 and out.meta["seed"] == 3
+
+    def test_scenario_kind_matches_run_scenario(self):
+        out = run(RunRequest(kind="scenario", scenario="fig1a-throughput"))
+        direct = run_scenario("fig1a-throughput").to_dict()
+        assert [r for r in out.records] == direct["records"]
+        assert out.report is not None and out.report.kind == "throughput"
+
+    def test_sweep_kind_builds_adhoc_scenario(self):
+        out = run(RunRequest(kind="sweep", workload="resnet101", algorithm="selsync",
+                             grid={"delta": [0.0, 1e9]}, num_workers=2, iterations=6,
+                             batch_size=8))
+        assert out.kind == "sweep"
+        assert [r["params"]["delta"] for r in out.records] == [0.0, 1e9]
+        assert out.meta["name"] == "adhoc-sweep"
+
+    def test_comparison_kind_defaults_baseline_to_first_method(self):
+        out = run(RunRequest(kind="comparison", num_workers=2, iterations=6,
+                             options={
+                                 "methods": {"mine": ["selsync", {"delta": 0.3}],
+                                             "bsp-ref": ["bsp", {}]},
+                                 "workloads": ["resnet101"],
+                                 "use_convergence": False,
+                             }))
+        assert len(out.records) == 2
+        assert out.meta["baseline"] == "mine"
+
+    def test_run_kwargs_shorthand(self):
+        out = run(kind="throughput", options={"workloads": ["resnet101"],
+                                              "worker_counts": [1, 2]})
+        assert [r["params"]["workers"] for r in out.records] == [1, 2]
+
+    def test_request_plus_kwargs_is_an_error(self):
+        request = RunRequest(kind="scenario", scenario="fig1a-throughput")
+        with pytest.raises(ApiError, match="not both"):
+            run(request, kind="scenario")
+
+    def test_cancel_check_aborts_before_work(self):
+        request = RunRequest(kind="experiment", workload="resnet101", algorithm="bsp",
+                             iterations=4, num_workers=2)
+        with pytest.raises(RunCancelled):
+            run(request, cancel_check=lambda: True)
+        with pytest.raises(RunCancelled):
+            # comparison scenarios poll between method runs; the first poll
+            # fires before any training happens
+            run(RunRequest(kind="scenario", scenario="quickstart"),
+                cancel_check=lambda: True)
+
+    def test_result_to_dict_is_json_ready(self):
+        import json
+
+        out = run(kind="throughput", options={"workloads": ["resnet101"]})
+        payload = out.to_dict()
+        json.dumps(payload)  # must not raise
+        assert payload["kind"] == "throughput"
+        assert payload["records"] == out.records

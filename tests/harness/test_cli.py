@@ -114,3 +114,95 @@ class TestScenarioCommand:
         # Analytic throughput scenarios reject training overrides.
         assert main(["scenario", "fig1a-throughput", "--workers", "8"]) == 2
         assert "analytic" in capsys.readouterr().err
+
+
+class TestScenarioExitCodes:
+    def test_scenario_error_writes_structured_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "error.json"
+        assert main(["scenario", "not-a-scenario", "--json", str(path)]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+        payload = json.loads(path.read_text())
+        assert payload["error"]["code"] == "scenario_error"
+        assert payload["error"]["scenario"] == "not-a-scenario"
+        assert "unknown scenario" in payload["error"]["message"]
+
+    def test_exit_codes_are_a_stable_contract(self):
+        from repro.harness.cli import EXIT_PARITY_FAILURE, EXIT_SCENARIO_ERROR
+
+        assert EXIT_SCENARIO_ERROR == 2
+        assert EXIT_PARITY_FAILURE == 3
+
+    def test_parity_failure_exits_nonzero_with_json(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        import repro.scenarios.runner as runner_module
+
+        monkeypatch.setattr(runner_module, "_exact_match", lambda *a, **k: False)
+        path = tmp_path / "parity.json"
+        code = main([
+            "scenario", "deep-mlp-delta-n64", "--iterations", "4",
+            "--workers", "4", "--json", str(path),
+        ])
+        assert code == 3
+        assert "endpoint parity verification failed" in capsys.readouterr().err
+        payload = json.loads(path.read_text())
+        assert payload["error"]["code"] == "endpoint_parity_failure"
+        assert payload["error"]["failed_anchors"]
+
+
+class TestServeAndSubmit:
+    def test_serve_and_submit_parsers(self):
+        from repro.harness.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0", "--db", ":memory:"])
+        assert args.port == 0 and args.db == ":memory:"
+        args = parser.parse_args(["submit", "scenario", '{"name": "quickstart"}'])
+        assert args.action == "scenario" and args.url.startswith("http://")
+
+    def test_submit_round_trip_against_live_service(self, capsys, tmp_path):
+        import json
+
+        from repro.service import ExperimentService, QuotaManager
+
+        service = ExperimentService(
+            port=0, workers=1, quotas=QuotaManager(max_active_jobs=None, rate=None)
+        )
+        service.start()
+        try:
+            out_path = tmp_path / "result.json"
+            code = main([
+                "submit", "throughput",
+                '{"workloads": ["resnet101"], "worker_counts": [1, 2]}',
+                "--url", service.url, "--wait", "--json", str(out_path),
+            ])
+            assert code == 0
+            payload = json.loads(out_path.read_text())
+            assert payload["job"]["state"] == "DONE"
+            assert len(payload["records"]) == 2
+        finally:
+            service.stop()
+
+    def test_submit_validation_error_exits_2(self, capsys):
+        from repro.service import ExperimentService, QuotaManager
+
+        service = ExperimentService(
+            port=0, workers=1, quotas=QuotaManager(max_active_jobs=None, rate=None)
+        )
+        service.start()
+        try:
+            code = main(["submit", "sweep", '{"bogus": true}', "--url", service.url])
+            assert code == 2
+            assert "bad_request" in capsys.readouterr().err
+        finally:
+            service.stop()
+
+    def test_submit_unreachable_service_exits_2(self, capsys):
+        code = main([
+            "submit", "scenario", '{"name": "quickstart"}',
+            "--url", "http://127.0.0.1:9",  # discard port: nothing listens
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
