@@ -1,250 +1,65 @@
-"""Compare two BENCH_engine.json files and flag steps/sec regressions.
+"""Deprecated shim over :mod:`repro.results.compare`.
 
-Used by the CI perf job: the checked-in ``BENCH_engine.json`` (captured
-before the job deletes it) is the *baseline*, the freshly measured file is
-the *current* run.  Every numeric leaf that lives under a ``steps_per_sec``
-key (or whose own key ends in ``steps_per_sec``) is compared; a drop larger
-than ``--max-regression`` (default 25%) on any shared key fails the script.
+The comparison logic this script accreted over PRs 3–7 now lives in
+:mod:`repro.results.compare`, behind the ``repro bench compare``
+subcommand — one uniform ``(kind, baseline, current | --store)`` interface
+for all three artifact families instead of this script's flag zoo::
 
-``--scenario-baseline`` / ``--scenario-current`` optionally add the same
-comparison for a pair of ``BENCH_scenarios.json`` files: the
-``stacked_sweep`` section's sequential / stacked steps-per-sec rows, plus a
-synthesized ``<scenario>.sweep_steps_per_sec`` row for every scenario report
-that recorded its sweep wall-clock (total trainer steps across the grid over
-``meta.sweep_wall_seconds``).  The current file's stacked-vs-sequential
-speedups are also rendered as their own (dimensionless, hence
-hardware-insensitive) markdown table.
+    repro bench compare engine BENCH_engine_base.json BENCH_engine.json
+    repro bench compare scenarios base.json current.json
+    repro bench compare service base.json current.json
+    repro bench compare engine BENCH_engine.json --store bench_history.sqlite3
 
-A per-key delta table is printed as GitHub-flavoured markdown on stdout and,
-when the ``GITHUB_STEP_SUMMARY`` environment variable is set, appended to
-the job summary.  Keys present in only one file are listed but never fail
-the comparison (per-PR CI measures only the perf-smoke sections; the
-nightly sweep owns ``scale_sweep``).
-
-Absolute steps/sec are hardware sensitive: a shared CI runner measures
-lower than the machine that produced the checked-in baseline, which is why
-the perf job stays ``continue-on-error`` and the threshold is generous.
-Treat a red comparison as a prompt to look at the *relative* speedup
-sections (which are dimensionless) before blaming a change.
-
-``--service-baseline`` / ``--service-current`` add the comparison for a
-pair of ``BENCH_service.json`` files (the experiment-service load benchmark,
-``benchmarks/service_load.py``): submit/e2e latency p50/p99 compared
-*lower-is-better*, so growth beyond ``--max-regression`` (>25% p99 by
-default) fails exactly like a steps/sec drop on the engine side.  The
-current run's sustained jobs/sec is reported as an informational line.
-
-Usage::
-
-    python benchmarks/compare_bench.py baseline.json current.json \
-        [--scenario-baseline BENCH_scenarios_base.json] \
-        [--scenario-current BENCH_scenarios.json] \
-        [--service-baseline BENCH_service_base.json] \
-        [--service-current BENCH_service.json] \
-        [--max-regression 0.25]
+This file re-exports the public helpers (``compare``, ``load_metrics``,
+``load_scenario_metrics``, ``stacked_speedup_table``, ``load_service_metrics``,
+``service_throughput_line``) and keeps the old CLI working, with a
+:class:`DeprecationWarning` on both paths.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
+import warnings
 from pathlib import Path
-from typing import Dict, Tuple
 
+from repro.results.compare import (  # noqa: F401 — re-exported compatibility surface
+    _collect_steps_per_sec,
+    compare,
+    load_metrics,
+    load_scenario_metrics,
+    load_service_metrics,
+    service_throughput_line,
+    stacked_speedup_table,
+)
 
-def _collect_steps_per_sec(node, prefix: str = "", in_sps: bool = False) -> Dict[str, float]:
-    """Flatten every numeric leaf governed by a ``steps_per_sec`` key."""
-    out: Dict[str, float] = {}
-    if isinstance(node, dict):
-        for key, value in node.items():
-            path = f"{prefix}.{key}" if prefix else key
-            owns = in_sps or key == "steps_per_sec" or key.endswith("steps_per_sec")
-            out.update(_collect_steps_per_sec(value, path, owns))
-    elif isinstance(node, (int, float)) and not isinstance(node, bool) and in_sps:
-        out[prefix] = float(node)
-    return out
-
-
-def load_metrics(path: Path) -> Dict[str, float]:
-    return _collect_steps_per_sec(json.loads(path.read_text()))
-
-
-def _scenario_sweep_rate(summary: dict) -> float | None:
-    """Total trainer steps across the grid per second of sweep wall-clock."""
-    meta = summary.get("meta") or {}
-    wall = meta.get("sweep_wall_seconds")
-    records = summary.get("records") or []
-    iterations = meta.get("iterations")
-    if not wall or not records or not iterations:
-        return None
-    return iterations * len(records) / wall
-
-
-def load_scenario_metrics(path: Path) -> Dict[str, float]:
-    """Flatten a BENCH_scenarios.json file into comparable steps/sec rows.
-
-    Includes every ``steps_per_sec`` leaf (the ``stacked_sweep`` section's
-    sequential / stacked rates) plus one synthesized
-    ``<scenario>.sweep_steps_per_sec`` row per scenario report.
-    """
-    report = json.loads(path.read_text())
-    metrics = _collect_steps_per_sec(report)
-    for name, summary in report.items():
-        if not isinstance(summary, dict):
-            continue
-        rate = _scenario_sweep_rate(summary)
-        if rate is not None:
-            metrics[f"{name}.sweep_steps_per_sec"] = rate
-    return metrics
-
-
-def stacked_speedup_table(path: Path) -> str:
-    """Markdown table of the current stacked-vs-sequential speedups.
-
-    Speedups are dimensionless, so unlike raw steps/sec they transfer
-    between hosts; an empty string is returned when the file has no
-    ``stacked_sweep`` section.
-    """
-    report = json.loads(path.read_text())
-    section = report.get("stacked_sweep") or {}
-    scenarios = section.get("scenarios") or {}
-    if not scenarios:
-        return ""
-    lines = [
-        "### Stacked sweep executor: fused vs sequential",
-        "",
-        "| scenario | sequential (s) | stacked (s) | speedup | exact parity |",
-        "| --- | ---: | ---: | ---: | :--- |",
-    ]
-    for name in sorted(scenarios):
-        row = scenarios[name]
-        lines.append(
-            f"| {name} | {row['sequential_seconds']:.2f} | "
-            f"{row['stacked_seconds']:.2f} | {row['speedup']:.2f}x | "
-            f"{'yes' if row.get('exact_parity') else 'NO'} |"
-        )
-    cores = (section.get("config") or {}).get("cpu_count")
-    lines.append("")
-    lines.append(f"Measured on a host with {cores} cores.")
-    return "\n".join(lines)
-
-
-def load_service_metrics(path: Path) -> Dict[str, float]:
-    """Flatten a BENCH_service.json file into comparable latency rows.
-
-    Only the latency percentiles gate (lower is better); ``jobs_per_sec``
-    is tracked in the same table but as a higher-is-better row would invert
-    the comparison, so it is reported via :func:`service_throughput_line`
-    instead.
-    """
-    report = json.loads(path.read_text())
-    load = report.get("load") or {}
-    metrics: Dict[str, float] = {}
-    for section in ("submit_latency_ms", "e2e_latency_ms"):
-        for quantile in ("p50", "p99"):
-            value = (load.get(section) or {}).get(quantile)
-            if value is not None:
-                metrics[f"{section}.{quantile}"] = float(value)
-    return metrics
-
-
-def service_throughput_line(path: Path) -> str:
-    """One informational line for the current run's sustained throughput."""
-    load = (json.loads(path.read_text()) or {}).get("load") or {}
-    if not load:
-        return ""
-    return (
-        f"Current sustained throughput: {load.get('jobs_per_sec', 0)} jobs/s "
-        f"({load.get('completed_jobs', 0)}/{load.get('total_jobs', 0)} jobs, "
-        f"{load.get('failures', 0)} failures)."
-    )
-
-
-def compare(
-    baseline: Dict[str, float],
-    current: Dict[str, float],
-    max_regression: float,
-    title: str = "### Engine perf: baseline vs current (steps/sec)",
-    lower_is_better: bool = False,
-) -> Tuple[str, bool]:
-    """Render the delta table; returns (markdown, any_regression_beyond_limit).
-
-    ``lower_is_better=True`` flips the regression direction for latency-style
-    metrics: growth beyond ``max_regression`` fails instead of shrinkage.
-    """
-    shared = sorted(set(baseline) & set(current))
-    only_baseline = sorted(set(baseline) - set(current))
-    only_current = sorted(set(current) - set(baseline))
-
-    lines = [
-        title,
-        "",
-        "| key | baseline | current | delta | status |",
-        "| --- | ---: | ---: | ---: | :--- |",
-    ]
-    failed = False
-    for key in shared:
-        base, cur = baseline[key], current[key]
-        delta = (cur - base) / base if base else float("inf")
-        if lower_is_better:
-            regressed = delta > max_regression
-            improved = delta <= 0
-        else:
-            regressed = delta < -max_regression
-            improved = delta >= 0
-        failed |= regressed
-        status = "REGRESSION" if regressed else ("ok" if improved else "ok (within limit)")
-        lines.append(f"| {key} | {base:.1f} | {cur:.1f} | {delta:+.1%} | {status} |")
-    for key in only_baseline:
-        lines.append(f"| {key} | {baseline[key]:.1f} | — | — | not measured in this run |")
-    for key in only_current:
-        lines.append(f"| {key} | — | {current[key]:.1f} | — | new key |")
-    lines.append("")
-    direction = "above" if lower_is_better else "below"
-    lines.append(
-        f"Regression limit: {max_regression:.0%} {direction} baseline "
-        f"({'FAILED' if failed else 'passed'})."
-    )
-    return "\n".join(lines), failed
+warnings.warn(
+    "benchmarks/compare_bench.py is deprecated; use `repro bench compare` "
+    "(repro.results.compare) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 
 def main(argv=None) -> int:
+    """Old flag-zoo CLI, forwarded onto :mod:`repro.results.compare`."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", type=Path, help="checked-in BENCH_engine.json")
     parser.add_argument("current", type=Path, help="freshly measured BENCH_engine.json")
-    parser.add_argument(
-        "--max-regression",
-        type=float,
-        default=0.25,
-        help="fractional steps/sec drop that fails the job (default 0.25)",
-    )
-    parser.add_argument(
-        "--scenario-baseline",
-        type=Path,
-        default=None,
-        help="checked-in BENCH_scenarios.json to compare against",
-    )
-    parser.add_argument(
-        "--scenario-current",
-        type=Path,
-        default=None,
-        help="freshly measured BENCH_scenarios.json",
-    )
-    parser.add_argument(
-        "--service-baseline",
-        type=Path,
-        default=None,
-        help="checked-in BENCH_service.json to compare against",
-    )
-    parser.add_argument(
-        "--service-current",
-        type=Path,
-        default=None,
-        help="freshly measured BENCH_service.json",
-    )
+    parser.add_argument("--max-regression", type=float, default=0.25)
+    parser.add_argument("--scenario-baseline", type=Path, default=None)
+    parser.add_argument("--scenario-current", type=Path, default=None)
+    parser.add_argument("--service-baseline", type=Path, default=None)
+    parser.add_argument("--service-current", type=Path, default=None)
     args = parser.parse_args(argv)
+
+    warnings.warn(
+        "`python benchmarks/compare_bench.py ...` is deprecated; use "
+        "`repro bench compare <kind> <baseline> <current>` instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
 
     if not args.baseline.exists():
         print(f"no baseline at {args.baseline}; nothing to compare against")

@@ -26,6 +26,15 @@ kwargs).  This module unifies them behind one request/response shape:
 ``run`` accepts an optional ``cancel_check`` callable polled between runs
 (see :class:`~repro.scenarios.runner.RunCancelled`), which the service's
 task manager uses for cooperative job cancellation.
+
+Provenance and persistence: ``run`` is the one place run identity is
+computed — every :class:`RunResult` carries ``run_id`` / ``config_hash`` /
+``git_sha`` / ``started_at`` (see :mod:`repro.results.provenance`), stamped
+into ``meta["provenance"]`` so store keys, service job records and JSON
+artifacts all agree.  Passing ``record_to=`` (a path or
+:class:`~repro.results.store.ResultsStore`) appends the finished result to
+the persistent run store; the service task manager turns this on by
+default so HTTP jobs and direct runs land in the same history.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.algorithms.base import TrainingResult
+from repro.results.provenance import Provenance, build_provenance
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.runner import (
     RunCancelled,
@@ -388,6 +398,10 @@ class RunResult:
     ``results`` keeps the raw :class:`~repro.algorithms.base.TrainingResult`
     objects (never serialized); ``report`` is the underlying
     :class:`~repro.scenarios.runner.ScenarioReport` when one exists.
+
+    ``run_id`` / ``config_hash`` / ``git_sha`` / ``started_at`` are the
+    stable provenance fields :func:`run` stamps on every result — the keys
+    the persistent run store (:mod:`repro.results`) files it under.
     """
 
     kind: str
@@ -397,6 +411,10 @@ class RunResult:
     endpoints: Dict[str, Any] = field(default_factory=dict)
     results: Dict[str, TrainingResult] = field(default_factory=dict)
     report: Optional[ScenarioReport] = None
+    run_id: Optional[str] = None
+    config_hash: Optional[str] = None
+    git_sha: Optional[str] = None
+    started_at: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (drops the raw result objects)."""
@@ -406,6 +424,13 @@ class RunResult:
             "meta": dict(self.meta),
             "records": [dict(record) for record in self.records],
         }
+        if self.run_id is not None:
+            payload["provenance"] = {
+                "run_id": self.run_id,
+                "config_hash": self.config_hash,
+                "git_sha": self.git_sha,
+                "started_at": self.started_at,
+            }
         if self.endpoints:
             payload["endpoints"] = self.endpoints
         return payload
@@ -510,10 +535,35 @@ def _from_report(kind: str, report: ScenarioReport) -> RunResult:
     )
 
 
+def _store_scenario_key(request: RunRequest, result: RunResult) -> str:
+    """The run-store scenario name one result is filed under.
+
+    Registered scenarios keep their registry name; ad-hoc kinds use the
+    report's name (``adhoc-sweep``, …); single experiments get a
+    deterministic ``experiment/<workload>/<algorithm>`` key so repeated runs
+    of the same pair form one trend series.
+    """
+    if request.kind == "scenario":
+        return str(request.scenario)
+    if request.kind == "experiment":
+        return f"experiment/{request.workload}/{request.algorithm}"
+    return str(result.meta.get("name") or result.label)
+
+
+def _stamp_provenance(result: RunResult, provenance: Provenance) -> RunResult:
+    result.run_id = provenance.run_id
+    result.config_hash = provenance.config_hash
+    result.git_sha = provenance.git_sha
+    result.started_at = provenance.started_at
+    result.meta["provenance"] = provenance.to_dict()
+    return result
+
+
 def run(
     request: Optional[RunRequest] = None,
     *,
     cancel_check: Optional[Callable[[], bool]] = None,
+    record_to: Optional[Any] = None,
     **kwargs: Any,
 ) -> RunResult:
     """Execute one submission of any kind and return its :class:`RunResult`.
@@ -523,15 +573,24 @@ def run(
     passed through :func:`apply_aliases` — deprecated spellings work but
     warn.  ``cancel_check`` is polled between runs; see
     :class:`~repro.scenarios.runner.RunCancelled`.
+
+    ``record_to`` (a path or :class:`~repro.results.store.ResultsStore`)
+    appends the finished result to the persistent run store under the
+    provenance key stamped on the result, making it queryable via
+    ``repro scenario history`` and the service's ``GET /v1/history``.
     """
     if request is None:
         request = RunRequest.from_dict(kwargs)
     elif kwargs:
         raise ApiError("pass either a RunRequest or keyword arguments, not both")
+    # One place computes run identity: the config hash covers the canonical
+    # request (so a service submission and a local call of the same request
+    # hash identically), the timestamp is taken before training starts.
+    provenance = build_provenance(request.to_dict())
     if request.kind == "experiment":
         request.validate()
-        return _run_experiment_kind(request, cancel_check)
-    if request.kind == "scenario":
+        result = _run_experiment_kind(request, cancel_check)
+    elif request.kind == "scenario":
         request.validate()
         report = run_scenario(
             request.scenario,
@@ -542,7 +601,22 @@ def run(
             max_stacked_rows=request.max_stacked_rows,
             cancel_check=cancel_check,
         )
-        return _from_report("scenario", report)
-    scenario = request._build_scenario()
-    report = run_scenario(scenario, cancel_check=cancel_check)
-    return _from_report(request.kind, report)
+        result = _from_report("scenario", report)
+    else:
+        scenario = request._build_scenario()
+        report = run_scenario(scenario, cancel_check=cancel_check)
+        result = _from_report(request.kind, report)
+    _stamp_provenance(result, provenance)
+    if record_to is not None:
+        from repro.results import record_run_payload
+
+        record_run_payload(
+            record_to,
+            scenario=_store_scenario_key(request, result),
+            kind=result.kind,
+            records=result.records,
+            meta=result.meta,
+            tags=tuple(result.meta.get("tags", ())),
+            provenance=provenance,
+        )
+    return result

@@ -34,6 +34,20 @@ Serve the experiment service and submit jobs to it over HTTP (see
 
     python -m repro.harness.cli serve --port 8080 --db jobs.sqlite3
     python -m repro.harness.cli submit scenario '{"name": "quickstart"}' --wait
+
+Record runs to the persistent history and inspect their trends (see
+:mod:`repro.results`)::
+
+    python -m repro.harness.cli scenario quickstart --record results.sqlite3
+    python -m repro.harness.cli scenario history                # list scenarios
+    python -m repro.harness.cli scenario history quickstart --metrics lssr
+
+Compare benchmark artifacts — two-point or against the rolling stored
+baseline (the one engine behind the old ``benchmarks/compare_bench.py``)::
+
+    python -m repro.harness.cli bench compare engine baseline.json current.json
+    python -m repro.harness.cli bench compare engine current.json \
+        --store bench_history.sqlite3
 """
 
 from __future__ import annotations
@@ -172,10 +186,80 @@ def _emit_json_error(path: Optional[str], *, code: str, message: str, **extra: o
     print(f"[error report written to {path}]", file=sys.stderr)
 
 
+def _parse_where(pairs: Optional[Sequence[str]]) -> Optional[Dict[str, object]]:
+    """Parse repeated ``--where key=value`` filters (values parsed as JSON)."""
+    if not pairs:
+        return None
+    where: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"error: --where expects key=value, got {pair!r}")
+        try:
+            where[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            where[key] = raw
+    return where
+
+
+def _cmd_scenario_history(args: argparse.Namespace) -> int:
+    """``repro scenario history [SCENARIO]`` — render stored trend series."""
+    import os
+
+    from repro.harness.reporting import trend_table
+    from repro.results import history_payload, open_store
+
+    if args.extra is None and not os.path.exists(args.store):
+        print(f"error: no results store at {args.store!r} "
+              "(record runs with --record or repro serve first)", file=sys.stderr)
+        return EXIT_SCENARIO_ERROR
+    handle, owns = open_store(args.store)
+    try:
+        if args.extra is None:
+            names = handle.scenarios()
+            print(format_table(
+                ["scenario"], [[name] for name in names],
+                title=f"recorded scenarios in {args.store}",
+            ))
+            return 0
+        payload = history_payload(
+            handle,
+            args.extra,
+            metrics=[m.strip() for m in args.metrics.split(",") if m.strip()]
+            if args.metrics else None,
+            where=_parse_where(args.where),
+            last=args.last,
+        )
+        if not payload["series"]:
+            print(f"error: no recorded history for scenario {args.extra!r} "
+                  f"in {args.store}", file=sys.stderr)
+            _emit_json_error(args.json, code="no_history",
+                             message=f"no recorded history for {args.extra!r}",
+                             scenario=args.extra)
+            return EXIT_SCENARIO_ERROR
+        tables = [
+            trend_table(metric, points, title=f"{args.extra}: {metric}")
+            for metric, points in payload["series"].items()
+        ]
+        print("\n\n".join(tables))
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"[history written to {args.json}]", file=sys.stderr)
+        return 0
+    finally:
+        if owns:
+            handle.close()
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from repro.api import ApiError, RunRequest, run as api_run
     from repro.scenarios import ScenarioError, get_scenario, scenario_names
 
+    # "history" is a reserved subcommand-style name: the optional second
+    # positional is the scenario whose stored trends to show.
+    if args.name == "history":
+        return _cmd_scenario_history(args)
     if args.name is None:
         rows = []
         for name in scenario_names(tag=args.tag):
@@ -194,7 +278,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             seed=args.seed,
             stacked=True if args.stacked else None,
             max_stacked_rows=args.max_stacked_rows,
-        ))
+        ), record_to=args.record)
     except (ApiError, ScenarioError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         _emit_json_error(args.json, code="scenario_error", message=str(exc),
@@ -229,6 +313,93 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_bench_output(output: str) -> None:
+    """Print the comparison and mirror it to the CI job summary when set."""
+    import os
+
+    print(output)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write(output + "\n")
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    """One uniform ``(kind, baseline, current | --store)`` comparison.
+
+    Two files → the classic two-point delta table; ``--store`` → rolling
+    median-of-last-K comparison against stored history (recording the
+    current rows unless ``--no-record``).  Both may run in one invocation;
+    the exit code is 1 if either gate fails.
+    """
+    from pathlib import Path
+
+    from repro.results.compare import BENCH_KINDS, compare, compare_store
+
+    recipe = BENCH_KINDS[args.kind]
+    baseline, current = args.baseline, args.current
+    if current is None:
+        baseline, current = None, baseline
+    if current is None:
+        print("error: a current benchmark file is required", file=sys.stderr)
+        return 2
+    if baseline is None and not args.store:
+        print("error: provide a baseline file, --store, or both", file=sys.stderr)
+        return 2
+    current = Path(current)
+    if not current.exists():
+        print(f"current results missing at {current}; benchmark did not write output")
+        return 1
+
+    sections = []
+    failed = False
+    if baseline is not None:
+        baseline = Path(baseline)
+        if not baseline.exists():
+            print(f"no baseline at {baseline}; nothing to compare against")
+        else:
+            table, two_point_failed = compare(
+                recipe.load(baseline),
+                recipe.load(current),
+                args.max_regression,
+                title=recipe.title,
+                lower_is_better=recipe.lower_is_better,
+            )
+            sections.append(table)
+            failed |= two_point_failed
+    if args.store:
+        table, confirmed = compare_store(
+            args.store,
+            args.kind,
+            current,
+            window=args.window,
+            min_consecutive=args.min_consecutive,
+            record=not args.no_record,
+            tags=tuple(args.tag or ()),
+        )
+        sections.append(table)
+        failed |= confirmed
+    sections.extend(recipe.extras(current))
+    _emit_bench_output("\n\n".join(sections))
+    return 1 if failed else 0
+
+
+def _cmd_bench_record(args: argparse.Namespace) -> int:
+    """Append one benchmark artifact's rows to the persistent run store."""
+    from pathlib import Path
+
+    from repro.results.compare import record_bench_file
+
+    current = Path(args.current)
+    if not current.exists():
+        print(f"error: no benchmark file at {current}", file=sys.stderr)
+        return 2
+    run = record_bench_file(args.store, args.kind, current, tags=tuple(args.tag or ()))
+    print(f"recorded {args.kind} rows from {current} as run {run.run_id} "
+          f"(git_sha={run.git_sha})")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import QuotaManager, serve
 
@@ -243,6 +414,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         db_path=args.db,
         workers=args.service_workers,
         quotas=quotas,
+        results_db=None if args.no_results_db else args.results_db,
     )
     return 0
 
@@ -325,9 +497,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_parser.add_argument(
         "name", nargs="?", default=None,
-        help="registered scenario name (omit to list scenarios)",
+        help="registered scenario name (omit to list scenarios; 'history' to "
+        "inspect the persistent run store)",
+    )
+    scenario_parser.add_argument(
+        "extra", nargs="?", default=None,
+        help="with 'history': the recorded scenario to show (omit to list)",
     )
     scenario_parser.add_argument("--tag", default=None, help="filter the listing by tag")
+    scenario_parser.add_argument(
+        "--record", default=None, metavar="DB",
+        help="append the finished run to this persistent results store",
+    )
+    scenario_parser.add_argument(
+        "--store", default="repro_results.sqlite3", metavar="DB",
+        help="results store queried by 'history' (default repro_results.sqlite3)",
+    )
+    scenario_parser.add_argument(
+        "--metrics", default=None,
+        help="with 'history': comma-separated metric restriction",
+    )
+    scenario_parser.add_argument(
+        "--last", type=int, default=None, metavar="K",
+        help="with 'history': keep only the most recent K runs per series",
+    )
+    scenario_parser.add_argument(
+        "--where", action="append", default=None, metavar="KEY=VALUE",
+        help="with 'history': restrict sweep records to one grid point "
+        "(repeatable)",
+    )
     scenario_parser.add_argument(
         "--iterations", type=int, default=None, help="override the scenario's iterations"
     )
@@ -378,7 +576,75 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--burst", type=float, default=20.0, help="per-tenant submission burst size"
     )
+    serve_parser.add_argument(
+        "--results-db", default="repro_results.sqlite3", metavar="DB",
+        help="persistent run-history store every finished job is appended to "
+        "(served back via GET /v1/history)",
+    )
+    serve_parser.add_argument(
+        "--no-results-db", action="store_true",
+        help="disable run-history recording and the /v1/history endpoints",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
+
+    bench_parser = sub.add_parser(
+        "bench", help="compare or record benchmark artifacts (see repro.results)"
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command", required=True)
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="two-point and/or rolling-store benchmark comparison",
+        description="repro bench compare KIND [BASELINE] CURRENT [--store DB]: "
+        "with two files, the classic two-point delta table; with --store, a "
+        "rolling median-of-last-K comparison that only fails on confirmed "
+        "(consecutive) regressions.",
+    )
+    bench_compare.add_argument("kind", choices=("engine", "scenarios", "service"))
+    bench_compare.add_argument(
+        "baseline", nargs="?", default=None,
+        help="baseline benchmark JSON (omit for store-only comparison)",
+    )
+    bench_compare.add_argument(
+        "current", nargs="?", default=None, help="freshly measured benchmark JSON"
+    )
+    bench_compare.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="two-point fractional regression limit (default 0.25)",
+    )
+    bench_compare.add_argument(
+        "--store", default=None, metavar="DB",
+        help="results store holding this kind's benchmark history",
+    )
+    bench_compare.add_argument(
+        "--window", type=int, default=5,
+        help="rolling-baseline window: median of the last K stored runs",
+    )
+    bench_compare.add_argument(
+        "--min-consecutive", type=int, default=2,
+        help="consecutive out-of-band runs required to confirm a regression",
+    )
+    bench_compare.add_argument(
+        "--no-record", action="store_true",
+        help="assess against the store without appending the current rows",
+    )
+    bench_compare.add_argument(
+        "--tag", action="append", default=None, help="tag recorded rows (repeatable)"
+    )
+    bench_compare.set_defaults(func=_cmd_bench_compare)
+
+    bench_record = bench_sub.add_parser(
+        "record", help="append one benchmark artifact's rows to the run store"
+    )
+    bench_record.add_argument("kind", choices=("engine", "scenarios", "service"))
+    bench_record.add_argument("current", help="benchmark JSON file to record")
+    bench_record.add_argument(
+        "--store", required=True, metavar="DB", help="results store to append to"
+    )
+    bench_record.add_argument(
+        "--tag", action="append", default=None, help="tag recorded rows (repeatable)"
+    )
+    bench_record.set_defaults(func=_cmd_bench_record)
 
     submit_parser = sub.add_parser(
         "submit", help="submit a job to a running experiment service"

@@ -103,6 +103,39 @@ def table1_headers() -> List[str]:
     ]
 
 
+def trend_table(metric: str, points: Sequence[Mapping[str, Any]], title: str = "") -> str:
+    """Render one stored metric trend (oldest first) as an aligned table.
+
+    ``points`` are :meth:`repro.results.store.ResultsStore.trend` entries;
+    ``repro scenario history`` renders one of these per metric so the CLI
+    shows exactly the series :func:`repro.results.history_payload` returns.
+    """
+    import datetime
+
+    rows = []
+    for i, point in enumerate(points):
+        started = point.get("started_at")
+        when = (
+            datetime.datetime.fromtimestamp(float(started)).strftime("%Y-%m-%d %H:%M")
+            if started is not None
+            else "-"
+        )
+        rows.append(
+            [
+                i + 1,
+                when,
+                str(point.get("git_sha", "-"))[:12],
+                str(point.get("config_hash", "-"))[:12],
+                point.get("value"),
+            ]
+        )
+    return format_table(
+        ["run", "started", "git_sha", "config", metric],
+        rows,
+        title=title or f"history: {metric}",
+    )
+
+
 def summarize_history(result: TrainingResult, max_points: int = 12) -> str:
     """Compact rendering of a run's evaluation history (convergence curve)."""
     points = result.history

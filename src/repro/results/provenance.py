@@ -1,0 +1,136 @@
+"""Stable run identity, computed in one place.
+
+Every recorded run is keyed by four provenance fields:
+
+``run_id``
+    A fresh UUID per execution — two runs of the same configuration get
+    distinct ids.
+``config_hash``
+    A short SHA-256 digest of the *canonicalized* run configuration
+    (sorted-key JSON), so byte-identical submissions hash identically no
+    matter which layer built them — the store, the service job record and
+    the JSON artifact all agree on what "the same experiment" means.
+``git_sha``
+    The code version that produced the run: ``REPRO_GIT_SHA`` /
+    ``GITHUB_SHA`` when set (CI), otherwise ``git rev-parse HEAD``,
+    otherwise ``"unknown"`` (e.g. an installed wheel outside a checkout).
+``started_at``
+    POSIX timestamp taken when the run began.
+
+:func:`repro.api.run` is the single call site that stamps these onto every
+:class:`~repro.api.RunResult` (and into its ``meta`` block), so callers
+never invent their own identity scheme.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = [
+    "Provenance",
+    "build_provenance",
+    "config_hash",
+    "current_git_sha",
+    "new_run_id",
+]
+
+#: Hex digits kept from the SHA-256 digest — plenty for collision-free
+#: grouping of run configurations while staying readable in tables.
+_HASH_LENGTH = 16
+
+#: Environment variables consulted (in order) before shelling out to git.
+_SHA_ENV_VARS = ("REPRO_GIT_SHA", "GITHUB_SHA")
+
+_git_sha_cache: Optional[str] = None
+
+
+def new_run_id() -> str:
+    """A fresh, globally unique run id."""
+    return uuid.uuid4().hex
+
+
+def config_hash(config: Mapping[str, Any]) -> str:
+    """Short, stable digest of a run configuration mapping.
+
+    Canonicalizes with sorted-key JSON (non-JSON values fall back to
+    ``str``), so dict ordering and equivalent spellings of the same
+    submission produce the same hash.
+    """
+    canonical = json.dumps(dict(config), sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:_HASH_LENGTH]
+
+
+def current_git_sha() -> str:
+    """The git commit of the running code, or ``"unknown"``.
+
+    Cached after the first lookup; set ``REPRO_GIT_SHA`` to override (CI
+    sets ``GITHUB_SHA``, which is honoured too).
+    """
+    global _git_sha_cache
+    if _git_sha_cache is not None:
+        return _git_sha_cache
+    for var in _SHA_ENV_VARS:
+        value = os.environ.get(var, "").strip()
+        if value:
+            _git_sha_cache = value
+            return value
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+        sha = out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        sha = ""
+    _git_sha_cache = sha or "unknown"
+    return _git_sha_cache
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """The four identity fields every stored run carries."""
+
+    run_id: str
+    config_hash: str
+    git_sha: str
+    started_at: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "run_id": self.run_id,
+            "config_hash": self.config_hash,
+            "git_sha": self.git_sha,
+            "started_at": self.started_at,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Provenance":
+        return cls(
+            run_id=str(payload["run_id"]),
+            config_hash=str(payload["config_hash"]),
+            git_sha=str(payload["git_sha"]),
+            started_at=float(payload["started_at"]),
+        )
+
+
+def build_provenance(
+    config: Mapping[str, Any], *, clock=time.time
+) -> Provenance:
+    """Provenance for a run of ``config`` starting now."""
+    return Provenance(
+        run_id=new_run_id(),
+        config_hash=config_hash(config),
+        git_sha=current_git_sha(),
+        started_at=float(clock()),
+    )

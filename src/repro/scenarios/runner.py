@@ -128,7 +128,7 @@ class ScenarioReport:
 
     def _sweep_table(self) -> str:
         param_names = sorted({name for r in self.records for name in r.params})
-        metric_names = ["lssr", "best_metric", "final_loss", "sim_time_seconds"]
+        metric_names = ["lssr", "best_metric", "final_loss", "sim_time_seconds", "wall_seconds"]
         rows = []
         for record in self.records:
             cells: List[Any] = [
@@ -139,7 +139,11 @@ class ScenarioReport:
                 value = record.metrics.get(metric)
                 cells.append("-" if value is None else round(value, 4))
             rows.append(cells)
-        return format_table(param_names + metric_names, rows, title=self.title)
+        title = self.title
+        sweep_wall = self.meta.get("sweep_wall_seconds")
+        if sweep_wall is not None:
+            title = f"{title} (sweep wall {sweep_wall:.1f}s)"
+        return format_table(param_names + metric_names, rows, title=title)
 
     def _comparison_table(self) -> str:
         tables = []
@@ -472,6 +476,7 @@ def run_scenario(
     stacked: Optional[bool] = None,
     max_stacked_rows: Optional[int] = None,
     cancel_check=None,
+    record_to=None,
 ) -> ScenarioReport:
     """Execute a scenario (by object or registry name) and return its report.
 
@@ -490,6 +495,11 @@ def run_scenario(
     runs (each grid point, comparison method and endpoint anchor); when it
     returns ``True`` the execution stops by raising :class:`RunCancelled`.
     The experiment service uses this for cooperative job cancellation.
+
+    ``record_to`` (a path or :class:`~repro.results.store.ResultsStore`)
+    appends the finished report to the persistent run store (see
+    :func:`repro.results.record_report`), making it queryable via
+    ``repro scenario history``.  Cancelled or failed runs append nothing.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -513,18 +523,25 @@ def run_scenario(
         # replace() re-runs __post_init__, i.e. the stackability validation.
         scenario = dataclasses.replace(scenario, **overrides)
     if isinstance(scenario, ThroughputScenario):
-        return _run_throughput(scenario)
-    iterations = scenario.iterations if iterations is None else int(iterations)
-    num_workers = scenario.num_workers if num_workers is None else int(num_workers)
-    seed = scenario.seed if seed is None else int(seed)
-    if iterations < 1:
-        raise ScenarioError(f"iterations override must be >= 1, got {iterations}")
-    if num_workers < 1:
-        raise ScenarioError(f"num_workers override must be >= 1, got {num_workers}")
-    if seed < 0:
-        raise ScenarioError(f"seed override must be >= 0, got {seed}")
-    if isinstance(scenario, SweepScenario):
-        return _run_sweep(scenario, iterations, num_workers, seed, cancel_check)
-    if isinstance(scenario, ComparisonScenario):
-        return _run_comparison(scenario, iterations, num_workers, seed, cancel_check)
-    raise ScenarioError(f"unsupported scenario type {type(scenario).__name__}")
+        report = _run_throughput(scenario)
+    else:
+        iterations = scenario.iterations if iterations is None else int(iterations)
+        num_workers = scenario.num_workers if num_workers is None else int(num_workers)
+        seed = scenario.seed if seed is None else int(seed)
+        if iterations < 1:
+            raise ScenarioError(f"iterations override must be >= 1, got {iterations}")
+        if num_workers < 1:
+            raise ScenarioError(f"num_workers override must be >= 1, got {num_workers}")
+        if seed < 0:
+            raise ScenarioError(f"seed override must be >= 0, got {seed}")
+        if isinstance(scenario, SweepScenario):
+            report = _run_sweep(scenario, iterations, num_workers, seed, cancel_check)
+        elif isinstance(scenario, ComparisonScenario):
+            report = _run_comparison(scenario, iterations, num_workers, seed, cancel_check)
+        else:
+            raise ScenarioError(f"unsupported scenario type {type(scenario).__name__}")
+    if record_to is not None:
+        from repro.results import record_report
+
+        record_report(record_to, report)
+    return report

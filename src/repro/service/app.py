@@ -11,6 +11,9 @@ REST surface onto it::
     GET    /v1/jobs/<id>                  job status
     GET    /v1/jobs/<id>/records?offset=&limit=  result records
     POST   /v1/jobs/<id>/action           e.g. {"cancel": {}}
+    GET    /v1/history                    scenarios with recorded history
+    GET    /v1/history/<scenario>?metrics=&last=  per-metric trend series
+    GET    /v1/history/<scenario>/runs?marker=&limit=  stored runs (paginated)
 
 Tenancy is the ``X-Tenant`` request header (default ``"default"``) — enough
 to exercise real multi-tenant quota/rate-limit behaviour without inventing
@@ -34,6 +37,7 @@ from urllib.parse import parse_qs
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 from repro.api import run as api_run
+from repro.results.store import ResultsStore
 from repro.service.controller import ServiceController
 from repro.service.exceptions import BadRequest, NotFound, ServiceError
 from repro.service.quotas import QuotaManager
@@ -107,6 +111,29 @@ def make_wsgi_app(controller: ServiceController) -> Callable[..., Iterable[bytes
             raise _method_not_allowed(method, path)
 
         parts = path.lstrip("/").split("/")
+        if len(parts) >= 2 and parts[0] == "v1" and parts[1] == "history":
+            if method != "GET":
+                raise _method_not_allowed(method, path)
+            if len(parts) == 2:
+                return 200, controller.history_index(tenant)
+            # Scenario names may contain "/" (experiment/<workload>/<algo>),
+            # so everything after /v1/history/ up to a trailing "runs" is the
+            # scenario key.
+            if parts[-1] == "runs" and len(parts) > 3:
+                scenario = "/".join(parts[2:-1])
+                return 200, controller.history_runs(
+                    tenant,
+                    scenario,
+                    marker=query.get("marker"),
+                    limit=query.get("limit"),
+                )
+            scenario = "/".join(parts[2:])
+            return 200, controller.history_show(
+                tenant,
+                scenario,
+                metrics=query.get("metrics"),
+                last=query.get("last"),
+            )
         if len(parts) >= 3 and parts[0] == "v1" and parts[1] == "jobs":
             job_id = parts[2]
             if len(parts) == 3:
@@ -183,10 +210,18 @@ class ExperimentService:
         workers: int = 2,
         quotas: Optional[QuotaManager] = None,
         runner: Runner = api_run,
+        results_db: Optional[str] = None,
     ):
         self.store = JobStore(db_path)
-        self.taskmanager = TaskManager(self.store, workers=workers, runner=runner)
-        self.controller = ServiceController(self.store, self.taskmanager, quotas=quotas)
+        # The persistent run history every finished job is appended to, and
+        # the /v1/history endpoints read from.  None disables both.
+        self.results = ResultsStore(results_db) if results_db is not None else None
+        self.taskmanager = TaskManager(
+            self.store, workers=workers, runner=runner, results_store=self.results
+        )
+        self.controller = ServiceController(
+            self.store, self.taskmanager, quotas=quotas, results=self.results
+        )
         self.app = make_wsgi_app(self.controller)
         self._host = host
         self._port = port
@@ -227,6 +262,8 @@ class ExperimentService:
             self._thread = None
         self.taskmanager.stop()
         self.store.close()
+        if self.results is not None:
+            self.results.close()
 
     def __enter__(self) -> "ExperimentService":
         return self.start()
@@ -242,10 +279,21 @@ def serve(
     db_path: str = "repro_jobs.sqlite3",
     workers: int = 2,
     quotas: Optional[QuotaManager] = None,
+    results_db: Optional[str] = "repro_results.sqlite3",
 ) -> None:
-    """Blocking entry point behind ``repro serve`` (Ctrl-C to stop)."""
+    """Blocking entry point behind ``repro serve`` (Ctrl-C to stop).
+
+    ``results_db`` defaults ON: every finished job is appended to the
+    persistent run history and served back via ``GET /v1/history``.  Pass
+    ``None`` (CLI: ``--no-results-db``) to disable recording.
+    """
     service = ExperimentService(
-        db_path=db_path, host=host, port=port, workers=workers, quotas=quotas
+        db_path=db_path,
+        host=host,
+        port=port,
+        workers=workers,
+        quotas=quotas,
+        results_db=results_db,
     )
     service.taskmanager.start()
     server = make_server(
@@ -253,7 +301,7 @@ def serve(
     )
     service._server = server
     print(f"repro service listening on http://{host}:{server.server_address[1]} "
-          f"(db={db_path}, workers={workers})")
+          f"(db={db_path}, results_db={results_db}, workers={workers})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -262,3 +310,5 @@ def serve(
         server.server_close()
         service.taskmanager.stop()
         service.store.close()
+        if service.results is not None:
+            service.results.close()

@@ -13,7 +13,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Iterator, Mapping, Optional
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Union
 from urllib.parse import urlencode
 
 from repro.service.jobs import TERMINAL_STATES
@@ -123,6 +123,45 @@ class ServiceClient:
             offset += page["count"]
             if page["count"] == 0 or offset >= page["total"]:
                 return
+
+    def history_scenarios(self) -> Dict[str, Any]:
+        """Scenarios with recorded run history (``GET /v1/history``)."""
+        return self._request("GET", "/v1/history")
+
+    def history(
+        self,
+        scenario: str,
+        *,
+        metrics: Optional[Union[str, Sequence[str]]] = None,
+        last: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """One scenario's trend series — the ``history_payload`` shape.
+
+        ``metrics`` restricts the series: a comma-separated string or a
+        sequence of metric names; ``last`` keeps only the most recent K
+        runs per series.
+        """
+        if metrics is not None and not isinstance(metrics, str):
+            metrics = ",".join(metrics)
+        return self._request(
+            "GET",
+            f"/v1/history/{scenario}",
+            params={"metrics": metrics, "last": last},
+        )
+
+    def history_runs(
+        self,
+        scenario: str,
+        *,
+        marker: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Marker-paginated stored runs of one scenario, oldest first."""
+        return self._request(
+            "GET",
+            f"/v1/history/{scenario}/runs",
+            params={"marker": marker, "limit": limit},
+        )
 
     def cancel(self, job_id: str) -> Dict[str, Any]:
         return self._request("POST", f"/v1/jobs/{job_id}/action", body={"cancel": {}})["job"]

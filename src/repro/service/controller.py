@@ -32,7 +32,7 @@ from typing import Any, Dict, Mapping, Optional
 from repro.api import ApiError, apply_aliases, request_from_action
 from repro.scenarios.registry import scenario_names
 from repro.scenarios.spec import ScenarioError
-from repro.service.exceptions import BadRequest
+from repro.service.exceptions import BadRequest, NotFound
 from repro.service.jobs import JOB_STATES
 from repro.service.quotas import QuotaManager
 from repro.service.schemas import SCHEMAS, get_action, validate_payload
@@ -67,10 +67,12 @@ class ServiceController:
         taskmanager: TaskManager,
         *,
         quotas: Optional[QuotaManager] = None,
+        results: Optional[Any] = None,
     ):
         self.store = store
         self.taskmanager = taskmanager
         self.quotas = quotas if quotas is not None else QuotaManager()
+        self.results = results
 
     # -- submissions --------------------------------------------------------- #
     def submit(self, tenant: str, body: Mapping[str, Any]) -> Dict[str, Any]:
@@ -147,6 +149,69 @@ class ServiceController:
             "total": total,
         }
 
+    # -- run history ---------------------------------------------------------- #
+    def _results_store(self) -> Any:
+        if self.results is None:
+            raise NotFound(
+                "run history is not enabled on this service "
+                "(start it with a results store, e.g. repro serve --results-db)"
+            )
+        return self.results
+
+    def history_index(self, _tenant: str) -> Dict[str, Any]:
+        """Every scenario with recorded history (global, not tenant-scoped)."""
+        return {"scenarios": self._results_store().scenarios()}
+
+    def history_show(
+        self,
+        _tenant: str,
+        scenario: str,
+        *,
+        metrics: Optional[str] = None,
+        last: Optional[Any] = None,
+    ) -> Dict[str, Any]:
+        """One scenario's trend series — the same payload the CLI renders.
+
+        Built by :func:`repro.results.history_payload`, which also backs
+        ``repro scenario history --json``; the two surfaces therefore return
+        identical series for the same store by construction.
+        """
+        store = self._results_store()
+        names = [m.strip() for m in metrics.split(",") if m.strip()] if metrics else None
+        last_value: Optional[int] = None
+        if last is not None:
+            try:
+                last_value = int(last)
+            except (TypeError, ValueError):
+                raise BadRequest(f"last must be an integer, got {last!r}") from None
+            if last_value < 1:
+                raise BadRequest(f"last must be >= 1, got {last_value}")
+        from repro.results import history_payload
+
+        payload = history_payload(store, scenario, metrics=names, last=last_value)
+        if not payload["series"]:
+            raise NotFound(f"no recorded history for scenario {scenario!r}")
+        return payload
+
+    def history_runs(
+        self,
+        _tenant: str,
+        scenario: str,
+        *,
+        marker: Optional[str] = None,
+        limit: Optional[Any] = None,
+    ) -> Dict[str, Any]:
+        """Marker-paginated stored runs of one scenario, oldest first."""
+        runs, next_marker = self._results_store().runs(
+            scenario=scenario,
+            marker=marker,
+            limit=_clamp_limit(limit, default=20),
+        )
+        body: Dict[str, Any] = {"runs": [run.to_dict() for run in runs]}
+        if next_marker is not None:
+            body["next_marker"] = next_marker
+        return body
+
     # -- job actions ---------------------------------------------------------- #
     def job_action(self, tenant: str, job_id: str, body: Mapping[str, Any]) -> Dict[str, Any]:
         """Dispatch ``{action: payload}`` on an existing job (Trove style)."""
@@ -179,6 +244,7 @@ class ServiceController:
                 "burst": self.quotas.burst,
             },
             "taskmanager": self.taskmanager.describe(),
+            "history_enabled": self.results is not None,
         }
 
     def health(self) -> Dict[str, Any]:

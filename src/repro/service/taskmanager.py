@@ -52,6 +52,13 @@ class TaskManager:
         The execution callable, ``runner(request, cancel_check=...) ->
         RunResult``.  Defaults to :func:`repro.api.run`; tests substitute a
         scripted fake.
+    results_store:
+        Optional persistent run store (path or
+        :class:`~repro.results.store.ResultsStore`).  When set, every
+        completed job is also appended there via the runner's ``record_to``
+        hook, so service-submitted runs land in the same history as direct
+        ``repro.api.run`` calls.  The kwarg is only forwarded when set, so
+        fake runners without a ``record_to`` parameter keep working.
     """
 
     def __init__(
@@ -60,11 +67,13 @@ class TaskManager:
         *,
         workers: int = 2,
         runner: Runner = api_run,
+        results_store: Any = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.store = store
         self.runner = runner
+        self.results_store = results_store
         self.num_workers = workers
         self._threads: list[threading.Thread] = []
         self._wakeup = threading.Condition()
@@ -134,9 +143,12 @@ class TaskManager:
     def execute(self, job: Job) -> Job:
         """Execute one already-``RUNNING`` job to a terminal state."""
         cancel_check = lambda: self.store.cancel_requested(job.id)  # noqa: E731
+        extra: dict[str, Any] = {}
+        if self.results_store is not None:
+            extra["record_to"] = self.results_store
         try:
             request = RunRequest.from_dict(job.request)
-            result = self.runner(request, cancel_check=cancel_check)
+            result = self.runner(request, cancel_check=cancel_check, **extra)
         except RunCancelled:
             return self.store.transition(job.id, RUNNING, CANCELLED)
         except IllegalTransition:
@@ -168,4 +180,5 @@ class TaskManager:
             "workers": self.num_workers,
             "running": self.running,
             "runner": getattr(self.runner, "__name__", repr(self.runner)),
+            "records_results": self.results_store is not None,
         }

@@ -1,0 +1,82 @@
+"""Rolling-baseline detector math on synthetic trajectories.
+
+The acceptance behaviour: a sustained 30% steps/sec drop must confirm, an
+equal-magnitude single-point blip must NOT, and improvements never trip.
+"""
+
+import pytest
+
+from repro.results import ResultsStore, assess_series, assess_trend
+
+
+STEADY = [100.0, 101.0, 99.0, 100.0, 100.5, 99.5, 100.0, 100.0]
+
+
+class TestAssessSeries:
+    def test_sustained_30pct_regression_confirms(self):
+        verdict = assess_series(STEADY + [70.0, 70.0], metric="steps_per_sec")
+        assert verdict.confirmed
+        assert verdict.consecutive >= 2
+        assert verdict.delta == pytest.approx(-0.3, abs=0.05)
+
+    def test_single_point_blip_does_not_confirm(self):
+        """Equal-magnitude one-off dip: out of band once, never confirmed."""
+        verdict = assess_series(STEADY + [70.0], metric="steps_per_sec")
+        assert not verdict.confirmed
+        assert verdict.consecutive == 1
+
+    def test_blip_followed_by_recovery_resets_the_streak(self):
+        verdict = assess_series(STEADY + [70.0, 100.0], metric="steps_per_sec")
+        assert not verdict.confirmed
+        assert verdict.consecutive == 0
+
+    def test_improvement_never_trips(self):
+        verdict = assess_series(STEADY + [150.0, 160.0], metric="steps_per_sec")
+        assert not verdict.confirmed
+        assert verdict.consecutive == 0
+        assert verdict.delta > 0
+
+    def test_lower_is_better_mirrors_direction(self):
+        latencies = [10.0, 10.2, 9.9, 10.1, 10.0, 10.0]
+        up = assess_series(latencies + [14.0, 14.0], lower_is_better=True)
+        assert up.confirmed
+        down = assess_series(latencies + [7.0, 7.0], lower_is_better=True)
+        assert not down.confirmed
+
+    def test_noise_band_scales_with_history_spread(self):
+        """A noisy series tolerates swings a flat series would flag."""
+        noisy = [100.0, 140.0, 80.0, 130.0, 90.0, 120.0]
+        verdict = assess_series(noisy + [85.0, 85.0])
+        assert not verdict.confirmed
+
+    def test_insufficient_history_never_confirms(self):
+        for series in ([], [100.0], [100.0, 50.0]):
+            verdict = assess_series(series)
+            assert verdict.insufficient_history
+            assert not verdict.confirmed
+
+    def test_min_consecutive_is_configurable(self):
+        verdict = assess_series(STEADY + [70.0], min_consecutive=1)
+        assert verdict.confirmed
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        payload = assess_series(STEADY + [70.0, 70.0]).to_dict()
+        json.dumps(payload)
+        assert payload["confirmed_regression"] is True
+        assert payload["points"] == len(STEADY) + 2
+
+
+class TestAssessTrend:
+    def test_reads_series_from_the_store(self):
+        store = ResultsStore(clock=iter(range(100)).__next__)
+        for value in STEADY + [70.0, 70.0]:
+            store.append(
+                "bench-engine", "bench",
+                [{"params": {}, "label": "engine",
+                  "metrics": {"steps_per_sec": value}}],
+            )
+        verdict = assess_trend(store, "bench-engine", "steps_per_sec")
+        assert verdict.confirmed
+        assert verdict.metric == "steps_per_sec"

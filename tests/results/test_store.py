@@ -1,0 +1,165 @@
+"""ResultsStore: schema versioning, appends, pagination, trends.
+
+The store is the repo's perf memory, so these tests pin the durability
+contracts: loud failure on a schema-version mismatch, transactional appends
+that stay consistent under task-manager-style thread concurrency, and the
+Trove-style pagination semantics shared with the job store.
+"""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.results import ResultsStore, SCHEMA_VERSION, build_provenance, open_store
+
+
+def record(value, label="run", **params):
+    return {"params": params, "label": label, "metrics": {"steps_per_sec": value}}
+
+
+class TestSchemaVersion:
+    def test_round_trips_on_disk(self, tmp_path):
+        path = str(tmp_path / "results.sqlite3")
+        with ResultsStore(path) as store:
+            store.append("quickstart", "scenario", [record(10.0)])
+        with ResultsStore(path) as store:
+            assert store.scenarios() == ["quickstart"]
+
+    def test_mismatched_version_fails_loudly(self, tmp_path):
+        path = str(tmp_path / "results.sqlite3")
+        ResultsStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE schema_version SET version = ?", (SCHEMA_VERSION + 1,))
+        conn.commit()
+        conn.close()
+        with pytest.raises(RuntimeError, match="schema version"):
+            ResultsStore(path)
+
+    def test_uses_wal_journal_mode(self, tmp_path):
+        store = ResultsStore(str(tmp_path / "results.sqlite3"))
+        mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        store.close()
+        assert mode == "wal"
+
+
+class TestAppend:
+    def test_append_stores_provenance_and_records(self):
+        store = ResultsStore()
+        prov = build_provenance({"iterations": 8})
+        run = store.append(
+            "quickstart", "scenario", [record(10.0), record(11.0)],
+            meta={"iterations": 8}, tags=["nightly"], provenance=prov,
+        )
+        assert run.run_id == prov.run_id
+        assert run.config_hash == prov.config_hash
+        assert run.num_records == 2
+        assert run.tags == ["nightly"]
+        records, total = store.get_records(run.run_id)
+        assert total == 2
+        assert records[0]["metrics"]["steps_per_sec"] == 10.0
+
+    def test_append_builds_provenance_from_meta_when_absent(self):
+        store = ResultsStore(clock=lambda: 123.0)
+        a = store.append("s", "scenario", [record(1.0)], meta={"iterations": 8})
+        b = store.append("s", "scenario", [record(2.0)], meta={"iterations": 8})
+        c = store.append("s", "scenario", [record(3.0)], meta={"iterations": 9})
+        assert a.config_hash == b.config_hash != c.config_hash
+        assert a.run_id != b.run_id
+        assert a.started_at == 123.0
+
+    def test_concurrent_appends_from_worker_threads(self, tmp_path):
+        """Task-manager-style concurrency: every append lands exactly once."""
+        store = ResultsStore(str(tmp_path / "results.sqlite3"))
+        per_thread, threads = 10, 8
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(per_thread):
+                    store.append(
+                        "concurrent", "scenario",
+                        [record(float(i), thread=tid)],
+                        meta={"thread": tid, "i": i},
+                    )
+            except Exception as exc:  # pragma: no cover - failure diagnostics
+                errors.append(exc)
+
+        pool = [threading.Thread(target=worker, args=(t,)) for t in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert errors == []
+        runs, next_marker = store.runs(scenario="concurrent", limit=per_thread * threads)
+        assert next_marker is None
+        assert len(runs) == per_thread * threads
+        assert len({run.run_id for run in runs}) == per_thread * threads
+        # seq ordering is a gapless chronological total order
+        assert [run.seq for run in runs] == sorted(run.seq for run in runs)
+
+
+class TestQueries:
+    def make_store(self):
+        store = ResultsStore(clock=iter(range(100)).__next__)
+        for i in range(5):
+            store.append(
+                "sweep", "sweep",
+                [record(10.0 + i, delta=0.0), record(20.0 + i, delta=1.0)],
+                meta={"i": i}, tags=["nightly"] if i % 2 == 0 else ["adhoc"],
+            )
+        store.append("other", "scenario", [record(1.0)])
+        return store
+
+    def test_marker_pagination_walks_every_run_once(self):
+        store = self.make_store()
+        seen, marker = [], None
+        while True:
+            page, marker = store.runs(scenario="sweep", limit=2, marker=marker)
+            seen.extend(run.run_id for run in page)
+            if marker is None:
+                break
+        assert len(seen) == len(set(seen)) == 5
+
+    def test_tag_filter_composes_with_pagination(self):
+        store = self.make_store()
+        runs, next_marker = store.runs(scenario="sweep", tag="nightly", limit=10)
+        assert next_marker is None
+        assert len(runs) == 3
+        assert all("nightly" in run.tags for run in runs)
+
+    def test_scenarios_and_metric_names(self):
+        store = self.make_store()
+        assert store.scenarios() == ["other", "sweep"]
+        assert store.metric_names("sweep") == ["steps_per_sec"]
+
+    def test_trend_means_over_records_and_where_restricts(self):
+        store = self.make_store()
+        points = store.trend("sweep", "steps_per_sec")
+        assert [p["value"] for p in points] == [15.0, 16.0, 17.0, 18.0, 19.0]
+        at_zero = store.trend("sweep", "steps_per_sec", where={"delta": 0.0})
+        assert [p["value"] for p in at_zero] == [10.0, 11.0, 12.0, 13.0, 14.0]
+        last_two = store.trend("sweep", "steps_per_sec", last=2)
+        assert [p["value"] for p in last_two] == [18.0, 19.0]
+
+    def test_get_records_offset_limit(self):
+        store = self.make_store()
+        run = store.runs(scenario="sweep", limit=1)[0][0]
+        page, total = store.get_records(run.run_id, offset=1, limit=5)
+        assert total == 2 and len(page) == 1
+        assert page[0]["params"]["delta"] == 1.0
+
+    def test_get_run_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            ResultsStore().get_run("nope")
+
+
+class TestOpenStore:
+    def test_path_is_owned_instance_is_not(self, tmp_path):
+        handle, owns = open_store(str(tmp_path / "r.sqlite3"))
+        assert owns
+        handle.close()
+        store = ResultsStore()
+        same, owns = open_store(store)
+        assert same is store and not owns
+        store.close()
