@@ -34,6 +34,14 @@ bit-identical parity check always runs.  Nightly CI owns this section:
 
     PYTHONPATH=src python -m pytest benchmarks/perf_smoke.py --run-pool -q -s
 
+``--run-telemetry`` merges a ``telemetry`` section: the deep-narrow BSP loop
+measured with the telemetry helpers monkeypatched out (baseline), with the
+shipped disabled no-op path, and with tracing + metrics fully enabled, gated
+at disabled <= 2% and enabled <= 10% overhead versus baseline.  Runs in the
+per-PR perf job:
+
+    PYTHONPATH=src python -m pytest benchmarks/perf_smoke.py --run-telemetry -q -s
+
 ``--run-scenarios`` runs the paper-scale δ-sweep suite from the declarative
 scenario registry (``benchmarks/scenario_suite.py``), recording sweep
 outputs in ``BENCH_scenarios.json`` next to this file's
@@ -108,6 +116,19 @@ POOL_CLASSES = 4
 POOL_STEPS = 12
 POOL_WARMUP = 2
 POOL_REPEATS = 2
+
+#: Telemetry-overhead configuration: the deep-narrow N=8 BSP MLP loop run in
+#: three modes, interleaved within each repeat so machine drift hits every
+#: mode equally.  "baseline" monkeypatches the telemetry helpers out entirely
+#: (not even a flag check at the call sites), "disabled" is the shipped
+#: default (flag-check no-op path), "enabled" turns on tracing + metrics with
+#: spans buffered in memory (no sink I/O).
+TELEMETRY_STEPS = 150
+TELEMETRY_WARMUP = 15
+TELEMETRY_REPEATS = 5
+#: Acceptance gates: disabled telemetry <= 2% below baseline, enabled <= 10%.
+TELEMETRY_DISABLED_GATE = 0.02
+TELEMETRY_ENABLED_GATE = 0.10
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
@@ -399,6 +420,56 @@ def run_pool_benchmark() -> dict:
     }
 
 
+def run_telemetry_benchmark() -> dict:
+    """Baseline / disabled / enabled telemetry steps/sec on the BSP loop."""
+    from repro import telemetry
+
+    def run_once() -> float:
+        cluster = build_cluster()
+        trainer = _make_trainer("bsp", cluster)
+        return _time_trainer(cluster, trainer, TELEMETRY_STEPS, TELEMETRY_WARMUP)
+
+    def run_baseline() -> float:
+        # The instrumented hot paths call these module attributes, so
+        # swapping them out measures the loop as if never instrumented.
+        saved = (telemetry.span, telemetry.count, telemetry.observe, telemetry.gauge)
+        telemetry.span = lambda name: telemetry.NULL_SPAN
+        telemetry.count = telemetry.observe = telemetry.gauge = lambda *a, **k: None
+        try:
+            return run_once()
+        finally:
+            telemetry.span, telemetry.count, telemetry.observe, telemetry.gauge = saved
+
+    def run_enabled() -> float:
+        telemetry.configure(tracing=True, metrics=True, trace_file=None)
+        try:
+            return run_once()
+        finally:
+            telemetry.reset()
+
+    best = {"baseline": 0.0, "disabled": 0.0, "enabled": 0.0}
+    for _ in range(TELEMETRY_REPEATS):
+        best["baseline"] = max(best["baseline"], run_baseline())
+        telemetry.reset()
+        best["disabled"] = max(best["disabled"], run_once())
+        best["enabled"] = max(best["enabled"], run_enabled())
+    disabled_overhead = max(0.0, (best["baseline"] - best["disabled"]) / best["baseline"])
+    enabled_overhead = max(0.0, (best["baseline"] - best["enabled"]) / best["baseline"])
+    return {
+        "config": {
+            "num_workers": NUM_WORKERS,
+            "batch_size": BATCH_SIZE,
+            "mlp_sizes": list(MLP_SIZES),
+            "steps": TELEMETRY_STEPS,
+            "warmup": TELEMETRY_WARMUP,
+            "repeats": TELEMETRY_REPEATS,
+        },
+        "steps_per_sec": best,
+        "disabled_overhead": disabled_overhead,
+        "enabled_overhead": enabled_overhead,
+    }
+
+
 def run_benchmark() -> dict:
     current = {name: measure_steps_per_sec(name) for name in ("bsp", "selsync")}
     dtype_mode = {
@@ -478,6 +549,26 @@ def test_perf_smoke(request):
 
 
 @pytest.mark.perf
+def test_telemetry_overhead(request):
+    if not request.config.getoption("--run-telemetry"):
+        pytest.skip("telemetry overhead benchmark runs only with --run-telemetry")
+    report = run_telemetry_benchmark()
+    _merge_into_result_file({"telemetry": report})
+    sps = report["steps_per_sec"]
+    print(
+        f"\ntelemetry overhead on the N={NUM_WORKERS} BSP loop: "
+        f"baseline {sps['baseline']:.0f} steps/s, "
+        f"disabled {sps['disabled']:.0f} ({report['disabled_overhead'] * 100:.1f}% slower), "
+        f"enabled {sps['enabled']:.0f} ({report['enabled_overhead'] * 100:.1f}% slower)"
+        f"\n[merged into {RESULT_PATH}]"
+    )
+    # The telemetry milestone's acceptance gates: the disabled no-op path
+    # costs <= 2% of the uninstrumented loop, full tracing + metrics <= 10%.
+    assert report["disabled_overhead"] <= TELEMETRY_DISABLED_GATE
+    assert report["enabled_overhead"] <= TELEMETRY_ENABLED_GATE
+
+
+@pytest.mark.perf
 @pytest.mark.pool
 def test_pool_throughput(request):
     if not request.config.getoption("--run-pool"):
@@ -549,6 +640,11 @@ def _standalone_main(argv=None) -> int:
     parser.add_argument("--run-scale", action="store_true", help="large-N scale sweep")
     parser.add_argument("--run-pool", action="store_true", help="replica-pool benchmark")
     parser.add_argument(
+        "--run-telemetry",
+        action="store_true",
+        help="telemetry overhead benchmark (merges telemetry into BENCH_engine.json)",
+    )
+    parser.add_argument(
         "--run-scenarios", action="store_true", help="paper-scale scenario sweeps"
     )
     parser.add_argument(
@@ -565,7 +661,13 @@ def _standalone_main(argv=None) -> int:
         help="persist scenario reports to benchmarks/results/scenarios/",
     )
     args = parser.parse_args(argv)
-    run_all = not (args.run_perf or args.run_scale or args.run_pool or args.run_scenarios)
+    run_all = not (
+        args.run_perf
+        or args.run_scale
+        or args.run_pool
+        or args.run_telemetry
+        or args.run_scenarios
+    )
 
     report = {}
     if args.run_perf or run_all:
@@ -574,6 +676,8 @@ def _standalone_main(argv=None) -> int:
         report["scale_sweep"] = run_scale_sweep()
     if args.run_pool or run_all:
         report["pool"] = run_pool_benchmark()
+    if args.run_telemetry or run_all:
+        report["telemetry"] = run_telemetry_benchmark()
     if report:
         print(json.dumps(report, indent=2))
     if args.run_scenarios:

@@ -18,6 +18,10 @@ from any invocation directory:
   single-process ConvNet at N = 64); merges a ``pool`` section into
   ``BENCH_engine.json``.  Runs in the nightly workflow (the speedup gate
   needs real cores).
+* ``--run-telemetry`` — the telemetry overhead benchmark (baseline vs
+  disabled vs enabled tracing on the BSP MLP loop); merges a ``telemetry``
+  section into ``BENCH_engine.json``, gated at disabled <= 2% / enabled
+  <= 10% overhead.  Runs in the per-PR perf job.
 * ``--run-scenarios`` — the paper-scale scenario sweeps
   (``benchmarks/scenario_suite.py``: deep-MLP and transformer δ-sweeps at
   N = 64–256 from the declarative registry); writes
@@ -62,6 +66,15 @@ def pytest_addoption(parser):
         action="store_true",
         default=False,
         help="run the replica-pool benchmark (merges pool into BENCH_engine.json)",
+    )
+    parser.addoption(
+        "--run-telemetry",
+        action="store_true",
+        default=False,
+        help=(
+            "run the telemetry overhead benchmark "
+            "(merges telemetry into BENCH_engine.json)"
+        ),
     )
     parser.addoption(
         "--run-scenarios",

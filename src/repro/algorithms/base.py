@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.cluster.cluster import SimulatedCluster
 from repro.metrics.convergence import ConvergenceDetector
 from repro.metrics.evaluation import EvalResult
@@ -177,7 +178,8 @@ class BaseTrainer:
         final_result: Optional[EvalResult] = None
 
         for _ in range(max_iterations):
-            self.train_step()
+            with telemetry.span("trainer.step"):
+                self.train_step()
             self.global_step += 1
             self.cluster.global_step = self.global_step
             converged = False
@@ -185,7 +187,8 @@ class BaseTrainer:
                 self.global_step % eval_every == 0 or self.global_step == max_iterations
             )
             if should_eval:
-                result = self.evaluate()
+                with telemetry.span("trainer.eval"):
+                    result = self.evaluate()
                 final_result = result
                 higher_is_better = result.metric_name != "perplexity"
                 self._record_eval(result)
@@ -203,7 +206,8 @@ class BaseTrainer:
                 break
 
         if final_result is None:
-            final_result = self.evaluate()
+            with telemetry.span("trainer.eval"):
+                final_result = self.evaluate()
             self._record_eval(final_result)
             best_metric = final_result.metric
 

@@ -43,6 +43,7 @@ import warnings
 from dataclasses import dataclass, field, fields
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
+from repro import telemetry
 from repro.algorithms.base import TrainingResult
 from repro.results.provenance import Provenance, build_provenance
 from repro.scenarios.registry import get_scenario
@@ -478,6 +479,7 @@ def _run_experiment_kind(
     num_workers = request.num_workers or 4
     seed = request.seed or 0
     eval_every = request.eval_every or max(iterations // 8, 1)
+    phase_start = telemetry.phase_snapshot()
     out = run_experiment(
         request.workload,
         request.algorithm,
@@ -497,6 +499,11 @@ def _run_experiment_kind(
         "label": out.algorithm,
         "metrics": result_metrics(out.result),
     }
+    # Opt-in per-phase breakdown: present only when telemetry tracing was
+    # active during the run, so default artifacts stay byte-identical.
+    phases = telemetry.phase_delta(phase_start)
+    if phases:
+        record["phases"] = phases
     meta = {
         "workload": out.workload,
         "algorithm": request.algorithm,
@@ -509,6 +516,8 @@ def _run_experiment_kind(
         "transport_dtype": request.transport_dtype,
         "pool_workers": request.pool_workers,
     }
+    if phases:
+        meta["phases"] = phases
     return RunResult(
         kind="experiment",
         label=out.algorithm,

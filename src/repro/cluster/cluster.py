@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.cluster.clock import SimulatedClock
 from repro.cluster.compute_model import ComputeCostModel, PAPER_WORKLOADS, WorkloadSpec
 from repro.cluster.heterogeneity import HomogeneousSpeed, WorkerSpeedModel
@@ -68,6 +69,12 @@ class ClusterConfig:
     ``pool_start_method`` picks the multiprocessing start method
     (``"fork"`` / ``"spawn"`` / ``"forkserver"``; ``None`` = platform
     default, preferring fork).
+
+    ``telemetry`` names a JSONL trace-sink path: building the cluster turns
+    span tracing on (:mod:`repro.telemetry`) with finished spans appended
+    to that file, and ``close()`` flushes it.  ``None`` (the default) keeps
+    the allocation-free no-op fast path; the ``REPRO_TRACE_FILE``
+    environment variable is the process-wide equivalent.
     """
 
     num_workers: int = 4
@@ -84,8 +91,13 @@ class ClusterConfig:
     eval_max_batches: Optional[int] = 8
     top_k: Optional[int] = None
     speed_model: WorkerSpeedModel = field(default_factory=HomogeneousSpeed)
+    telemetry: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.telemetry is not None and not isinstance(self.telemetry, str):
+            raise ValueError(
+                f"telemetry must be a trace-file path or None, got {self.telemetry!r}"
+            )
         if self.num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
         if self.batch_size < 1:
@@ -123,6 +135,8 @@ class SimulatedCluster:
         worker_batch_size: Optional[int] = None,
     ) -> None:
         self.config = config
+        if config.telemetry is not None:
+            telemetry.configure(tracing=True, trace_file=config.telemetry)
         self.train_dataset = train_dataset
         self.test_dataset = test_dataset
         self.partitioner = partitioner or DefaultPartitioner(seed=config.seed)
@@ -294,24 +308,25 @@ class SimulatedCluster:
         holds one ``(inputs, targets)`` pair per worker.
         """
         tick = self._next_dropout_tick()
-        if self.pool is not None:
-            losses, norms = self.pool.compute_all(batches, tick=tick)
-            for worker, loss, norm in zip(self.workers, losses, norms):
-                worker.last_loss = float(loss)
-                worker.last_grad_norm = float(norm)
-            return [float(l) for l in losses]
-        if self.replica_exec is not None:
-            losses = self.replica_exec.step(batches)
-            if losses is not None:
-                norms = self.replica_exec.grad_norms()
+        with telemetry.span("cluster.gradients"):
+            if self.pool is not None:
+                losses, norms = self.pool.compute_all(batches, tick=tick)
                 for worker, loss, norm in zip(self.workers, losses, norms):
                     worker.last_loss = float(loss)
                     worker.last_grad_norm = float(norm)
                 return [float(l) for l in losses]
-        return [
-            worker.compute_gradients_flat(batch)[0]
-            for worker, batch in zip(self.workers, batches)
-        ]
+            if self.replica_exec is not None:
+                losses = self.replica_exec.step(batches)
+                if losses is not None:
+                    norms = self.replica_exec.grad_norms()
+                    for worker, loss, norm in zip(self.workers, losses, norms):
+                        worker.last_loss = float(loss)
+                        worker.last_grad_norm = float(norm)
+                    return [float(l) for l in losses]
+            return [
+                worker.compute_gradients_flat(batch)[0]
+                for worker, batch in zip(self.workers, batches)
+            ]
 
     def compute_gradients_worker(self, worker: Worker, batch=None) -> float:
         """Forward + backward for a single worker (SSP's round-robin path).
@@ -339,10 +354,11 @@ class SimulatedCluster:
         ``grads=None`` applies each worker's own gradients; a flat ``(D,)``
         vector applies the same aggregated gradient to every replica.
         """
-        if self.fused_update is not None and self.fused_update.apply(lr=lr, grads=grads):
-            return
-        for worker in self.workers:
-            worker.apply_update(grads=grads, lr=lr)
+        with telemetry.span("cluster.update"):
+            if self.fused_update is not None and self.fused_update.apply(lr=lr, grads=grads):
+                return
+            for worker in self.workers:
+                worker.apply_update(grads=grads, lr=lr)
 
     # ------------------------------------------------------------------ #
     # simulated-time charging
@@ -361,18 +377,38 @@ class SimulatedCluster:
             self.workload_spec.model_bytes, self.num_workers
         )
         self.clock.barrier_and_add(seconds, bucket="communication")
+        if telemetry.metrics_enabled():
+            # Modeled aggregate wire volume: every worker pushes its update
+            # and pulls the averaged state, in the configured wire format.
+            telemetry.count(
+                "repro_comm_wire_bytes_total",
+                2.0
+                * self.workload_spec.model_bytes
+                * self.comm_model.wire_scale
+                * self.num_workers,
+                kind="sync",
+            )
         return seconds
 
     def charge_flags_allgather(self) -> float:
         """Charge the SelSync synchronization-status all-gather."""
         seconds = self.comm_model.flags_seconds(self.num_workers)
         self.clock.barrier_and_add(seconds, bucket="communication")
+        if telemetry.metrics_enabled():
+            n = self.num_workers
+            telemetry.count(
+                "repro_comm_wire_bytes_total",
+                max((n - 1) / 8.0, 1.0) * n,
+                kind="flags",
+            )
         return seconds
 
     def charge_p2p(self, num_bytes: float) -> float:
         """Charge a point-to-point transfer (data injection, SSP pushes)."""
         seconds = self.comm_model.p2p_seconds(num_bytes)
         self.clock.barrier_and_add(seconds, bucket="communication")
+        if telemetry.metrics_enabled():
+            telemetry.count("repro_comm_wire_bytes_total", float(num_bytes), kind="p2p")
         return seconds
 
     # ------------------------------------------------------------------ #
@@ -478,6 +514,8 @@ class SimulatedCluster:
         if self.pool is not None:
             self.pool.close()
             self.pool = None
+        if self.config.telemetry is not None:
+            telemetry.flush()
         if self._shared_storage is not None:
             # Unlinks the segment names; the parent's own views (the matrix,
             # every model and optimizer buffer) stay valid until GC.

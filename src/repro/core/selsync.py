@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.algorithms.base import BaseTrainer
 from repro.cluster.cluster import SimulatedCluster
 from repro.core.aggregation import AggregationMode
@@ -114,22 +115,24 @@ class SelSyncTrainer(BaseTrainer):
         # 2. Δ(gᵢ) for all workers in one vectorized pass over the gradient
         #    matrix; per-tracker work is scalar EWMA bookkeeping only
         #    (Alg. 1 lines 10-11).
-        raw_stats = batch_gradient_statistic(
-            cluster.matrix.grads, self.config.statistic
-        )
-        flags: List[int] = []
-        max_delta = 0.0
-        for tracker, raw in zip(self.trackers, raw_stats):
-            delta = tracker.update_scalar(raw)
-            flags.append(1 if delta >= self.config.delta else 0)
-            if delta > max_delta:
-                max_delta = delta
-        self.delta_history.append(max_delta)
+        with telemetry.span("selsync.tracker"):
+            raw_stats = batch_gradient_statistic(
+                cluster.matrix.grads, self.config.statistic
+            )
+            flags: List[int] = []
+            max_delta = 0.0
+            for tracker, raw in zip(self.trackers, raw_stats):
+                delta = tracker.update_scalar(raw)
+                flags.append(1 if delta >= self.config.delta else 0)
+                if delta > max_delta:
+                    max_delta = delta
+            self.delta_history.append(max_delta)
         cluster.charge_compute_step(batches[0][1].shape[0] if batches else None)
 
         # 3. flags all-gather (Alg. 1 line 12) — N-1 bits per worker.
-        gathered = cluster.backend.allgather_bits(flags)
-        cluster.charge_flags_allgather()
+        with telemetry.span("selsync.flags"):
+            gathered = cluster.backend.allgather_bits(flags)
+            cluster.charge_flags_allgather()
         force_sync = self.config.sync_on_first_step and self.global_step == 0
         synchronize = bool(gathered.any()) or force_sync
 
@@ -137,19 +140,26 @@ class SelSyncTrainer(BaseTrainer):
         if self.aggregation is AggregationMode.PARAMETER:
             cluster.apply_local_updates(lr=lr)
             if synchronize:
-                new_global = cluster.ps.push_matrix_parameters(cluster.matrix.params)
-                cluster.broadcast_state(new_global)
-                cluster.charge_sync()
+                with telemetry.span("selsync.sync"):
+                    new_global = cluster.ps.push_matrix_parameters(cluster.matrix.params)
+                    cluster.broadcast_state(new_global)
+                    cluster.charge_sync()
         else:  # gradient aggregation
             if synchronize:
-                averaged = cluster.ps.push_matrix_gradients(cluster.matrix.grads)
-                cluster.apply_local_updates(lr=lr, grads=averaged)
-                # Track a reference replica on the PS for checkpointing.
-                cluster.ps.set_state(cluster.workers[0].param_vector)
-                cluster.charge_sync()
+                with telemetry.span("selsync.sync"):
+                    averaged = cluster.ps.push_matrix_gradients(cluster.matrix.grads)
+                    cluster.apply_local_updates(lr=lr, grads=averaged)
+                    # Track a reference replica on the PS for checkpointing.
+                    cluster.ps.set_state(cluster.workers[0].param_vector)
+                    cluster.charge_sync()
             else:
                 cluster.apply_local_updates(lr=lr)
 
+        if telemetry.metrics_enabled():
+            telemetry.count(
+                "repro_sync_decisions_total",
+                decision="sync" if synchronize else "local",
+            )
         if synchronize:
             self.sync_steps += 1
             self.sync_step_indices.append(self.global_step)

@@ -39,6 +39,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.engine.worker_matrix import WorkerMatrix
 
 
@@ -909,22 +910,24 @@ class BatchedReplicaExecutor:
             x = np.asarray(x, dtype=self._matrix.dtype)
         if x.ndim != self._input_ndim or not np.issubdtype(targets.dtype, np.integer):
             return None
-        for layer in self._layers:
-            x = layer.forward(x)
+        with telemetry.span("engine.forward"):
+            for layer in self._layers:
+                x = layer.forward(x)
         if targets.shape != x.shape[:-1]:
             return None
-        if x.ndim == 4:
-            # Language-model logits (N, B, T, V): fold time into the batch
-            # axis, exactly as the per-worker cross-entropy flattens it.
-            n, b, t, v = x.shape
-            losses, grad = _batched_cross_entropy(
-                x.reshape(n, b * t, v), targets.reshape(n, b * t)
-            )
-            grad = grad.reshape(n, b, t, v)
-        else:
-            losses, grad = _batched_cross_entropy(x, targets)
-        for layer in reversed(self._layers):
-            grad = layer.backward(grad)
+        with telemetry.span("engine.backward"):
+            if x.ndim == 4:
+                # Language-model logits (N, B, T, V): fold time into the batch
+                # axis, exactly as the per-worker cross-entropy flattens it.
+                n, b, t, v = x.shape
+                losses, grad = _batched_cross_entropy(
+                    x.reshape(n, b * t, v), targets.reshape(n, b * t)
+                )
+                grad = grad.reshape(n, b, t, v)
+            else:
+                losses, grad = _batched_cross_entropy(x, targets)
+            for layer in reversed(self._layers):
+                grad = layer.backward(grad)
         return losses
 
     def grad_norms(self) -> np.ndarray:

@@ -42,6 +42,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.engine.replica_exec import BatchedReplicaExecutor
 from repro.engine.worker_matrix import WorkerMatrix
 
@@ -203,15 +204,22 @@ class StackedSweepMatrix:
         self._slice_steps[slice_index] += 1
         step = self._slice_steps[slice_index]
         if step == self._computed_step + 1:
-            self._compute(batches)
+            with telemetry.span("stacked.fused_step") as fused:
+                fused.set("slices", self.num_slices)
+                self._compute(batches)
             self._computed_step = step
+            if telemetry.metrics_enabled():
+                telemetry.count("repro_stacked_slice_reads_total", kind="fused")
         elif step != self._computed_step:
             raise RuntimeError(
                 f"stacked slices fell out of lockstep: slice {slice_index} "
                 f"requested step {step} but step {self._computed_step} is current"
             )
-        elif self.verify_batches:
-            self._check_batches(slice_index, batches)
+        else:
+            if telemetry.metrics_enabled():
+                telemetry.count("repro_stacked_slice_reads_total", kind="cached")
+            if self.verify_batches:
+                self._check_batches(slice_index, batches)
         lo = slice_index * self.num_workers
         hi = lo + self.num_workers
         return self._losses[lo:hi], self._norms[lo:hi]

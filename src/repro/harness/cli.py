@@ -48,6 +48,11 @@ baseline (the one engine behind the old ``benchmarks/compare_bench.py``)::
     python -m repro.harness.cli bench compare engine baseline.json current.json
     python -m repro.harness.cli bench compare engine current.json \
         --store bench_history.sqlite3
+
+Summarize a telemetry span trace recorded via ``REPRO_TRACE_FILE`` or
+``ClusterConfig.telemetry`` (see :mod:`repro.telemetry`)::
+
+    python -m repro.harness.cli trace summarize /tmp/trace.jsonl
 """
 
 from __future__ import annotations
@@ -400,6 +405,46 @@ def _cmd_bench_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """``repro trace summarize FILE`` — per-phase time-share table of a trace."""
+    import os
+
+    from repro.telemetry import summarize_trace
+
+    if not os.path.exists(args.file):
+        print(f"error: no trace file at {args.file!r}", file=sys.stderr)
+        return 2
+    summary = summarize_trace(args.file)
+    if summary["span_count"] == 0:
+        print(f"error: {args.file!r} contains no spans", file=sys.stderr)
+        return 2
+    phases = sorted(
+        summary["phases"].items(), key=lambda item: item[1]["total_seconds"], reverse=True
+    )
+    rows = [
+        [
+            name,
+            stats["count"],
+            round(stats["total_seconds"], 4),
+            round(stats["mean_seconds"] * 1000.0, 3),
+            f"{stats['share'] * 100.0:.1f}%",
+        ]
+        for name, stats in phases
+    ]
+    output = format_table(
+        ["phase", "spans", "total (s)", "mean (ms)", "share of wall"],
+        rows,
+        title=f"trace summary — {args.file} "
+        f"(wall {summary['wall_seconds']:.3f}s, {summary['span_count']} spans)",
+    )
+    _emit_bench_output(output)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"[summary written to {args.json}]", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import QuotaManager, serve
 
@@ -645,6 +690,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--tag", action="append", default=None, help="tag recorded rows (repeatable)"
     )
     bench_record.set_defaults(func=_cmd_bench_record)
+
+    trace_parser = sub.add_parser(
+        "trace", help="inspect telemetry trace files (see repro.telemetry)"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-phase time-share summary of a JSONL trace file",
+        description="repro trace summarize FILE: aggregate a JSONL span trace "
+        "(REPRO_TRACE_FILE / ClusterConfig.telemetry) into a per-phase "
+        "count/total/share table.",
+    )
+    trace_summarize.add_argument("file", help="JSONL trace file to summarize")
+    trace_summarize.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the summary dict as JSON to PATH",
+    )
+    trace_summarize.set_defaults(func=_cmd_trace_summarize)
 
     submit_parser = sub.add_parser(
         "submit", help="submit a job to a running experiment service"

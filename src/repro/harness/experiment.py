@@ -16,6 +16,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.algorithms.base import BaseTrainer, TrainingResult
 from repro.algorithms.bsp import BSPTrainer
 from repro.algorithms.fedavg import FedAvgTrainer
@@ -179,6 +180,7 @@ def build_cluster(
     pool_start_method: Optional[str] = None,
     eval_max_batches: Optional[int] = 4,
     cluster_factory: Optional[Callable[..., SimulatedCluster]] = None,
+    telemetry: Optional[str] = None,
 ) -> SimulatedCluster:
     """Construct the simulated cluster for a workload preset.
 
@@ -186,6 +188,8 @@ def build_cluster(
     called with the exact :class:`SimulatedCluster` keyword arguments — the
     stacked sweep executor uses this to build
     :class:`~repro.cluster.cluster.StackedSliceCluster` slices.
+    ``telemetry`` names a JSONL trace-sink path: span tracing turns on for
+    the process and the cluster flushes the file on ``close()``.
     """
     bundle = bundle or build_dataset(preset.dataset_name, seed=seed, **preset.dataset_kwargs)
     config = ClusterConfig(
@@ -201,6 +205,7 @@ def build_cluster(
         pool_start_method=pool_start_method,
         top_k=preset.top_k,
         eval_max_batches=eval_max_batches,
+        telemetry=telemetry,
     )
     factory = cluster_factory or SimulatedCluster
     return factory(
@@ -308,6 +313,7 @@ def run_experiment(
     pool_workers: int = 0,
     pool_start_method: Optional[str] = None,
     injection: Optional[Dict[str, float]] = None,
+    telemetry_file: Optional[str] = None,
     **algorithm_kwargs,
 ) -> ExperimentResult:
     """Build a cluster and run one algorithm on one workload end to end.
@@ -321,7 +327,8 @@ def run_experiment(
     ``pool_start_method`` picks fork/spawn).  ``injection`` activates the
     non-IID data-injection path: a dict with keys ``alpha``, ``beta`` (and
     optionally ``delta``) sets the SelSync (α, β, δ) tuple and adjusts the
-    per-worker batch size to b′ per Eqn. (3).
+    per-worker batch size to b′ per Eqn. (3).  ``telemetry_file`` enables
+    span tracing with a JSONL sink at that path (see :mod:`repro.telemetry`).
     """
     preset = build_workload(workload)
     if use_default_partitioning and partitioner is None:
@@ -339,22 +346,32 @@ def run_experiment(
         if "delta" in injection:
             algorithm_kwargs.setdefault("delta", injection["delta"])
 
-    cluster = build_cluster(
-        preset,
-        num_workers=num_workers,
-        seed=seed,
-        partitioner=partitioner,
-        batch_size=effective_batch,
-        dtype=dtype,
-        transport_dtype=transport_dtype,
-        pool_workers=pool_workers,
-        pool_start_method=pool_start_method,
-    )
-    try:
-        trainer = make_trainer(
-            algorithm, cluster, preset, total_iterations=iterations, eval_every=eval_every,
-            **algorithm_kwargs,
+    if telemetry_file is not None:
+        # Turn tracing on before the setup span so cluster construction is
+        # itself covered by the trace.
+        telemetry.configure(tracing=True, trace_file=telemetry_file)
+    with telemetry.span("run.setup"):
+        cluster = build_cluster(
+            preset,
+            num_workers=num_workers,
+            seed=seed,
+            partitioner=partitioner,
+            batch_size=effective_batch,
+            dtype=dtype,
+            transport_dtype=transport_dtype,
+            pool_workers=pool_workers,
+            pool_start_method=pool_start_method,
+            telemetry=telemetry_file,
         )
+        try:
+            trainer = make_trainer(
+                algorithm, cluster, preset, total_iterations=iterations,
+                eval_every=eval_every, **algorithm_kwargs,
+            )
+        except BaseException:
+            cluster.close()
+            raise
+    try:
         result = trainer.run(iterations, convergence=convergence)
     finally:
         # Releases the replica pool's processes and shared-memory segments

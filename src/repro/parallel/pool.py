@@ -37,6 +37,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.parallel.shm import SharedMatrixHandle, SharedMatrixStorage
 
 #: Start methods the pool accepts (resolved against the host's support).
@@ -127,6 +128,14 @@ def _pool_child_main(conn, payload_bytes: bytes) -> None:
     from repro.engine.dropout_stream import SharedDropoutStream, attach_shared_dropout
     from repro.engine.replica_exec import BatchedReplicaExecutor
     from repro.engine.worker_matrix import WorkerMatrix
+    from repro.telemetry.trace import Tracer
+
+    # Children never record into the process-global telemetry state (fork
+    # inherits the parent's enabled flags, spawn re-reads REPRO_TRACE_FILE —
+    # either way the parent owns the sink).  Child-side timings go through a
+    # private tracer and ride the reply tuple back when the parent asks.
+    telemetry.configure(tracing=False, metrics=False, trace_file=None)
+    child_tracer = Tracer()
 
     payload: _GroupPayload = pickle.loads(payload_bytes)
     storage = SharedMatrixStorage.attach(payload.storage_handle)
@@ -169,18 +178,34 @@ def _pool_child_main(conn, payload_bytes: bytes) -> None:
                 use_executor = bool(message[1])
                 conn.send(("ok",))
             elif kind == "all":
-                _, tick, batches = message
+                tick, batches = message[1], message[2]
+                collect = len(message) > 3 and message[3]
                 if stream is not None:
                     stream.set_step(tick)
                 group_exec = executor if use_executor else None
-                losses, norms = _compute_group(models, group_exec, batches)
-                conn.send(("ok", losses, norms))
+                if collect:
+                    with child_tracer.span("pool.child.step") as step_span:
+                        step_span.set("rows", hi - lo)
+                        step_span.set("tick", int(tick))
+                        losses, norms = _compute_group(models, group_exec, batches)
+                    conn.send(("ok", losses, norms, child_tracer.drain()))
+                else:
+                    losses, norms = _compute_group(models, group_exec, batches)
+                    conn.send(("ok", losses, norms))
             elif kind == "one":
-                _, tick, row, batch = message
+                tick, row, batch = message[1], message[2], message[3]
+                collect = len(message) > 4 and message[4]
                 if stream is not None:
                     stream.set_step(tick)
-                loss, norm = _compute_row(models[row - lo], batch)
-                conn.send(("ok", loss, norm))
+                if collect:
+                    with child_tracer.span("pool.child.step") as step_span:
+                        step_span.set("rows", 1)
+                        step_span.set("tick", int(tick))
+                        loss, norm = _compute_row(models[row - lo], batch)
+                    conn.send(("ok", loss, norm, child_tracer.drain()))
+                else:
+                    loss, norm = _compute_row(models[row - lo], batch)
+                    conn.send(("ok", loss, norm))
             else:  # defensive: unknown command
                 conn.send(("error", f"unknown pool command {kind!r}"))
     finally:
@@ -330,22 +355,37 @@ class ReplicaPool:
         self._check_open()
         if len(batches) != self.num_workers:
             raise ValueError(f"{len(batches)} batches for {self.num_workers} replicas")
-        for g, (lo, hi) in enumerate(self.bounds):
-            self._send(g, ("all", int(tick), list(batches[lo:hi])))
-        losses = np.empty(self.num_workers)
-        norms = np.empty(self.num_workers)
-        for g, (lo, hi) in enumerate(self.bounds):
-            reply = self._recv(g)
-            losses[lo:hi] = reply[1]
-            norms[lo:hi] = reply[2]
+        collect = telemetry.tracing_enabled()
+        with telemetry.span("pool.roundtrip") as roundtrip:
+            for g, (lo, hi) in enumerate(self.bounds):
+                group_batches = list(batches[lo:hi])
+                if collect:
+                    self._send(g, ("all", int(tick), group_batches, True))
+                else:
+                    self._send(g, ("all", int(tick), group_batches))
+            losses = np.empty(self.num_workers)
+            norms = np.empty(self.num_workers)
+            for g, (lo, hi) in enumerate(self.bounds):
+                reply = self._recv(g)
+                losses[lo:hi] = reply[1]
+                norms[lo:hi] = reply[2]
+                if len(reply) > 3 and reply[3]:
+                    telemetry.get_tracer().adopt(reply[3], parent=roundtrip)
         return losses, norms
 
     def compute_one(self, worker_id: int, batch, tick: int = 0) -> Tuple[float, float]:
         """Gradient pass for a single replica (SSP's round-robin stepping)."""
         self._check_open()
         group = self.group_of(worker_id)
-        self._send(group, ("one", int(tick), int(worker_id), batch))
-        reply = self._recv(group)
+        collect = telemetry.tracing_enabled()
+        with telemetry.span("pool.roundtrip") as roundtrip:
+            if collect:
+                self._send(group, ("one", int(tick), int(worker_id), batch, True))
+            else:
+                self._send(group, ("one", int(tick), int(worker_id), batch))
+            reply = self._recv(group)
+            if len(reply) > 3 and reply[3]:
+                telemetry.get_tracer().adopt(reply[3], parent=roundtrip)
         return float(reply[1]), float(reply[2])
 
     def set_use_executor(self, flag: bool) -> None:

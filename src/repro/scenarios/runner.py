@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
+from repro import telemetry
 from repro.algorithms.base import TrainingResult
 from repro.harness.reporting import format_table, results_to_rows, table1_headers
 from repro.harness.sweep import grid_sweep, run_sweep_stacked
@@ -59,15 +60,29 @@ def _check_cancelled(cancel_check: Optional[Any]) -> None:
 
 @dataclass
 class ScenarioRecord:
-    """One run (or one analytic point) of a scenario, as plain data."""
+    """One run (or one analytic point) of a scenario, as plain data.
+
+    ``phases`` is the opt-in per-phase wall-clock breakdown (phase name →
+    seconds) captured around this run when :mod:`repro.telemetry` tracing is
+    active; ``None`` — the default when telemetry is off — keeps the record
+    shape byte-identical to pre-telemetry artifacts.
+    """
 
     params: Dict[str, Any]
     label: str
     metrics: Dict[str, float]
+    phases: Optional[Dict[str, float]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation."""
-        return {"params": dict(self.params), "label": self.label, "metrics": dict(self.metrics)}
+        payload: Dict[str, Any] = {
+            "params": dict(self.params),
+            "label": self.label,
+            "metrics": dict(self.metrics),
+        }
+        if self.phases is not None:
+            payload["phases"] = dict(self.phases)
+        return payload
 
 
 @dataclass
@@ -261,6 +276,8 @@ def _run_sweep(
     )
 
     run_walls: List[float] = []
+    run_phases: List[Optional[Dict[str, float]]] = []
+    sweep_phase_start = telemetry.phase_snapshot()
     sweep_start = time.perf_counter()
     if scenario.stacked:
         # One fused computation has no between-run checkpoint; check once.
@@ -280,15 +297,18 @@ def _run_sweep(
             max_stacked_rows=scenario.max_stacked_rows,
         )
         # One fused computation covered every grid point; attribute an equal
-        # share of the sweep's wall-clock to each run's record.
+        # share of the sweep's wall-clock to each run's record.  Phase time
+        # is likewise shared, so it lives in meta["phases"] only.
         run_walls = [(time.perf_counter() - sweep_start) / len(sweep.runs)] * len(
             sweep.runs
         )
+        run_phases = [None] * len(sweep.runs)
     else:
 
         def one_run(**params):
             _check_cancelled(cancel_check)
             start = time.perf_counter()
+            phase_start = telemetry.phase_snapshot()
             out = run_experiment(
                 scenario.workload,
                 scenario.algorithm,
@@ -296,13 +316,17 @@ def _run_sweep(
                 **scenario.fixed,
                 **params,
             )
+            run_phases.append(telemetry.phase_delta(phase_start) or None)
             run_walls.append(time.perf_counter() - start)
             return out
 
         sweep = grid_sweep(one_run, scenario.grid)
     report.meta["sweep_wall_seconds"] = time.perf_counter() - sweep_start
+    sweep_phases = telemetry.phase_delta(sweep_phase_start)
+    if sweep_phases:
+        report.meta["phases"] = sweep_phases
 
-    for run, wall in zip(sweep.runs, run_walls):
+    for run, wall, phases in zip(sweep.runs, run_walls, run_phases):
         out = run["output"]
         key = "/".join(f"{k}={v}" for k, v in run["params"].items())
         report.results[key] = out.result
@@ -313,6 +337,7 @@ def _run_sweep(
                 params=dict(run["params"]),
                 label=out.algorithm,
                 metrics=metrics,
+                phases=phases,
             )
         )
 
@@ -410,6 +435,7 @@ def _run_comparison(
                     patience=scenario.convergence_patience,
                     min_delta=scenario.convergence_min_delta,
                 )
+            phase_start = telemetry.phase_snapshot()
             out = run_experiment(
                 workload,
                 algorithm,
@@ -430,6 +456,7 @@ def _run_comparison(
                     params={"workload": workload, "method": label},
                     label=out.algorithm,
                     metrics=result_metrics(out.result),
+                    phases=telemetry.phase_delta(phase_start) or None,
                 )
             )
     return report

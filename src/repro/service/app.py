@@ -4,7 +4,8 @@ No web framework: :func:`make_wsgi_app` closes a plain WSGI callable over a
 :class:`~repro.service.controller.ServiceController` and routes the small
 REST surface onto it::
 
-    GET    /v1/health                     liveness + worker status
+    GET    /v1/health                     liveness + queue depth + workers
+    GET    /v1/metrics                    Prometheus text exposition
     GET    /v1/                           actions, schemas, scenarios, quotas
     POST   /v1/jobs                       submit {action: payload}   → 202
     GET    /v1/jobs?marker=&limit=&state= list jobs (marker-paginated)
@@ -36,6 +37,7 @@ from typing import Any, Callable, Dict, Iterable, Optional, Tuple
 from urllib.parse import parse_qs
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
+from repro import telemetry
 from repro.api import run as api_run
 from repro.results.store import ResultsStore
 from repro.service.controller import ServiceController
@@ -151,6 +153,19 @@ def make_wsgi_app(controller: ServiceController) -> Callable[..., Iterable[bytes
         raise NotFound(f"no route for {method} {path}")
 
     def app(environ: Dict[str, Any], start_response) -> Iterable[bytes]:
+        # The one non-JSON route: Prometheus scrapers expect a plain-text
+        # exposition body, so it bypasses the JSON pipeline entirely.
+        path = environ.get("PATH_INFO", "/").rstrip("/") or "/"
+        if path == "/v1/metrics" and environ["REQUEST_METHOD"].upper() == "GET":
+            payload = controller.metrics().encode("utf-8")
+            start_response(
+                _STATUS_TEXT[200],
+                [
+                    ("Content-Type", "text/plain; version=0.0.4; charset=utf-8"),
+                    ("Content-Length", str(len(payload))),
+                ],
+            )
+            return [payload]
         try:
             status, body = handle(environ)
         except ServiceError as exc:
@@ -212,6 +227,11 @@ class ExperimentService:
         runner: Runner = api_run,
         results_db: Optional[str] = None,
     ):
+        # The service always records lifecycle metrics (queue wait, run
+        # durations, outcome counters) for /v1/metrics — enabling the
+        # registry costs nothing on the training hot loop, which is guarded
+        # by the separate tracing flag.
+        telemetry.configure(metrics=True)
         self.store = JobStore(db_path)
         # The persistent run history every finished job is appended to, and
         # the /v1/history endpoints read from.  None disables both.

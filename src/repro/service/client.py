@@ -89,6 +89,23 @@ class ServiceClient:
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/v1/health")
 
+    def metrics(self) -> str:
+        """Raw Prometheus text exposition (``GET /v1/metrics``, not JSON)."""
+        request = urllib.request.Request(
+            self.base_url + "/v1/metrics",
+            method="GET",
+            headers={"X-Tenant": self.tenant},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = {}
+            raise ServiceClientError(exc.code, payload) from exc
+
     def submit(self, action: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
         """Submit ``{action: payload}``; returns the queued job view."""
         return self._request("POST", "/v1/jobs", body={action: dict(payload)})["job"]

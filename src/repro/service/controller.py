@@ -29,6 +29,7 @@ from __future__ import annotations
 import warnings
 from typing import Any, Dict, Mapping, Optional
 
+from repro import telemetry
 from repro.api import ApiError, apply_aliases, request_from_action
 from repro.scenarios.registry import scenario_names
 from repro.scenarios.spec import ScenarioError
@@ -248,4 +249,45 @@ class ServiceController:
         }
 
     def health(self) -> Dict[str, Any]:
-        return {"status": "ok", "taskmanager_running": self.taskmanager.running}
+        """Liveness plus queue-health gauges (depth per state, worker count)."""
+        counts = self.store.counts()
+        queue = {
+            "depth": counts.get("QUEUED", 0),
+            "running": counts.get("RUNNING", 0),
+            "states": counts,
+            "workers": self.taskmanager.num_workers,
+        }
+        if telemetry.metrics_enabled():
+            registry = telemetry.get_metrics()
+            registry.gauge(
+                "repro_job_queue_depth", help="Jobs waiting in the queue"
+            ).set(queue["depth"])
+            registry.gauge(
+                "repro_service_workers", help="TaskManager worker threads"
+            ).set(queue["workers"])
+        return {
+            "status": "ok",
+            "taskmanager_running": self.taskmanager.running,
+            "queue": queue,
+        }
+
+    def metrics(self) -> str:
+        """Prometheus text exposition of the process metrics registry.
+
+        Refreshes the queue gauges first so a scrape never reports stale
+        depth; the registry itself accumulates counters/histograms from the
+        task manager and store as jobs flow through.
+        """
+        if telemetry.metrics_enabled():
+            counts = self.store.counts()
+            registry = telemetry.get_metrics()
+            registry.gauge(
+                "repro_job_queue_depth", help="Jobs waiting in the queue"
+            ).set(counts.get("QUEUED", 0))
+            registry.gauge(
+                "repro_jobs_running", help="Jobs currently executing"
+            ).set(counts.get("RUNNING", 0))
+            registry.gauge(
+                "repro_service_workers", help="TaskManager worker threads"
+            ).set(self.taskmanager.num_workers)
+        return telemetry.get_metrics().render()

@@ -34,6 +34,7 @@ import time
 import uuid
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.service.exceptions import Conflict, IllegalTransition, NotFound
 from repro.service.jobs import (
     ACTIVE_STATES,
@@ -105,6 +106,10 @@ class JobStore:
         self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA journal_mode=WAL")
+        # In-memory cancel-request stamps (job_id -> monotonic seconds) so
+        # the TaskManager can report observed cancel latency; advisory only,
+        # never persisted.
+        self._cancel_times: Dict[str, float] = {}
         self._ensure_schema()
 
     # -- lifecycle of the store itself ------------------------------------- #
@@ -218,6 +223,14 @@ class JobStore:
             ).fetchone()
         return int(row["n"])
 
+    def counts(self) -> Dict[str, int]:
+        """Job counts per state across all tenants (health/metrics gauges)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        return {row["state"]: int(row["n"]) for row in rows}
+
     # -- the state machine --------------------------------------------------- #
     def transition(self, job_id: str, old: str, new: str, *, error: Optional[str] = None) -> Job:
         """Atomically move ``job_id`` from ``old`` to ``new``.
@@ -259,6 +272,7 @@ class JobStore:
         the write lock up front so concurrent workers serialize here and can
         never claim the same job.
         """
+        claim_t0 = time.perf_counter()
         with self._lock:
             self._conn.execute("BEGIN IMMEDIATE")
             try:
@@ -278,6 +292,8 @@ class JobStore:
             except BaseException:
                 self._conn.execute("ROLLBACK")
                 raise
+        # Claim contention: time to win the write lock and commit the claim.
+        telemetry.observe("repro_store_claim_seconds", time.perf_counter() - claim_t0)
         return self.get(row["id"])
 
     def request_cancel(self, job_id: str, *, tenant: Optional[str] = None) -> Job:
@@ -298,8 +314,14 @@ class JobStore:
                 self._conn.execute(
                     "UPDATE jobs SET cancel_requested = 1 WHERE id = ?", (job_id,)
                 )
+                self._cancel_times.setdefault(job_id, time.monotonic())
             return self.get(job_id)
         raise Conflict(f"job {job_id} is {job.state}; cannot cancel a terminal job")
+
+    def pop_cancel_time(self, job_id: str) -> Optional[float]:
+        """Consume the monotonic stamp of ``job_id``'s first cancel request."""
+        with self._lock:
+            return self._cancel_times.pop(job_id, None)
 
     def cancel_requested(self, job_id: str) -> bool:
         """The worker-side ``cancel_check`` poll."""

@@ -24,9 +24,11 @@ cancellation races deterministically without training anything.
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 from typing import Any, Callable
 
+from repro import telemetry
 from repro.api import RunRequest, RunResult
 from repro.api import run as api_run
 from repro.scenarios.runner import RunCancelled
@@ -142,22 +144,30 @@ class TaskManager:
 
     def execute(self, job: Job) -> Job:
         """Execute one already-``RUNNING`` job to a terminal state."""
+        if job.started_at is not None and job.created_at is not None:
+            telemetry.observe(
+                "repro_job_queue_wait_seconds",
+                max(job.started_at - job.created_at, 0.0),
+            )
         cancel_check = lambda: self.store.cancel_requested(job.id)  # noqa: E731
         extra: dict[str, Any] = {}
         if self.results_store is not None:
             extra["record_to"] = self.results_store
+        run_t0 = time.perf_counter()
         try:
             request = RunRequest.from_dict(job.request)
-            result = self.runner(request, cancel_check=cancel_check, **extra)
+            with telemetry.span("taskmanager.job") as job_span:
+                job_span.set("action", job.action)
+                result = self.runner(request, cancel_check=cancel_check, **extra)
         except RunCancelled:
-            return self.store.transition(job.id, RUNNING, CANCELLED)
+            return self._finish(job, CANCELLED, run_t0)
         except IllegalTransition:
             raise
         except Exception as exc:  # noqa: BLE001 — FAILED captures all worker errors
             error = "".join(
                 traceback.format_exception_only(type(exc), exc)
             ).strip()
-            return self.store.transition(job.id, RUNNING, FAILED, error=error)
+            return self._finish(job, FAILED, run_t0, error=error)
         payload = result.to_dict()
         self.store.save_result(
             job.id,
@@ -168,7 +178,23 @@ class TaskManager:
         # DONE wins any cancel race: only this worker moves the job out of
         # RUNNING, so a cancel_requested flag set after the last poll is a
         # no-op on state.
-        return self.store.transition(job.id, RUNNING, DONE)
+        return self._finish(job, DONE, run_t0)
+
+    def _finish(
+        self, job: Job, state: str, run_t0: float, *, error: "str | None" = None
+    ) -> Job:
+        """Transition ``job`` out of RUNNING and record its lifecycle metrics."""
+        kwargs = {"error": error} if error is not None else {}
+        finished = self.store.transition(job.id, RUNNING, state, **kwargs)
+        telemetry.count("repro_jobs_total", state=state)
+        telemetry.observe("repro_job_run_seconds", time.perf_counter() - run_t0)
+        cancel_time = self.store.pop_cancel_time(job.id)
+        if cancel_time is not None and state == CANCELLED:
+            telemetry.observe(
+                "repro_job_cancel_latency_seconds",
+                max(time.monotonic() - cancel_time, 0.0),
+            )
+        return finished
 
     # -- introspection ------------------------------------------------------ #
     @property

@@ -1,0 +1,248 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Families are created lazily by name through :class:`MetricsRegistry` and
+carry labeled series (``name{worker="3"}``-style), rendered in the
+Prometheus text exposition format by :meth:`MetricsRegistry.render` — the
+body of the service's ``GET /v1/metrics`` endpoint.
+
+Histograms use fixed buckets (latency-oriented defaults) so observation is
+O(log buckets) with no per-sample storage; :meth:`Histogram.quantile`
+linearly interpolates p50/p95/p99 from the cumulative bucket counts.
+
+All mutation happens under a per-family lock — cheap enough for the
+per-step counters this repo records, and required for correctness under
+the TaskManager's worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(key)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+
+
+class _Family:
+    """Base for one named metric family holding labeled series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._series: Dict[LabelKey, Any] = {}
+
+    def label_keys(self) -> Iterable[LabelKey]:
+        with self._lock:
+            return list(self._series)
+
+
+class Counter(_Family):
+    """Monotonically increasing per-label totals."""
+
+    kind = "counter"
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + value
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label combination."""
+        with self._lock:
+            return sum(self._series.values())
+
+    def render(self) -> Iterable[str]:
+        with self._lock:
+            items = sorted(self._series.items())
+        for key, value in items:
+            yield f"{self.name}{_render_labels(key)} {value:g}"
+
+
+class Gauge(_Family):
+    """Last-write-wins instantaneous values."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._series[_label_key(labels)] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0.0)
+
+    def render(self) -> Iterable[str]:
+        with self._lock:
+            items = sorted(self._series.items())
+        for key, value in items:
+            yield f"{self.name}{_render_labels(key)} {value:g}"
+
+
+class Histogram(_Family):
+    """Fixed-bucket distribution with interpolated quantiles."""
+
+    kind = "histogram"
+
+    #: Latency-oriented defaults (seconds), sub-millisecond to half a minute.
+    DEFAULT_BUCKETS = (
+        0.001,
+        0.0025,
+        0.005,
+        0.01,
+        0.025,
+        0.05,
+        0.1,
+        0.25,
+        0.5,
+        1.0,
+        2.5,
+        5.0,
+        10.0,
+        30.0,
+    )
+
+    def __init__(self, name: str, help: str = "", buckets: Optional[Iterable[float]] = None):
+        super().__init__(name, help)
+        bounds = tuple(sorted(buckets)) if buckets is not None else self.DEFAULT_BUCKETS
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            state = self._series.get(key)
+            if state is None:
+                # counts has one extra slot for the +Inf bucket.
+                state = self._series[key] = {
+                    "counts": [0] * (len(self.buckets) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+            state["counts"][bisect_left(self.buckets, value)] += 1
+            state["sum"] += value
+            state["count"] += 1
+
+    def count(self, **labels: Any) -> int:
+        with self._lock:
+            state = self._series.get(_label_key(labels))
+            return state["count"] if state else 0
+
+    def sum(self, **labels: Any) -> float:
+        with self._lock:
+            state = self._series.get(_label_key(labels))
+            return state["sum"] if state else 0.0
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Linearly interpolated quantile (0 < q <= 1) from bucket counts.
+
+        Values in the +Inf bucket clamp to the largest finite bound — with
+        fixed buckets that is the honest upper estimate available.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        with self._lock:
+            state = self._series.get(_label_key(labels))
+            counts = list(state["counts"]) if state else None
+            total = state["count"] if state else 0
+        if not counts or total == 0:
+            return 0.0
+        target = q * total
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            lower = self.buckets[index - 1] if index > 0 else 0.0
+            if index >= len(self.buckets):  # +Inf bucket: clamp
+                return self.buckets[-1]
+            upper = self.buckets[index]
+            if cumulative + bucket_count >= target:
+                fraction = (target - cumulative) / bucket_count
+                return lower + fraction * (upper - lower)
+            cumulative += bucket_count
+        return self.buckets[-1]  # pragma: no cover - exhausted by loop above
+
+    def render(self) -> Iterable[str]:
+        with self._lock:
+            items = sorted(
+                (key, list(state["counts"]), state["sum"], state["count"])
+                for key, state in self._series.items()
+            )
+        for key, counts, total_sum, total_count in items:
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets, counts):
+                cumulative += bucket_count
+                labels = _render_labels(key, ("le", f"{bound:g}"))
+                yield f"{self.name}_bucket{labels} {cumulative}"
+            cumulative += counts[-1]
+            yield f"{self.name}_bucket{_render_labels(key, ('le', '+Inf'))} {cumulative}"
+            yield f"{self.name}_sum{_render_labels(key)} {total_sum:g}"
+            yield f"{self.name}_count{_render_labels(key)} {total_count}"
+
+
+class MetricsRegistry:
+    """Name-keyed family store with Prometheus text rendering."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    def _get(self, name: str, cls: type, help: str, **kwargs: Any) -> Any:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = cls(name, help=help, **kwargs)
+            elif not isinstance(family, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, "
+                    f"not {cls.kind}"
+                )
+            return family
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Optional[Iterable[float]] = None
+    ) -> Histogram:
+        return self._get(name, Histogram, help, buckets=buckets)
+
+    def families(self) -> Dict[str, _Family]:
+        with self._lock:
+            return dict(self._families)
+
+    def render(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines = []
+        for name in sorted(self.families()):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            lines.extend(family.render())
+        return "\n".join(lines) + ("\n" if lines else "")

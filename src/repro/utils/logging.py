@@ -1,4 +1,11 @@
-"""Lightweight logging configuration shared across the package."""
+"""Lightweight logging configuration shared across the package.
+
+Configuration is scoped to the ``"repro"`` package logger — importing the
+library must never hijack the root logger of an embedding application
+(``logging.basicConfig`` would, silently reformatting every library's
+output).  If the application has already attached handlers to the root or
+the package logger, those win and this module attaches nothing.
+"""
 
 from __future__ import annotations
 
@@ -6,19 +13,43 @@ import logging
 import os
 
 _FORMAT = "%(asctime)s [%(levelname)s] %(name)s: %(message)s"
+_PACKAGE = "repro"
 _CONFIGURED = False
 
 
-def get_logger(name: str) -> logging.Logger:
-    """Return a package logger, configuring the root handler on first use.
+def _configure_package_logger() -> None:
+    """Attach one stream handler to the ``repro`` logger (idempotent).
 
-    The log level can be controlled with the ``REPRO_LOG_LEVEL`` environment
-    variable (default ``WARNING`` so test output stays clean).
+    The log level comes from the ``REPRO_LOG_LEVEL`` environment variable
+    (default ``WARNING`` so test output stays clean).  Pre-existing handlers
+    on the package or root logger mean the host application owns logging
+    configuration; in that case only the level is applied.
     """
     global _CONFIGURED
-    if not _CONFIGURED:
-        level_name = os.environ.get("REPRO_LOG_LEVEL", "WARNING").upper()
-        level = getattr(logging, level_name, logging.WARNING)
-        logging.basicConfig(level=level, format=_FORMAT)
-        _CONFIGURED = True
+    if _CONFIGURED:
+        return
+    _CONFIGURED = True
+    package_logger = logging.getLogger(_PACKAGE)
+    level_name = os.environ.get("REPRO_LOG_LEVEL", "WARNING").upper()
+    level = getattr(logging, level_name, logging.WARNING)
+    package_logger.setLevel(level)
+    if package_logger.handlers or logging.getLogger().handlers:
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    package_logger.addHandler(handler)
+    # The handler renders repro records; don't also bubble them to the
+    # (unconfigured) root logger's lastResort handler.
+    package_logger.propagate = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` package hierarchy.
+
+    Names outside the package (no ``repro`` prefix) are nested under it so
+    every logger this package creates shares the one scoped handler.
+    """
+    _configure_package_logger()
+    if name != _PACKAGE and not name.startswith(_PACKAGE + "."):
+        name = f"{_PACKAGE}.{name}"
     return logging.getLogger(name)

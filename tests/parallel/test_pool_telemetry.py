@@ -1,0 +1,80 @@
+"""Cross-process span collection: child step spans graft into parent traces."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import telemetry
+from tests.conftest import make_small_cluster
+
+
+@pytest.fixture(autouse=True)
+def _pristine_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+def _drain_by_name(names):
+    spans = telemetry.get_tracer().drain()
+    return {name: [s for s in spans if s["name"] == name] for name in names}
+
+
+@pytest.mark.pool
+class TestPoolSpanAdoption:
+    def _run_one_round(self, **cluster_kwargs):
+        telemetry.configure(tracing=True)
+        cluster = make_small_cluster(num_workers=2, pool_workers=2, **cluster_kwargs)
+        try:
+            batches = [w.next_batch() for w in cluster.workers]
+            cluster.compute_gradients_all(batches)
+        finally:
+            cluster.close()
+        return _drain_by_name(["pool.roundtrip", "pool.child.step"])
+
+    def test_child_step_spans_adopted_under_roundtrip(self):
+        spans = self._run_one_round()
+        assert len(spans["pool.roundtrip"]) == 1
+        roundtrip = spans["pool.roundtrip"][0]
+        # One step span per pool group, shipped over the pipe and grafted
+        # under the parent-side round-trip span.
+        assert len(spans["pool.child.step"]) == 2
+        for child in spans["pool.child.step"]:
+            assert child["parent_id"] == roundtrip["span_id"]
+            assert child["trace_id"] == roundtrip["trace_id"]
+            assert child["pid"] != os.getpid()
+            assert child["attrs"]["rows"] >= 1
+        # Child compute time is nested inside the round-trip wall time.
+        child_total = max(s["duration"] for s in spans["pool.child.step"])
+        assert roundtrip["duration"] >= child_total * 0.5
+
+    def test_spawned_children_also_report_spans(self):
+        spans = self._run_one_round(pool_start_method="spawn")
+        assert len(spans["pool.child.step"]) == 2
+        assert all(s["pid"] != os.getpid() for s in spans["pool.child.step"])
+
+    def test_compute_one_adopts_single_child_span(self):
+        telemetry.configure(tracing=True)
+        cluster = make_small_cluster(num_workers=2, pool_workers=2)
+        try:
+            worker = cluster.workers[1]
+            cluster.compute_gradients_worker(worker, worker.next_batch())
+        finally:
+            cluster.close()
+        spans = _drain_by_name(["pool.roundtrip", "pool.child.step"])
+        assert len(spans["pool.roundtrip"]) == 1
+        assert len(spans["pool.child.step"]) == 1
+        child = spans["pool.child.step"][0]
+        assert child["parent_id"] == spans["pool.roundtrip"][0]["span_id"]
+        assert child["attrs"]["rows"] == 1
+
+    def test_disabled_tracing_ships_no_spans(self):
+        cluster = make_small_cluster(num_workers=2, pool_workers=2)
+        try:
+            batches = [w.next_batch() for w in cluster.workers]
+            cluster.compute_gradients_all(batches)
+        finally:
+            cluster.close()
+        assert telemetry.get_tracer().drain() == []

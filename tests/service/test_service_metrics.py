@@ -1,0 +1,107 @@
+"""Service observability: /v1/metrics exposition, health queue block, and
+worker-thread trace isolation in the task manager."""
+
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.service import ExperimentService, QuotaManager, ServiceClient
+
+
+@pytest.fixture(autouse=True)
+def _pristine_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()
+
+
+@pytest.fixture()
+def service():
+    svc = ExperimentService(
+        port=0, workers=2, quotas=QuotaManager(max_active_jobs=None, rate=None)
+    )
+    svc.start()
+    try:
+        yield svc
+    finally:
+        svc.stop()
+
+
+def _metric_value(text: str, line_prefix: str) -> float:
+    for line in text.splitlines():
+        if line.startswith(line_prefix):
+            return float(line.rsplit(" ", 1)[1])
+    raise AssertionError(f"{line_prefix!r} not found in:\n{text}")
+
+
+class TestMetricsEndpoint:
+    def test_counters_advance_across_job_lifecycle(self, service):
+        client = ServiceClient(service.url, tenant="metrics")
+        before = client.metrics()
+        job = client.submit(
+            "throughput", {"workloads": ["resnet101"], "worker_counts": [1, 2]}
+        )
+        done = client.wait(job["id"], timeout=30)
+        assert done["state"] == "DONE"
+        after = client.metrics()
+
+        done_before = (
+            _metric_value(before, 'repro_jobs_total{state="DONE"}')
+            if 'repro_jobs_total{state="DONE"}' in before
+            else 0.0
+        )
+        assert _metric_value(after, 'repro_jobs_total{state="DONE"}') == done_before + 1
+        # Every finished job records run-time and queue-wait observations.
+        assert _metric_value(after, "repro_job_run_seconds_count") >= 1
+        assert _metric_value(after, "repro_job_queue_wait_seconds_count") >= 1
+        # Claim latency is observed on every successful claim.
+        assert _metric_value(after, "repro_store_claim_seconds_count") >= 1
+        # Gauges reflect the drained queue.
+        assert _metric_value(after, "repro_job_queue_depth") == 0
+        assert _metric_value(after, "repro_service_workers") == 2
+
+    def test_metrics_is_prometheus_text_not_json(self, service):
+        import urllib.request
+
+        with urllib.request.urlopen(service.url + "/v1/metrics", timeout=10) as resp:
+            assert resp.status == 200
+            content_type = resp.headers.get("Content-Type", "")
+            assert content_type.startswith("text/plain")
+            body = resp.read().decode("utf-8")
+        assert "# TYPE repro_service_workers gauge" in body
+
+    def test_health_reports_queue_block(self, service):
+        client = ServiceClient(service.url)
+        job = client.submit(
+            "throughput", {"workloads": ["resnet101"], "worker_counts": [1]}
+        )
+        client.wait(job["id"], timeout=30)
+        health = client.health()
+        queue = health["queue"]
+        assert queue["workers"] == 2
+        assert queue["depth"] == 0
+        assert queue["running"] == 0
+        assert queue["states"].get("DONE", 0) >= 1
+
+
+class TestWorkerThreadIsolation:
+    def test_taskmanager_spans_root_in_worker_threads(self, service):
+        telemetry.configure(tracing=True)
+        telemetry.get_tracer().drain()  # discard setup spans
+        client = ServiceClient(service.url)
+        with telemetry.span("main.request"):
+            job = client.submit(
+                "throughput", {"workloads": ["resnet101"], "worker_counts": [1]}
+            )
+            client.wait(job["id"], timeout=30)
+        spans = telemetry.get_tracer().drain()
+        jobs = [s for s in spans if s["name"] == "taskmanager.job"]
+        assert jobs, f"no taskmanager.job span in {[s['name'] for s in spans]}"
+        main_thread = threading.current_thread().name
+        for span in jobs:
+            # Worker-thread spans are their own trace roots: never parented
+            # to the submitting thread's open span.
+            assert span["thread"] != main_thread
+            assert span["parent_id"] is None
+            assert span["attrs"]["action"] == "throughput"

@@ -1,0 +1,12 @@
+"""Telemetry tests mutate process-global state; isolate every test."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _pristine_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()

@@ -1,0 +1,116 @@
+"""Metrics registry unit tests: counters, gauges, histograms, rendering."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_jobs_total")
+        counter.inc(state="DONE")
+        counter.inc(state="DONE")
+        counter.inc(2.0, state="FAILED")
+        assert counter.value(state="DONE") == 2.0
+        assert counter.value(state="FAILED") == 2.0
+        assert counter.value(state="CANCELLED") == 0.0
+        assert counter.total() == 4.0
+
+    def test_render(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_x_total", help="things")
+        counter.inc(kind="sync")
+        lines = list(counter.render())
+        assert lines == ['repro_x_total{kind="sync"} 1']
+
+
+class TestGauge:
+    def test_set_is_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_depth")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value() == 2.0
+        assert list(gauge.render()) == ["repro_depth 2"]
+
+
+class TestHistogram:
+    def test_count_sum_and_quantiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_lat_seconds")
+        for value in (0.002, 0.003, 0.004, 0.02, 0.2):
+            hist.observe(value)
+        assert hist.count() == 5
+        assert hist.sum() == pytest.approx(0.229)
+        p50 = hist.quantile(0.5)
+        assert 0.0025 <= p50 <= 0.01
+        assert hist.quantile(0.99) <= 0.25
+        assert hist.quantile(1.0) <= 0.25
+
+    def test_quantile_edge_cases(self):
+        hist = Histogram("h")
+        assert hist.quantile(0.5) == 0.0  # no observations
+        with pytest.raises(ValueError):
+            hist.quantile(0.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        # +Inf bucket clamps to the largest finite bound.
+        hist.observe(100.0)
+        assert hist.quantile(0.99) == hist.buckets[-1]
+
+    def test_custom_buckets_and_render(self):
+        hist = Histogram("h_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        lines = list(hist.render())
+        assert 'h_seconds_bucket{le="0.1"} 1' in lines
+        assert 'h_seconds_bucket{le="1"} 2' in lines
+        assert 'h_seconds_bucket{le="+Inf"} 3' in lines
+        assert "h_seconds_count 3" in lines
+
+
+class TestRegistry:
+    def test_families_are_created_once(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("a_total")
+
+    def test_render_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", help="b things").inc()
+        registry.gauge("a_depth").set(1)
+        text = registry.render()
+        lines = text.splitlines()
+        assert "# TYPE a_depth gauge" in lines
+        assert "# HELP b_total b things" in lines
+        assert "# TYPE b_total counter" in lines
+        # Families render sorted by name; the body ends with a newline.
+        assert lines.index("# TYPE a_depth gauge") < lines.index("# TYPE b_total counter")
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+
+class TestModuleHelpers:
+    def test_helpers_record_when_enabled(self):
+        telemetry.configure(metrics=True)
+        telemetry.count("repro_sync_decisions_total", decision="sync")
+        telemetry.count("repro_sync_decisions_total", decision="local")
+        telemetry.count("repro_sync_decisions_total", decision="local")
+        telemetry.observe("repro_job_run_seconds", 0.25)
+        telemetry.gauge("repro_job_queue_depth", 4)
+        registry = telemetry.get_metrics()
+        assert registry.counter("repro_sync_decisions_total").value(decision="local") == 2.0
+        assert registry.histogram("repro_job_run_seconds").count() == 1
+        assert registry.gauge("repro_job_queue_depth").value() == 4.0
+        rendered = registry.render()
+        assert 'repro_sync_decisions_total{decision="sync"} 1' in rendered
