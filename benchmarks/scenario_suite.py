@@ -31,6 +31,13 @@ memory-bandwidth-bound and fusing has no per-layer overhead left to
 amortize — the measured numbers are recorded honestly either way, and the
 CI regression gate (``compare_bench.py``) tracks them over time.
 
+The suite also runs the *fault-replay smoke*: every ``faults``-tagged
+scenario from :mod:`repro.faults` (crash / straggler-burst / rejoin
+schedules with deterministic-replay and loss-continuity gates), recorded as
+the ``fault_replay`` section of ``BENCH_scenarios.json``.  Those records
+deliberately omit wall-clock, so they are tracked but never feed the
+steps/sec regression gate.
+
 Standalone (also reachable via ``python -m benchmarks.perf_smoke
 --run-scenarios [--stacked]``):
 
@@ -54,6 +61,9 @@ SCENARIO_RESULTS_DIR = Path(__file__).resolve().parent / "results" / "scenarios"
 
 #: Registry tag selecting the suite's scenarios.
 SUITE_TAG = "paper-scale"
+
+#: Registry tag selecting the fault-replay smoke scenarios (repro.faults).
+FAULT_TAG = "faults"
 
 #: The stacked speedup gate arms only on hosts with at least this many
 #: cores.  Fusing S slices into one (S·N, D) pass amortizes per-layer
@@ -229,6 +239,52 @@ def check_stacked_contrast(section: dict) -> None:
             )
 
 
+def run_fault_replay_smoke(write_results: bool = False) -> dict:
+    """Run every ``faults``-tagged scenario; return the ``fault_replay`` section.
+
+    Each fault scenario already runs twice inside the runner and raises on a
+    gate violation (deterministic replay, loss continuity) — this smoke
+    records the verdicts and the replayable metrics in
+    ``BENCH_scenarios.json`` so nightly CI tracks the reliability surface
+    alongside the δ-sweeps.  Records deliberately omit wall-clock, so these
+    rows never feed the steps/sec regression gate.
+    """
+    from repro.scenarios import run_scenario, scenario_names
+
+    scenarios: Dict[str, dict] = {}
+    for name in scenario_names(tag=FAULT_TAG):
+        report = run_scenario(name)
+        summary = report.to_dict()
+        save_report(f"scenarios/{name}", report.table(), write=write_results)
+        if write_results:
+            SCENARIO_RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+            path = SCENARIO_RESULTS_DIR / f"{name}.json"
+            path.write_text(json.dumps(summary, indent=2) + "\n")
+        meta = summary["meta"]
+        scenarios[name] = {
+            "workload": meta["workload"],
+            "algorithm": meta["algorithm"],
+            "num_workers": meta["num_workers"],
+            "iterations": meta["iterations"],
+            "fault_events": len(meta["fault_events"]),
+            "gates": meta["gates"],
+            "metrics": summary["records"][0]["metrics"],
+        }
+    return {"scenarios": scenarios}
+
+
+def check_fault_replay(section: dict) -> None:
+    """Assert every fault scenario's reliability gates passed."""
+    for name, row in section["scenarios"].items():
+        gates = row["gates"]
+        assert gates["deterministic_replay"], (
+            f"{name}: two runs with the same fault seed diverged"
+        )
+        assert gates["loss_continuity"], (
+            f"{name}: loss continuity broken — {gates['continuity_detail']}"
+        )
+
+
 def check_sweep_contract(summary: dict) -> None:
     """Assert one δ-sweep's gates: monotone LSSR, full span, exact endpoints."""
     records = summary["records"]
@@ -286,6 +342,21 @@ def test_stacked_sweep_contrast(request):
 
 
 @pytest.mark.perf
+@pytest.mark.faults
+def test_fault_replay_smoke(request):
+    if not request.config.getoption("--run-scenarios"):
+        pytest.skip("scenario sweeps run only with --run-scenarios")
+    write = request.config.getoption("--write-results")
+    section = run_fault_replay_smoke(write_results=write)
+    merge_into_result_file({"fault_replay": section})
+    print(
+        f"\n[{len(section['scenarios'])} fault-replay rows merged into {RESULT_PATH}]"
+    )
+    assert section["scenarios"], "no fault scenarios registered"
+    check_fault_replay(section)
+
+
+@pytest.mark.perf
 @pytest.mark.pool
 def test_scenario_sweep_suite_pooled(request):
     if not request.config.getoption("--run-scenarios"):
@@ -310,6 +381,13 @@ def main(write_results: bool = True, stacked: bool = False) -> Dict[str, dict]:
     for summary in summaries.values():
         check_sweep_contract(summary)
     print(f"[{len(summaries)} scenario reports merged into {RESULT_PATH}]")
+    fault_section = run_fault_replay_smoke(write_results=write_results)
+    merge_into_result_file({"fault_replay": fault_section})
+    check_fault_replay(fault_section)
+    print(
+        f"[{len(fault_section['scenarios'])} fault-replay rows merged into "
+        f"{RESULT_PATH}]"
+    )
     if stacked:
         section = run_stacked_contrast()
         merge_into_result_file({"stacked_sweep": section})

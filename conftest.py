@@ -115,6 +115,10 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "pool: multiprocessing replica-pool tests and benchmarks"
     )
+    config.addinivalue_line(
+        "markers",
+        "faults: fault-injection and elasticity reliability tests (repro.faults)",
+    )
     # Propagate the opt-in to the benchmark helpers (the figure benchmarks
     # call save_report directly, not through a fixture).
     try:

@@ -86,6 +86,7 @@ class BaseTrainer:
         self.global_step = 0
         self.history: List[EvalPoint] = []
         self._last_eval: Optional[EvalResult] = None
+        self.fault_controller = None
 
     # ------------------------------------------------------------------ #
     # hooks for subclasses
@@ -97,6 +98,48 @@ class BaseTrainer:
     def global_state(self) -> Dict[str, np.ndarray]:
         """Model state evaluated at checkpoints (default: replica average)."""
         return self.cluster.average_worker_states()
+
+    # ------------------------------------------------------------------ #
+    # fault injection (repro.faults)
+    # ------------------------------------------------------------------ #
+    def attach_fault_controller(self, controller) -> None:
+        """Arm a :class:`~repro.faults.controller.FaultController`.
+
+        The controller's ``before_step(step)`` runs at the start of every
+        global step, applying scheduled crash / rejoin / straggler events
+        before the step computes.
+        """
+        self.fault_controller = controller
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+    def trainer_state(self) -> Dict:
+        """Algorithm-level state for :meth:`checkpoint`; subclasses extend."""
+        return {
+            "global_step": self.global_step,
+            "history": list(self.history),
+            "lssr_local": self.lssr_tracker.local_steps,
+            "lssr_sync": self.lssr_tracker.sync_steps,
+            "last_eval": self._last_eval,
+        }
+
+    def load_trainer_state(self, state: Dict) -> None:
+        """Restore the state captured by :meth:`trainer_state`."""
+        self.global_step = state["global_step"]
+        self.history = list(state["history"])
+        self.lssr_tracker.local_steps = state["lssr_local"]
+        self.lssr_tracker.sync_steps = state["lssr_sync"]
+        self._last_eval = state["last_eval"]
+
+    def checkpoint(self) -> Dict:
+        """Snapshot the cluster plus this trainer's algorithm state."""
+        return {"cluster": self.cluster.checkpoint(), "trainer": self.trainer_state()}
+
+    def restore(self, ckpt: Dict) -> None:
+        """Restore a :meth:`checkpoint` — continuation is bit-identical."""
+        self.cluster.restore(ckpt["cluster"])
+        self.load_trainer_state(ckpt["trainer"])
 
     # ------------------------------------------------------------------ #
     # shared helpers
@@ -178,6 +221,8 @@ class BaseTrainer:
         final_result: Optional[EvalResult] = None
 
         for _ in range(max_iterations):
+            if self.fault_controller is not None:
+                self.fault_controller.before_step(self.global_step)
             with telemetry.span("trainer.step"):
                 self.train_step()
             self.global_step += 1

@@ -33,20 +33,21 @@ class BSPTrainer(BaseTrainer):
     def train_step(self) -> Dict[str, float]:
         cluster = self.cluster
         lr = self.current_lr()
-        batches = [worker.next_batch() for worker in cluster.workers]
+        batches = cluster.next_batches()
         losses = cluster.compute_gradients_all(batches)
         cluster.charge_compute_step()
 
         # Gradients already live as rows of the (N, D) worker matrix, so the
-        # all-reduce is one fused mean over it.
-        averaged = cluster.backend.allreduce_matrix(cluster.matrix.grads, op="mean")
+        # all-reduce is one fused mean over it (the active rows only, under
+        # an elastic fault mask).
+        averaged = cluster.backend.allreduce_matrix(cluster.active_grads, op="mean")
         cluster.charge_sync()
         cluster.apply_local_updates(lr=lr, grads=averaged)
         # Keep the PS state in line with the (identical) replicas so the
         # global checkpoint matches what a PS deployment would serve.
-        cluster.ps.set_state(cluster.workers[0].param_vector)
+        cluster.ps.set_state(cluster.primary_worker.param_vector)
         self.lssr_tracker.record_sync()
         return {"loss": float(np.mean(losses)), "synchronized": 1.0}
 
     def global_state(self):
-        return self.cluster.workers[0].get_state()
+        return self.cluster.primary_worker.get_state()

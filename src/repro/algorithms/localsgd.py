@@ -40,14 +40,14 @@ class LocalSGDTrainer(BaseTrainer):
     def train_step(self) -> Dict[str, float]:
         cluster = self.cluster
         lr = self.current_lr()
-        batches = [worker.next_batch() for worker in cluster.workers]
+        batches = cluster.next_batches()
         losses = cluster.compute_gradients_all(batches)
         cluster.apply_local_updates(lr=lr)
         cluster.charge_compute_step()
 
         synchronize = (self.global_step + 1) % self.sync_period == 0
         if synchronize:
-            new_global = cluster.ps.push_matrix_parameters(cluster.matrix.params)
+            new_global = cluster.ps.push_matrix_parameters(cluster.active_params)
             cluster.broadcast_state(new_global)
             cluster.charge_sync()
             self.lssr_tracker.record_sync()

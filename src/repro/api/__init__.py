@@ -55,6 +55,7 @@ from repro.scenarios.runner import (
 )
 from repro.scenarios.spec import (
     ComparisonScenario,
+    FaultScenario,
     ScenarioError,
     SweepScenario,
     ThroughputScenario,
@@ -158,6 +159,11 @@ class RunRequest:
     stacked / max_stacked_rows:
         Fused ``(S·N, D)`` sweep execution (``sweep`` and ``scenario``
         kinds).
+    fault_seed / failure_rate / straggler_fraction / mttr:
+        Fault injection (:mod:`repro.faults`).  The ``experiment`` kind
+        accepts all four (a positive rate arms a seeded crash/straggler
+        process); the ``scenario`` kind accepts ``fault_seed`` only, as an
+        override for registered fault scenarios.
     title:
         Optional human-readable title for ad-hoc scenario kinds.
     """
@@ -180,6 +186,10 @@ class RunRequest:
     pool_start_method: Optional[str] = None
     stacked: Optional[bool] = None
     max_stacked_rows: Optional[int] = None
+    fault_seed: Optional[int] = None
+    failure_rate: Optional[float] = None
+    straggler_fraction: Optional[float] = None
+    mttr: Optional[int] = None
     title: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -190,6 +200,14 @@ class RunRequest:
         object.__setattr__(self, "options", dict(self.options))
         checker = getattr(self, f"_check_{self.kind}")
         checker()
+        if self.fault_seed is not None and int(self.fault_seed) < 0:
+            raise ApiError(f"fault_seed must be >= 0, got {self.fault_seed}")
+        for name in ("failure_rate", "straggler_fraction"):
+            value = getattr(self, name)
+            if value is not None and not 0.0 <= float(value) <= 1.0:
+                raise ApiError(f"{name} must be in [0, 1], got {value}")
+        if self.mttr is not None and int(self.mttr) < 1:
+            raise ApiError(f"mttr must be >= 1, got {self.mttr}")
         for name in ("num_workers", "iterations"):
             value = getattr(self, name)
             if value is not None and int(value) < 1:
@@ -220,10 +238,12 @@ class RunRequest:
         # algorithm defaults to "selsync", matching the SweepScenario dataclass
         self._require("workload", "grid")
         self._forbid("scenario")
+        self._forbid("fault_seed", "failure_rate", "straggler_fraction", "mttr")
 
     def _check_comparison(self) -> None:
         self._forbid("scenario", "workload", "algorithm", "grid", "params")
         self._forbid("stacked", "max_stacked_rows")
+        self._forbid("fault_seed", "failure_rate", "straggler_fraction", "mttr")
         if "methods" not in self.options:
             raise ApiError("comparison request requires options['methods']")
 
@@ -233,6 +253,7 @@ class RunRequest:
             "num_workers", "iterations", "seed", "eval_every", "batch_size",
             "dtype", "transport_dtype", "pool_start_method",
             "stacked", "max_stacked_rows",
+            "fault_seed", "failure_rate", "straggler_fraction", "mttr",
         )
         if self.pool_workers:
             raise ApiError("throughput request does not accept 'pool_workers'")
@@ -246,6 +267,8 @@ class RunRequest:
             "eval_every", "batch_size", "dtype", "transport_dtype",
             "pool_start_method",
         )
+        # fault_seed stays allowed: it overrides registered fault scenarios.
+        self._forbid("failure_rate", "straggler_fraction", "mttr")
         if self.pool_workers:
             raise ApiError(
                 "scenario request does not accept 'pool_workers'; the "
@@ -303,6 +326,11 @@ class RunRequest:
                 raise ApiError(
                     f"scenario {self.scenario!r} is analytic; iterations/"
                     "num_workers/seed overrides do not apply"
+                )
+            if self.fault_seed is not None and not isinstance(scenario, FaultScenario):
+                raise ApiError(
+                    f"scenario {self.scenario!r} is a {scenario.kind} scenario; "
+                    "the 'fault_seed' override applies to fault scenarios only"
                 )
         else:
             self._build_scenario()
@@ -479,6 +507,15 @@ def _run_experiment_kind(
     num_workers = request.num_workers or 4
     seed = request.seed or 0
     eval_every = request.eval_every or max(iterations // 8, 1)
+    fault_kwargs: Dict[str, Any] = {}
+    if request.fault_seed is not None:
+        fault_kwargs["fault_seed"] = int(request.fault_seed)
+    if request.failure_rate is not None:
+        fault_kwargs["failure_rate"] = float(request.failure_rate)
+    if request.straggler_fraction is not None:
+        fault_kwargs["straggler_fraction"] = float(request.straggler_fraction)
+    if request.mttr is not None:
+        fault_kwargs["mttr"] = int(request.mttr)
     phase_start = telemetry.phase_snapshot()
     out = run_experiment(
         request.workload,
@@ -492,6 +529,7 @@ def _run_experiment_kind(
         transport_dtype=request.transport_dtype,
         pool_workers=request.pool_workers,
         pool_start_method=request.pool_start_method,
+        **fault_kwargs,
         **request.params,
     )
     record = {
@@ -516,6 +554,8 @@ def _run_experiment_kind(
         "transport_dtype": request.transport_dtype,
         "pool_workers": request.pool_workers,
     }
+    if fault_kwargs:
+        meta["faults"] = dict(fault_kwargs)
     if phases:
         meta["phases"] = phases
     return RunResult(
@@ -608,6 +648,7 @@ def run(
             seed=request.seed,
             stacked=request.stacked,
             max_stacked_rows=request.max_stacked_rows,
+            fault_seed=request.fault_seed,
             cancel_check=cancel_check,
         )
         result = _from_report("scenario", report)

@@ -46,6 +46,20 @@ class SimulatedClock:
         self.worker_time += per_worker_seconds
         self.buckets[bucket] = self.buckets.get(bucket, 0.0) + float(per_worker_seconds.max())
 
+    def sync_worker(self, worker_id: int) -> float:
+        """Fast-forward one worker's clock to the cluster barrier.
+
+        Used when a crashed worker rejoins: it resumes at the current
+        frontier (the slowest live worker's time), not at its stale crash
+        time.  No bucket is charged — the wait is idle downtime, not work.
+        Returns the worker's new time.
+        """
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(f"worker_id {worker_id} out of range")
+        latest = float(self.worker_time.max())
+        self.worker_time[worker_id] = latest
+        return latest
+
     def barrier(self) -> float:
         """Synchronize all workers to the slowest one; returns the barrier time."""
         latest = float(self.worker_time.max())

@@ -248,6 +248,13 @@ class SimulatedCluster:
         self.speed_model = config.speed_model
         self._eval_rng = rngs[n]
         self.global_step = 0
+        # Elasticity state (repro.faults): crashed workers leave the active
+        # mask, dropping their rows from the fused engine and every
+        # aggregation; straggler bursts scale per-worker compute speed.
+        # All-True / all-ones is the fast path — every masked branch below
+        # is a strict no-op then.
+        self.active_mask = np.ones(n, dtype=bool)
+        self.fault_speed_scale = np.ones(n, dtype=np.float64)
 
     # ------------------------------------------------------------------ #
     # matrix construction (extension point)
@@ -283,6 +290,111 @@ class SimulatedCluster:
     def batch_size(self) -> int:
         return self.workers[0].loader.batch_size
 
+    @property
+    def num_active(self) -> int:
+        """Number of workers currently in the active set."""
+        return int(self.active_mask.sum())
+
+    @property
+    def active_indices(self) -> np.ndarray:
+        """Worker ids currently in the active set, ascending."""
+        return np.flatnonzero(self.active_mask)
+
+    @property
+    def primary_worker(self) -> Worker:
+        """The first active worker (worker 0 unless it crashed).
+
+        Algorithms that track a reference replica (BSP's PS mirror, SelSync's
+        GA checkpoint) use this instead of ``workers[0]`` so a crashed
+        worker 0 never becomes the reference.
+        """
+        if self.active_mask[0]:
+            return self.workers[0]
+        return self.workers[int(self.active_indices[0])]
+
+    @property
+    def active_params(self) -> np.ndarray:
+        """Parameter rows of the active workers.
+
+        The live full matrix when every worker is active (the common case —
+        zero-copy), a gathered ``(num_active, D)`` copy under an elastic mask.
+        """
+        if self.active_mask.all():
+            return self.matrix.params
+        return self.matrix.params[self.active_mask]
+
+    @property
+    def active_grads(self) -> np.ndarray:
+        """Gradient rows of the active workers (see :attr:`active_params`)."""
+        if self.active_mask.all():
+            return self.matrix.grads
+        return self.matrix.grads[self.active_mask]
+
+    # ------------------------------------------------------------------ #
+    # elasticity (repro.faults)
+    # ------------------------------------------------------------------ #
+    def deactivate_worker(self, worker_id: int) -> None:
+        """Drop a worker from the active set (a crash).
+
+        Its parameter and gradient rows freeze in place: the fused engine,
+        optimizer stepping, aggregation and broadcast all skip the row until
+        :meth:`reactivate_worker`.
+        """
+        self._check_worker_id(worker_id)
+        if self.pool is not None:
+            raise RuntimeError(
+                "the replica pool does not support elastic worker masks; "
+                "run fault scenarios in-process (pool_workers=0)"
+            )
+        if not self.active_mask[worker_id]:
+            raise ValueError(f"worker {worker_id} is already inactive")
+        if self.num_active == 1:
+            raise ValueError("cannot deactivate the last active worker")
+        self.active_mask[worker_id] = False
+
+    def reactivate_worker(self, worker_id: int) -> None:
+        """Return a crashed worker to the active set (a rejoin)."""
+        self._check_worker_id(worker_id)
+        if self.active_mask[worker_id]:
+            raise ValueError(f"worker {worker_id} is already active")
+        self.active_mask[worker_id] = True
+
+    def _check_worker_id(self, worker_id: int) -> None:
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(
+                f"worker_id must be in [0, {self.num_workers}), got {worker_id}"
+            )
+
+    def next_batches(self) -> List:
+        """One local mini-batch per worker; ``None`` at crashed slots.
+
+        Crashed workers' loaders do not advance, so their data stream
+        resumes exactly where it stopped when they rejoin.
+        """
+        return [
+            worker.next_batch() if self.active_mask[worker.worker_id] else None
+            for worker in self.workers
+        ]
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore (repro.faults)
+    # ------------------------------------------------------------------ #
+    def checkpoint(self):
+        """Snapshot the full cluster state as contiguous copies.
+
+        Returns a :class:`~repro.faults.checkpoint.ClusterCheckpoint`; see
+        :meth:`restore`.
+        """
+        from repro.faults.checkpoint import snapshot_cluster
+
+        return snapshot_cluster(self)
+
+    def restore(self, ckpt) -> None:
+        """Write a checkpoint back in place — bit-identical continuation."""
+        from repro.faults.checkpoint import restore_cluster
+
+        restore_cluster(self, ckpt)
+
     def steps_per_epoch(self) -> int:
         """Global steps per pass over the full training set (BSP semantics)."""
         return max(len(self.train_dataset) // (self.batch_size * self.num_workers), 1)
@@ -308,6 +420,8 @@ class SimulatedCluster:
         holds one ``(inputs, targets)`` pair per worker.
         """
         tick = self._next_dropout_tick()
+        if not self.active_mask.all():
+            return self._compute_gradients_masked(batches)
         with telemetry.span("cluster.gradients"):
             if self.pool is not None:
                 losses, norms = self.pool.compute_all(batches, tick=tick)
@@ -326,6 +440,43 @@ class SimulatedCluster:
             return [
                 worker.compute_gradients_flat(batch)[0]
                 for worker, batch in zip(self.workers, batches)
+            ]
+
+    def _compute_gradients_masked(self, batches) -> List[float]:
+        """Gradients for the active workers only; returns their losses.
+
+        ``batches`` is full-length with ``None`` at crashed slots (see
+        :meth:`next_batches`).  The fused executor still runs all N rows —
+        crashed slots compute against a placeholder batch so the batched
+        matmul shapes stay fixed — but their gradient rows are zeroed
+        afterwards and their losses dropped, so nothing from a crashed row
+        ever reaches an aggregation.
+        """
+        if self.pool is not None:
+            raise RuntimeError(
+                "the replica pool does not support elastic worker masks; "
+                "run fault scenarios in-process (pool_workers=0)"
+            )
+        mask = self.active_mask
+        active = np.flatnonzero(mask)
+        with telemetry.span("cluster.gradients"):
+            if self.replica_exec is not None:
+                placeholder = batches[int(active[0])]
+                filled = [b if b is not None else placeholder for b in batches]
+                losses = self.replica_exec.step(filled)
+                if losses is not None:
+                    norms = self.replica_exec.grad_norms()
+                    self.matrix.grads[~mask] = 0.0
+                    out: List[float] = []
+                    for worker_id in active:
+                        worker = self.workers[worker_id]
+                        worker.last_loss = float(losses[worker_id])
+                        worker.last_grad_norm = float(norms[worker_id])
+                        out.append(float(losses[worker_id]))
+                    return out
+            return [
+                self.workers[worker_id].compute_gradients_flat(batches[worker_id])[0]
+                for worker_id in active
             ]
 
     def compute_gradients_worker(self, worker: Worker, batch=None) -> float:
@@ -355,10 +506,17 @@ class SimulatedCluster:
         vector applies the same aggregated gradient to every replica.
         """
         with telemetry.span("cluster.update"):
-            if self.fused_update is not None and self.fused_update.apply(lr=lr, grads=grads):
+            if (
+                self.active_mask.all()
+                and self.fused_update is not None
+                and self.fused_update.apply(lr=lr, grads=grads)
+            ):
                 return
-            for worker in self.workers:
-                worker.apply_update(grads=grads, lr=lr)
+            # Per-worker optimizers alias the fused state rows, so the loop
+            # (also the elastic-mask path: crashed rows stay frozen) keeps
+            # one consistent state with the fused step.
+            for worker_id in np.flatnonzero(self.active_mask):
+                self.workers[worker_id].apply_update(grads=grads, lr=lr)
 
     # ------------------------------------------------------------------ #
     # simulated-time charging
@@ -366,36 +524,42 @@ class SimulatedCluster:
     def charge_compute_step(self, batch_size: Optional[int] = None) -> np.ndarray:
         """Charge one parallel compute phase; returns per-worker durations."""
         b = batch_size or self.batch_size
+        # The speed model is always consulted (stateful models advance their
+        # RNG once per step); fault bursts then compound multiplicatively.
         speeds = self.speed_model.speed_factors(self.num_workers, self.global_step)
+        if not np.all(self.fault_speed_scale == 1.0):
+            speeds = speeds * self.fault_speed_scale
         durations = self.compute_model.step_seconds_batch(b, speeds)
+        if not self.active_mask.all():
+            durations = np.where(self.active_mask, durations, 0.0)
         self.clock.advance_all(durations, bucket="compute")
         return durations
 
     def charge_sync(self) -> float:
         """Charge one full-model aggregation round (barrier + transfer)."""
         seconds = self.comm_model.sync_seconds(
-            self.workload_spec.model_bytes, self.num_workers
+            self.workload_spec.model_bytes, self.num_active
         )
         self.clock.barrier_and_add(seconds, bucket="communication")
         if telemetry.metrics_enabled():
-            # Modeled aggregate wire volume: every worker pushes its update
-            # and pulls the averaged state, in the configured wire format.
+            # Modeled aggregate wire volume: every active worker pushes its
+            # update and pulls the averaged state, in the wire format.
             telemetry.count(
                 "repro_comm_wire_bytes_total",
                 2.0
                 * self.workload_spec.model_bytes
                 * self.comm_model.wire_scale
-                * self.num_workers,
+                * self.num_active,
                 kind="sync",
             )
         return seconds
 
     def charge_flags_allgather(self) -> float:
         """Charge the SelSync synchronization-status all-gather."""
-        seconds = self.comm_model.flags_seconds(self.num_workers)
+        seconds = self.comm_model.flags_seconds(self.num_active)
         self.clock.barrier_and_add(seconds, bucket="communication")
         if telemetry.metrics_enabled():
-            n = self.num_workers
+            n = self.num_active
             telemetry.count(
                 "repro_comm_wire_bytes_total",
                 max((n - 1) / 8.0, 1.0) * n,
@@ -461,15 +625,34 @@ class SimulatedCluster:
         """
         if not isinstance(state, np.ndarray):
             state = self.matrix.spec.flatten_tree(state)
-        self.matrix.broadcast(state)
+        if self.active_mask.all():
+            self.matrix.broadcast(state)
+            return
+        # Elastic mask: only active rows receive the global state; crashed
+        # rows stay frozen until their rejoin restores them.
+        vector = np.asarray(state, dtype=self.matrix.dtype).ravel()
+        if vector.size != self.matrix.spec.total_size:
+            raise ValueError(
+                f"broadcast vector has length {vector.size}, "
+                f"expected {self.matrix.spec.total_size}"
+            )
+        self.matrix.params[self.active_mask] = vector
 
     def average_worker_states(self) -> Dict[str, np.ndarray]:
-        """Named replica average (one fused mean over the worker matrix)."""
-        return self.matrix.mean_state_dict()
+        """Named replica average (one fused mean over the worker matrix).
+
+        Under an elastic mask the mean runs over the active rows only.
+        """
+        if self.active_mask.all():
+            return self.matrix.mean_state_dict()
+        mean = self.matrix.params[self.active_mask].mean(axis=0)
+        return self.matrix.spec.unflatten(mean)
 
     def average_worker_vector(self) -> np.ndarray:
         """Flat replica average — the engine-level form of PA aggregation."""
-        return self.matrix.mean_params()
+        if self.active_mask.all():
+            return self.matrix.mean_params()
+        return self.matrix.params[self.active_mask].mean(axis=0)
 
     def replica_divergence(self) -> float:
         """Mean L2 distance of worker replicas from their average (drift diagnostic)."""
@@ -573,6 +756,22 @@ class StackedSliceCluster(SimulatedCluster):
         gradient computation, keeping tick parity with the sequential path.
         """
         self._next_dropout_tick()
+        if not self.active_mask.all():
+            # Elastic fault mask: crashed rows are zeroed by the stacked
+            # matrix and only active losses are returned, matching the
+            # in-process masked path.
+            self._stacked_matrix.set_slice_mask(self._slice_index, self.active_mask)
+            losses, norms = self._stacked_matrix.gradients_for_slice(
+                self._slice_index, batches
+            )
+            out: List[float] = []
+            for worker_id in np.flatnonzero(self.active_mask):
+                worker = self.workers[worker_id]
+                worker.last_loss = float(losses[worker_id])
+                worker.last_grad_norm = float(norms[worker_id])
+                out.append(float(losses[worker_id]))
+            return out
+        self._stacked_matrix.set_slice_mask(self._slice_index, None)
         losses, norms = self._stacked_matrix.gradients_for_slice(
             self._slice_index, batches
         )

@@ -148,17 +148,20 @@ class InProcessBackend:
         return [a.copy() for a in arrays]
 
     def allreduce_matrix(self, matrix: np.ndarray, op: str = "mean") -> np.ndarray:
-        """All-reduce the rows of an ``(N, D)`` worker matrix in one pass.
+        """All-reduce the rows of a ``(K, D)`` worker matrix in one pass.
 
-        The engine-level form of :meth:`allreduce_tree`: row ``i`` is rank
-        ``i``'s flat buffer, so the reduction is one fused NumPy call and no
-        per-rank copies are made.  Transfer accounting matches
-        :meth:`allreduce`.
+        The engine-level form of :meth:`allreduce_tree`: row ``i`` is one
+        participating rank's flat buffer, so the reduction is one fused NumPy
+        call and no per-rank copies are made.  ``K`` is normally the full
+        world size, but an elastic cluster may reduce over any non-empty
+        subset of ranks (crashed workers drop their rows); byte accounting
+        always reflects the actual participant count.
         """
         matrix = _as_float_array(matrix)
-        if matrix.ndim != 2 or matrix.shape[0] != self.world_size:
+        if matrix.ndim != 2 or not 1 <= matrix.shape[0] <= self.world_size:
             raise ValueError(
-                f"expected a ({self.world_size}, D) matrix, got shape {matrix.shape}"
+                f"expected a (K <= {self.world_size}, D) matrix with K >= 1, "
+                f"got shape {matrix.shape}"
             )
         if op == "mean":
             reduced = matrix.mean(axis=0)
@@ -169,8 +172,8 @@ class InProcessBackend:
         else:
             raise ValueError(f"unsupported allreduce op {op!r}")
         per_element = matrix.shape[1] * self.dtype_bytes
-        # Ring all-reduce moves ~2x the payload per rank.
-        self.record.record("allreduce", 2.0 * per_element * self.world_size)
+        # Ring all-reduce moves ~2x the payload per participating rank.
+        self.record.record("allreduce", 2.0 * per_element * matrix.shape[0])
         return reduced
 
     # ------------------------------------------------------------------ #

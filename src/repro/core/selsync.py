@@ -92,11 +92,54 @@ class SelSyncTrainer(BaseTrainer):
         }
 
     # ------------------------------------------------------------------ #
+    def trainer_state(self) -> Dict:
+        """Extends the base snapshot with Δ(gᵢ)-tracker and sync-counter state.
+
+        The EWMA deques are what make a restored run bit-identical: the next
+        ``update_scalar`` after a restore must see exactly the window (and
+        smoothed value) the original run would have.
+        """
+        state = super().trainer_state()
+        state["trackers"] = [
+            {
+                "ewma_values": list(t._ewma._values),
+                "ewma_smoothed": t._ewma._smoothed,
+                "previous_smoothed": t._previous_smoothed,
+                "history": list(t.history),
+                "raw_history": list(t.raw_history),
+            }
+            for t in self.trackers
+        ]
+        state["sync_steps"] = self.sync_steps
+        state["local_steps"] = self.local_steps
+        state["sync_step_indices"] = list(self.sync_step_indices)
+        state["delta_history"] = list(self.delta_history)
+        state["last_step_synced"] = self._last_step_synced
+        return state
+
+    def load_trainer_state(self, state: Dict) -> None:
+        super().load_trainer_state(state)
+        for tracker, saved in zip(self.trackers, state["trackers"]):
+            tracker._ewma._values.clear()
+            tracker._ewma._values.extend(saved["ewma_values"])
+            tracker._ewma._smoothed = saved["ewma_smoothed"]
+            tracker._previous_smoothed = saved["previous_smoothed"]
+            tracker.history = list(saved["history"])
+            tracker.raw_history = list(saved["raw_history"])
+        self.sync_steps = state["sync_steps"]
+        self.local_steps = state["local_steps"]
+        self.sync_step_indices = list(state["sync_step_indices"])
+        self.delta_history = list(state["delta_history"])
+        self._last_step_synced = state["last_step_synced"]
+
+    # ------------------------------------------------------------------ #
     def _collect_batches(self) -> List[Tuple[np.ndarray, np.ndarray]]:
         """Fetch one local batch per worker, applying data injection if enabled."""
-        batches = [worker.next_batch() for worker in self.cluster.workers]
         if self.injection is None:
-            return batches
+            # Crashed workers (elastic fault mask) contribute None slots and
+            # their loaders do not advance.
+            return self.cluster.next_batches()
+        batches = [worker.next_batch() for worker in self.cluster.workers]
         mixed, report = self.injection.inject(batches)
         if report.bytes_transferred > 0:
             self.cluster.charge_p2p(report.bytes_transferred)
@@ -119,15 +162,24 @@ class SelSyncTrainer(BaseTrainer):
             raw_stats = batch_gradient_statistic(
                 cluster.matrix.grads, self.config.statistic
             )
+            active = cluster.active_mask
             flags: List[int] = []
             max_delta = 0.0
-            for tracker, raw in zip(self.trackers, raw_stats):
+            for worker_id, (tracker, raw) in enumerate(zip(self.trackers, raw_stats)):
+                # Crashed workers keep their tracker frozen and never raise
+                # a flag; their (zeroed) gradient rows are skipped.
+                if not active[worker_id]:
+                    flags.append(0)
+                    continue
                 delta = tracker.update_scalar(raw)
                 flags.append(1 if delta >= self.config.delta else 0)
                 if delta > max_delta:
                     max_delta = delta
             self.delta_history.append(max_delta)
-        cluster.charge_compute_step(batches[0][1].shape[0] if batches else None)
+        ref_batch = next((b for b in batches if b is not None), None)
+        cluster.charge_compute_step(
+            ref_batch[1].shape[0] if ref_batch is not None else None
+        )
 
         # 3. flags all-gather (Alg. 1 line 12) — N-1 bits per worker.
         with telemetry.span("selsync.flags"):
@@ -141,16 +193,16 @@ class SelSyncTrainer(BaseTrainer):
             cluster.apply_local_updates(lr=lr)
             if synchronize:
                 with telemetry.span("selsync.sync"):
-                    new_global = cluster.ps.push_matrix_parameters(cluster.matrix.params)
+                    new_global = cluster.ps.push_matrix_parameters(cluster.active_params)
                     cluster.broadcast_state(new_global)
                     cluster.charge_sync()
         else:  # gradient aggregation
             if synchronize:
                 with telemetry.span("selsync.sync"):
-                    averaged = cluster.ps.push_matrix_gradients(cluster.matrix.grads)
+                    averaged = cluster.ps.push_matrix_gradients(cluster.active_grads)
                     cluster.apply_local_updates(lr=lr, grads=averaged)
                     # Track a reference replica on the PS for checkpointing.
-                    cluster.ps.set_state(cluster.workers[0].param_vector)
+                    cluster.ps.set_state(cluster.primary_worker.param_vector)
                     cluster.charge_sync()
             else:
                 cluster.apply_local_updates(lr=lr)

@@ -100,6 +100,8 @@ class StackedSweepMatrix:
         self._slice_steps = [0] * self.num_slices
         self._computed_step = 0
         self._step_block: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._step_block_mask: Optional[np.ndarray] = None
+        self._slice_masks: List[Optional[np.ndarray]] = [None] * self.num_slices
 
     # ------------------------------------------------------------------ #
     # storage
@@ -182,6 +184,63 @@ class StackedSweepMatrix:
             self._executors.append((lo, hi, executor))
 
     # ------------------------------------------------------------------ #
+    # elastic per-slice masks (repro.faults)
+    # ------------------------------------------------------------------ #
+    def set_slice_mask(self, slice_index: int, mask) -> None:
+        """Mark rows of one slice as crashed (``False`` = inactive).
+
+        ``None`` (or an all-``True`` mask) clears the slice's mask.  Masked
+        rows still ride along in the fused pass — batched matmul shapes stay
+        fixed — but their gradient rows are zeroed and their losses / norms
+        reported as 0 when the slice reads its step, so nothing from a
+        crashed row reaches the slice's aggregation.  Set the mask before
+        the slice requests the step it should apply to.
+        """
+        if not 0 <= slice_index < self.num_slices:
+            raise ValueError(
+                f"slice_index {slice_index} out of range [0, {self.num_slices})"
+            )
+        if mask is None:
+            self._slice_masks[slice_index] = None
+            return
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_workers,):
+            raise ValueError(
+                f"mask must have shape ({self.num_workers},), got {mask.shape}"
+            )
+        if mask.all():
+            self._slice_masks[slice_index] = None
+            return
+        if not mask.any():
+            raise ValueError(
+                f"slice {slice_index} mask would deactivate every worker"
+            )
+        self._slice_masks[slice_index] = mask.copy()
+
+    def _apply_slice_mask(self, slice_index: int) -> None:
+        """Zero a masked slice's crashed rows after the fused pass."""
+        mask = self._slice_masks[slice_index]
+        if mask is None:
+            return
+        rows = slice_index * self.num_workers + np.flatnonzero(~mask)
+        self.grads[rows] = 0.0
+        self._losses[rows] = 0.0
+        self._norms[rows] = 0.0
+
+    def _fill_masked_batches(self, slice_index: int, batches) -> List:
+        """Substitute a placeholder batch at this slice's crashed slots."""
+        mask = self._slice_masks[slice_index]
+        if mask is None:
+            return list(batches)
+        placeholder = batches[int(np.flatnonzero(mask)[0])]
+        if placeholder is None:
+            raise ValueError(
+                f"slice {slice_index} presented no batch for its first active "
+                "worker; crashed slots may be None but active slots must not be"
+            )
+        return [b if b is not None else placeholder for b in batches]
+
+    # ------------------------------------------------------------------ #
     # the fused step
     # ------------------------------------------------------------------ #
     def gradients_for_slice(
@@ -201,12 +260,13 @@ class StackedSweepMatrix:
             raise ValueError(
                 f"expected {self.num_workers} worker batches, got {len(batches)}"
             )
+        batches = self._fill_masked_batches(slice_index, batches)
         self._slice_steps[slice_index] += 1
         step = self._slice_steps[slice_index]
         if step == self._computed_step + 1:
             with telemetry.span("stacked.fused_step") as fused:
                 fused.set("slices", self.num_slices)
-                self._compute(batches)
+                self._compute(batches, trigger_mask=self._slice_masks[slice_index])
             self._computed_step = step
             if telemetry.metrics_enabled():
                 telemetry.count("repro_stacked_slice_reads_total", kind="fused")
@@ -220,6 +280,7 @@ class StackedSweepMatrix:
                 telemetry.count("repro_stacked_slice_reads_total", kind="cached")
             if self.verify_batches:
                 self._check_batches(slice_index, batches)
+        self._apply_slice_mask(slice_index)
         lo = slice_index * self.num_workers
         hi = lo + self.num_workers
         return self._losses[lo:hi], self._norms[lo:hi]
@@ -238,7 +299,11 @@ class StackedSweepMatrix:
         targets = np.stack([np.asarray(b[1]) for b in batches])
         return x, targets
 
-    def _compute(self, batches: Sequence[Tuple[np.ndarray, np.ndarray]]) -> None:
+    def _compute(
+        self,
+        batches: Sequence[Tuple[np.ndarray, np.ndarray]],
+        trigger_mask: Optional[np.ndarray] = None,
+    ) -> None:
         x, targets = self._stack_block(batches)
         # Tile the N-worker block S times along the replica axis: row r of
         # the stacked pass sees batches[r % N], i.e. every slice sees the
@@ -260,13 +325,26 @@ class StackedSweepMatrix:
         g = self.grads
         self._norms[:] = np.sqrt(np.einsum("ij,ij->i", g, g))
         self._step_block = (x, targets) if self.verify_batches else None
+        self._step_block_mask = trigger_mask if self.verify_batches else None
 
     def _check_batches(
         self, slice_index: int, batches: Sequence[Tuple[np.ndarray, np.ndarray]]
     ) -> None:
         x, targets = self._stack_block(batches)
         ref_x, ref_t = self._step_block
-        if not (np.array_equal(x, ref_x) and np.array_equal(targets, ref_t)):
+        # Crashed slots hold placeholder batches, which legitimately differ
+        # across slices with different fault masks — compare only the slots
+        # both the triggering slice and this slice had active.
+        both = np.ones(self.num_workers, dtype=bool)
+        if self._step_block_mask is not None:
+            both &= self._step_block_mask
+        mask = self._slice_masks[slice_index]
+        if mask is not None:
+            both &= mask
+        if not (
+            np.array_equal(x[both], ref_x[both])
+            and np.array_equal(targets[both], ref_t[both])
+        ):
             raise RuntimeError(
                 f"slice {slice_index} presented different batches than the "
                 f"slice that computed step {self._computed_step}; stacked "

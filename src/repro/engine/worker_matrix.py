@@ -49,6 +49,10 @@ class WorkerMatrix:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = int(num_workers)
         self.spec = spec
+        # Donated storage (shared memory, stacked-sweep slices) is owned by
+        # someone else: the matrix must never reallocate or free it, which
+        # is what rules out resize() below.
+        self.owns_storage = params is None and grads is None
         self.params = self._check_storage(params, "params")
         self.grads = self._check_storage(grads, "grads")
 
@@ -97,6 +101,39 @@ class WorkerMatrix:
         """Zero-copy view of worker ``worker_id``'s flat gradients."""
         self._check_worker(worker_id)
         return self.grads[worker_id]
+
+    # ------------------------------------------------------------------ #
+    # elastic resize
+    # ------------------------------------------------------------------ #
+    def resize(self, new_num_workers: int) -> None:
+        """Grow or shrink the matrix to ``new_num_workers`` rows in place.
+
+        Overlapping rows are copied into freshly allocated storage (grown
+        rows start at zero; shrinking drops the tail rows).  Existing row
+        *views* — adopted modules, rebound optimizer state — keep aliasing
+        the old storage, so callers must re-adopt workers afterwards; the
+        elastic cluster layer in :mod:`repro.faults` prefers row *masking*
+        for exactly this reason and reserves resize for between-run
+        reshaping.  Donated storage (shared memory, stacked-sweep slices)
+        cannot be resized.
+        """
+        if new_num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {new_num_workers}")
+        if not self.owns_storage:
+            raise ValueError(
+                "cannot resize a WorkerMatrix over donated storage "
+                "(shared memory or stacked-sweep slices own the buffers)"
+            )
+        if new_num_workers == self.num_workers:
+            return
+        keep = min(self.num_workers, new_num_workers)
+        new_params = np.zeros((new_num_workers, self.spec.total_size), dtype=self.spec.dtype)
+        new_grads = np.zeros_like(new_params)
+        new_params[:keep] = self.params[:keep]
+        new_grads[:keep] = self.grads[:keep]
+        self.num_workers = int(new_num_workers)
+        self.params = new_params
+        self.grads = new_grads
 
     # ------------------------------------------------------------------ #
     # vectorized collectives

@@ -1,0 +1,47 @@
+"""Deterministic fault injection and elasticity for the simulated cluster.
+
+Three pieces compose the fault layer:
+
+* :mod:`repro.faults.schedule` — frozen :class:`FaultEvent` records and the
+  seeded/explicit :class:`FaultSchedule` (crash, rejoin, straggler bursts),
+  validated like the frozen scenario dataclasses.
+* :mod:`repro.faults.checkpoint` — :class:`ClusterCheckpoint`: full cluster
+  snapshot/restore as a handful of contiguous copies over the flat buffers.
+* :mod:`repro.faults.controller` — the :class:`FaultController` a trainer
+  calls before every step to apply the schedule: crashed rows drop out of
+  the fused engine and every aggregation mask, rejoins restore from the
+  latest checkpoint and re-sync from the parameter server (priced on the
+  simulated clock), straggler bursts scale per-worker compute speed.
+"""
+
+from repro.faults.checkpoint import (
+    ClusterCheckpoint,
+    restore_cluster,
+    restore_worker,
+    snapshot_cluster,
+)
+from repro.faults.controller import FaultController
+from repro.faults.schedule import (
+    EVENT_KINDS,
+    FaultError,
+    FaultEvent,
+    FaultSchedule,
+    crash,
+    rejoin,
+    straggler_burst,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "ClusterCheckpoint",
+    "FaultController",
+    "FaultError",
+    "FaultEvent",
+    "FaultSchedule",
+    "crash",
+    "rejoin",
+    "restore_cluster",
+    "restore_worker",
+    "snapshot_cluster",
+    "straggler_burst",
+]

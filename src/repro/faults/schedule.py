@@ -1,0 +1,256 @@
+"""Deterministic fault schedules: crash, rejoin and straggler-burst events.
+
+A :class:`FaultSchedule` is the discrete-event layer on top of the lockstep
+simulator: an ordered list of frozen :class:`FaultEvent` records that a
+:class:`~repro.faults.controller.FaultController` applies to the cluster at
+the start of each global step.  Schedules come from two sources:
+
+* an explicit event list built with the :func:`crash` / :func:`rejoin` /
+  :func:`straggler_burst` helpers (tests, hand-written scenarios), or
+* :meth:`FaultSchedule.generate`, which draws events from a seeded RNG so a
+  ``(seed, failure_rate, straggler_fraction, mttr)`` tuple always produces
+  the same event list — the property the scenario runner's
+  deterministic-replay gate checks end to end.
+
+Both paths go through :meth:`FaultSchedule.validate`, which replays the
+events against a worker-liveness mask and rejects impossible histories
+(crashing a dead worker, rejoining a live one, losing the last worker)
+exactly like the frozen scenario dataclasses reject bad grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.utils.rng import new_rng
+
+
+class FaultError(ValueError):
+    """An invalid fault event or an impossible fault schedule."""
+
+
+EVENT_KINDS = ("crash", "rejoin", "straggler")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One discrete fault applied at the start of a global step.
+
+    ``crash`` removes the worker from the active set before step ``step``
+    computes; ``rejoin`` restores it (optimizer and data state from the
+    latest cluster checkpoint, parameters re-synced from the parameter
+    server); ``straggler`` slows the worker by ``slowdown`` for ``duration``
+    consecutive steps.
+    """
+
+    step: int
+    kind: str
+    worker: int
+    duration: int = 0
+    slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; choose from {EVENT_KINDS}"
+            )
+        if self.step < 0:
+            raise FaultError(f"fault step must be non-negative, got {self.step}")
+        if self.worker < 0:
+            raise FaultError(f"fault worker must be non-negative, got {self.worker}")
+        if self.duration < 0:
+            raise FaultError(f"fault duration must be non-negative, got {self.duration}")
+        if self.slowdown < 1.0:
+            raise FaultError(f"fault slowdown must be >= 1, got {self.slowdown}")
+        if self.kind == "straggler" and self.duration < 1:
+            raise FaultError("straggler bursts need a duration of at least one step")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form, used in scenario report metadata."""
+        payload: Dict[str, object] = {
+            "step": self.step,
+            "kind": self.kind,
+            "worker": self.worker,
+        }
+        if self.kind == "straggler":
+            payload["duration"] = self.duration
+            payload["slowdown"] = self.slowdown
+        return payload
+
+
+def crash(worker: int, step: int) -> FaultEvent:
+    """The worker dies before step ``step`` computes."""
+    return FaultEvent(step=step, kind="crash", worker=worker)
+
+
+def rejoin(worker: int, step: int) -> FaultEvent:
+    """The worker rejoins the cluster before step ``step`` computes."""
+    return FaultEvent(step=step, kind="rejoin", worker=worker)
+
+
+def straggler_burst(
+    worker: int, step: int, duration: int, slowdown: float = 3.0
+) -> FaultEvent:
+    """The worker runs ``slowdown``x slower for ``duration`` steps."""
+    return FaultEvent(
+        step=step, kind="straggler", worker=worker, duration=duration, slowdown=slowdown
+    )
+
+
+class FaultSchedule:
+    """An immutable, step-ordered list of :class:`FaultEvent` records."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        events = tuple(events)
+        for event in events:
+            if not isinstance(event, FaultEvent):
+                raise FaultError(
+                    f"FaultSchedule events must be FaultEvent instances, got {event!r}"
+                )
+        # Stable sort: events at the same step keep their insertion order, so
+        # an explicit rejoin-then-crash sequence within one step is honored.
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: e.step)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultSchedule) and self.events == other.events
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({list(self.events)!r})"
+
+    def events_at(self, step: int) -> Tuple[FaultEvent, ...]:
+        """Every event scheduled to fire at the start of ``step``."""
+        return tuple(e for e in self.events if e.step == step)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [e.to_dict() for e in self.events]
+
+    # ------------------------------------------------------------------ #
+    def validate(self, num_workers: int, iterations: Optional[int] = None) -> None:
+        """Reject schedules the cluster cannot possibly execute.
+
+        Replays the events in step order against a liveness mask: every
+        worker index must be in range, a crash must hit a live worker, a
+        rejoin must revive a dead one, and at least one worker must stay
+        alive at all times.  ``iterations`` additionally bounds event steps.
+        """
+        if num_workers < 1:
+            raise FaultError(f"num_workers must be >= 1, got {num_workers}")
+        alive = [True] * num_workers
+        for event in self.events:
+            if event.worker >= num_workers:
+                raise FaultError(
+                    f"fault event targets worker {event.worker} "
+                    f"but the cluster has {num_workers} workers"
+                )
+            if iterations is not None and event.step >= iterations:
+                raise FaultError(
+                    f"fault event at step {event.step} is beyond the "
+                    f"{iterations}-iteration run"
+                )
+            if event.kind == "crash":
+                if not alive[event.worker]:
+                    raise FaultError(
+                        f"worker {event.worker} crashes at step {event.step} "
+                        "but is already down"
+                    )
+                if sum(alive) == 1:
+                    raise FaultError(
+                        f"crash at step {event.step} would take down the "
+                        "last active worker"
+                    )
+                alive[event.worker] = False
+            elif event.kind == "rejoin":
+                if alive[event.worker]:
+                    raise FaultError(
+                        f"worker {event.worker} rejoins at step {event.step} "
+                        "but never crashed"
+                    )
+                alive[event.worker] = True
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def generate(
+        cls,
+        num_workers: int,
+        iterations: int,
+        *,
+        seed: int = 0,
+        failure_rate: float = 0.0,
+        straggler_fraction: float = 0.0,
+        mttr: int = 5,
+        slowdown: float = 3.0,
+    ) -> "FaultSchedule":
+        """Draw a schedule from a seeded RNG — a pure function of its arguments.
+
+        Per step, every live worker crashes with probability ``failure_rate``
+        (never the last live one); downtime is geometric with mean ``mttr``
+        steps, and the rejoin is scheduled only if it lands inside the run.
+        Straggler bursts of length ``mttr`` start at rate
+        ``straggler_fraction / mttr`` per worker-step, so roughly a
+        ``straggler_fraction`` share of worker time is spent slowed by
+        ``slowdown``.  The RNG is consumed in a fixed per-step pattern
+        (one crash draw block, one straggler draw block) regardless of
+        outcomes, keeping the schedule byte-stable under parameter tweaks.
+        """
+        if num_workers < 1:
+            raise FaultError(f"num_workers must be >= 1, got {num_workers}")
+        if iterations < 1:
+            raise FaultError(f"iterations must be >= 1, got {iterations}")
+        if not 0.0 <= failure_rate <= 1.0:
+            raise FaultError(f"failure_rate must be in [0, 1], got {failure_rate}")
+        if not 0.0 <= straggler_fraction <= 1.0:
+            raise FaultError(
+                f"straggler_fraction must be in [0, 1], got {straggler_fraction}"
+            )
+        if mttr < 1:
+            raise FaultError(f"mttr must be >= 1, got {mttr}")
+        if slowdown < 1.0:
+            raise FaultError(f"slowdown must be >= 1, got {slowdown}")
+
+        rng = new_rng(seed)
+        events: List[FaultEvent] = []
+        down_until: Dict[int, int] = {}
+        burst_until: Dict[int, int] = {}
+        alive = [True] * num_workers
+        for step in range(iterations):
+            # Due rejoins fire before new crash draws for this step.
+            for worker in sorted(down_until):
+                if down_until[worker] == step:
+                    events.append(rejoin(worker, step))
+                    alive[worker] = True
+                    del down_until[worker]
+            crash_draws = rng.random(num_workers)
+            burst_draws = rng.random(num_workers)
+            for worker in range(num_workers):
+                if (
+                    alive[worker]
+                    and crash_draws[worker] < failure_rate
+                    and sum(alive) > 1
+                ):
+                    events.append(crash(worker, step))
+                    alive[worker] = False
+                    downtime = max(int(rng.geometric(1.0 / mttr)), 1)
+                    if step + downtime < iterations:
+                        down_until[worker] = step + downtime
+            burst_rate = straggler_fraction / mttr
+            for worker in range(num_workers):
+                if (
+                    alive[worker]
+                    and burst_until.get(worker, -1) < step
+                    and burst_draws[worker] < burst_rate
+                ):
+                    duration = min(mttr, iterations - step)
+                    events.append(straggler_burst(worker, step, duration, slowdown))
+                    burst_until[worker] = step + duration - 1
+        schedule = cls(events)
+        schedule.validate(num_workers, iterations)
+        return schedule

@@ -29,6 +29,12 @@ float64)::
 
     python -m repro.harness.cli scenario deep-mlp-delta-n64 --stacked
 
+Inject a seeded crash/straggler fault process (see :mod:`repro.faults`)::
+
+    python -m repro.harness.cli run --workload deep_mlp --algorithm selsync \
+        --iterations 64 --failure-rate 0.05 --mttr 5 --fault-seed 7
+    python -m repro.harness.cli scenario fault-replay-deep-mlp --fault-seed 3
+
 Serve the experiment service and submit jobs to it over HTTP (see
 :mod:`repro.service`)::
 
@@ -126,6 +132,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.api import RunRequest, run as api_run
 
+    faulty = args.failure_rate > 0.0 or args.straggler_fraction > 0.0
     out = api_run(RunRequest(
         kind="experiment",
         workload=args.workload,
@@ -139,6 +146,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         transport_dtype=args.transport_dtype,
         pool_workers=args.pool_workers,
         pool_start_method=args.pool_start_method,
+        fault_seed=args.fault_seed if faulty else None,
+        failure_rate=args.failure_rate if faulty else None,
+        straggler_fraction=args.straggler_fraction if faulty else None,
+        mttr=args.mttr if faulty else None,
     ))
     result = out.results["run"]
     rows = [[
@@ -283,6 +294,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             seed=args.seed,
             stacked=True if args.stacked else None,
             max_stacked_rows=args.max_stacked_rows,
+            fault_seed=args.fault_seed,
         ), record_to=args.record)
     except (ApiError, ScenarioError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -530,6 +542,23 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--sync-factor", type=float, default=0.25)
     run_parser.add_argument("--staleness", type=int, default=100)
     run_parser.add_argument("--sync-period", type=int, default=10)
+    run_parser.add_argument(
+        "--fault-seed", type=int, default=0, metavar="SEED",
+        help="seed for the generated fault schedule (with --failure-rate / "
+        "--straggler-fraction)",
+    )
+    run_parser.add_argument(
+        "--failure-rate", type=float, default=0.0, metavar="P",
+        help="per-worker per-step crash probability (0 disables fault injection)",
+    )
+    run_parser.add_argument(
+        "--straggler-fraction", type=float, default=0.0, metavar="F",
+        help="expected fraction of workers inside a straggler burst",
+    )
+    run_parser.add_argument(
+        "--mttr", type=int, default=5, metavar="STEPS",
+        help="mean steps to rejoin after a generated crash",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     compare_parser = sub.add_parser("compare", help="compare SelSync against the baselines")
@@ -591,6 +620,10 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="ROWS",
         help="cap rows per fused slab in stacked mode (bit-identical chunking)",
+    )
+    scenario_parser.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="override a fault scenario's schedule seed (fault scenarios only)",
     )
     scenario_parser.add_argument(
         "--json", default=None, metavar="PATH", help="write the report as JSON to PATH"

@@ -314,6 +314,13 @@ def run_experiment(
     pool_start_method: Optional[str] = None,
     injection: Optional[Dict[str, float]] = None,
     telemetry_file: Optional[str] = None,
+    fault_schedule=None,
+    fault_seed: Optional[int] = None,
+    failure_rate: float = 0.0,
+    straggler_fraction: float = 0.0,
+    mttr: int = 5,
+    fault_slowdown: float = 3.0,
+    fault_checkpoint_every: Optional[int] = None,
     **algorithm_kwargs,
 ) -> ExperimentResult:
     """Build a cluster and run one algorithm on one workload end to end.
@@ -329,8 +336,44 @@ def run_experiment(
     optionally ``delta``) sets the SelSync (α, β, δ) tuple and adjusts the
     per-worker batch size to b′ per Eqn. (3).  ``telemetry_file`` enables
     span tracing with a JSONL sink at that path (see :mod:`repro.telemetry`).
+
+    Fault injection (:mod:`repro.faults`): pass an explicit
+    ``fault_schedule`` (a :class:`~repro.faults.schedule.FaultSchedule`),
+    or a seeded fault process via ``fault_seed`` / ``failure_rate`` /
+    ``straggler_fraction`` / ``mttr`` / ``fault_slowdown``.  Crashed workers
+    drop out of the fused compute and every aggregation, rejoin from the
+    latest cluster checkpoint (cadence ``fault_checkpoint_every``; the
+    step-0 snapshot always exists) and re-sync their parameters through the
+    simulated wire.  Supported for lockstep trainers (``bsp``, ``selsync``,
+    ``local_sgd``) running in-process (``pool_workers=0``).
     """
     preset = build_workload(workload)
+    faults_armed = (
+        fault_schedule is not None or failure_rate > 0.0 or straggler_fraction > 0.0
+    )
+    if faults_armed:
+        if algorithm.lower() not in ("bsp", "selsync", "local_sgd", "localsgd"):
+            raise ValueError(
+                f"fault injection supports lockstep algorithms "
+                f"(bsp, selsync, local_sgd), got {algorithm!r}"
+            )
+        if pool_workers:
+            raise ValueError(
+                "fault injection and the replica pool are mutually exclusive "
+                "(set pool_workers=0): elastic worker masks are in-process only"
+            )
+        if fault_schedule is None:
+            from repro.faults import FaultSchedule
+
+            fault_schedule = FaultSchedule.generate(
+                num_workers,
+                iterations,
+                seed=fault_seed if fault_seed is not None else 0,
+                failure_rate=failure_rate,
+                straggler_fraction=straggler_fraction,
+                mttr=mttr,
+                slowdown=fault_slowdown,
+            )
     if use_default_partitioning and partitioner is None:
         partitioner = DefaultPartitioner(seed=seed)
 
@@ -371,10 +414,26 @@ def run_experiment(
         except BaseException:
             cluster.close()
             raise
+        controller = None
+        if faults_armed:
+            from repro.faults import FaultController
+
+            try:
+                controller = FaultController(
+                    cluster, fault_schedule, checkpoint_every=fault_checkpoint_every
+                )
+            except BaseException:
+                cluster.close()
+                raise
+            trainer.attach_fault_controller(controller)
     try:
         result = trainer.run(iterations, convergence=convergence)
     finally:
         # Releases the replica pool's processes and shared-memory segments
         # deterministically; a no-op for in-process clusters.
         cluster.close()
+    if controller is not None:
+        result.extras["fault_crashes"] = float(controller.crash_count)
+        result.extras["fault_rejoins"] = float(controller.rejoin_count)
+        result.extras["fault_stragglers"] = float(controller.straggler_count)
     return ExperimentResult(workload=preset.name, algorithm=trainer.describe(), result=result)

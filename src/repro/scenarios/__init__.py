@@ -23,6 +23,8 @@ hand-rolled loops.
 
 from repro.scenarios.spec import (
     ComparisonScenario,
+    FAULT_ALGORITHMS,
+    FaultScenario,
     KNOWN_ALGORITHMS,
     RESERVED_PARAMETERS,
     ScenarioError,
@@ -52,6 +54,8 @@ from repro.scenarios import catalog as _catalog  # noqa: E402,F401
 
 __all__ = [
     "ComparisonScenario",
+    "FAULT_ALGORITHMS",
+    "FaultScenario",
     "KNOWN_ALGORITHMS",
     "REGISTRY",
     "RESERVED_PARAMETERS",

@@ -18,12 +18,24 @@ Tag conventions
     these (see ``benchmarks/scenario_suite.py``).
 ``pool``
     Runs through the multiprocessing replica pool.
+``faults``
+    Fault-injection reliability scenarios (worker crashes, checkpoint
+    rejoins, straggler bursts) with deterministic-replay and
+    loss-continuity gates; the nightly fault job runs these.  Deliberately
+    **not** tagged ``paper-scale`` — they follow different contracts than
+    the δ-sweep suite.
 """
 
 from __future__ import annotations
 
+from repro.faults.schedule import crash, rejoin, straggler_burst
 from repro.scenarios.registry import register_scenario
-from repro.scenarios.spec import ComparisonScenario, SweepScenario, ThroughputScenario
+from repro.scenarios.spec import (
+    ComparisonScenario,
+    FaultScenario,
+    SweepScenario,
+    ThroughputScenario,
+)
 
 #: The Fig. 6 grid: δ = 0 is BSP, the 1e9 sentinel exceeds every observed
 #: Δ(gᵢ) and degenerates to pure local SGD.
@@ -230,5 +242,64 @@ register_scenario(
         pool_workers=2,
         verify_endpoints=True,
         tags=("paper-scale", "delta-sweep", "pool"),
+    )
+)
+
+
+# --------------------------------------------------------------------------- #
+# fault-injection reliability scenarios (repro.faults): each runs twice with
+# the same fault seed and must replay byte-identically; crashes must not
+# break loss continuity.  See the "faults" tag convention above.
+# --------------------------------------------------------------------------- #
+register_scenario(
+    FaultScenario(
+        name="fault-replay-deep-mlp",
+        title="Fault replay — SelSync survives a crash, a straggler burst and "
+        "a checkpoint rejoin (deep-MLP analog)",
+        workload="deep_mlp",
+        algorithm="selsync",
+        events=(
+            crash(2, 8),
+            straggler_burst(1, 12, duration=6, slowdown=3.0),
+            rejoin(2, 24),
+            crash(0, 40),
+            rejoin(0, 56),
+        ),
+        checkpoint_every=8,
+        num_workers=4,
+        iterations=64,
+        tags=("faults", "nightly"),
+    )
+)
+
+register_scenario(
+    FaultScenario(
+        name="fault-random-deep-mlp-bsp",
+        title="Fault process — BSP under a seeded crash/straggler process "
+        "(deep-MLP analog)",
+        workload="deep_mlp",
+        algorithm="bsp",
+        fault_seed=7,
+        failure_rate=0.04,
+        straggler_fraction=0.1,
+        mttr=6,
+        checkpoint_every=8,
+        num_workers=4,
+        iterations=64,
+        tags=("faults", "nightly"),
+    )
+)
+
+register_scenario(
+    FaultScenario(
+        name="fault-replay-transformer",
+        title="Fault replay — SelSync crash/rejoin on the transformer analog",
+        workload="transformer",
+        algorithm="selsync",
+        events=(crash(3, 6), rejoin(3, 18)),
+        checkpoint_every=6,
+        num_workers=4,
+        iterations=32,
+        tags=("faults", "nightly", "transformer"),
     )
 )

@@ -15,12 +15,13 @@ from typing import Dict, Iterator, List, Optional, Union
 
 from repro.scenarios.spec import (
     ComparisonScenario,
+    FaultScenario,
     ScenarioError,
     SweepScenario,
     ThroughputScenario,
 )
 
-Scenario = Union[SweepScenario, ComparisonScenario, ThroughputScenario]
+Scenario = Union[SweepScenario, ComparisonScenario, ThroughputScenario, FaultScenario]
 
 __all__ = [
     "Scenario",
@@ -41,7 +42,8 @@ class ScenarioRegistry:
     def register(self, scenario: Scenario) -> Scenario:
         """Add ``scenario``; a duplicate name raises :class:`ScenarioError`."""
         if not isinstance(
-            scenario, (SweepScenario, ComparisonScenario, ThroughputScenario)
+            scenario,
+            (SweepScenario, ComparisonScenario, ThroughputScenario, FaultScenario),
         ):
             raise ScenarioError(
                 f"expected a scenario dataclass, got {type(scenario).__name__}"

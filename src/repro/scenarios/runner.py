@@ -30,6 +30,7 @@ from repro.metrics.convergence import ConvergenceDetector
 from repro.scenarios.registry import Scenario, get_scenario
 from repro.scenarios.spec import (
     ComparisonScenario,
+    FaultScenario,
     ScenarioError,
     SweepScenario,
     ThroughputScenario,
@@ -462,6 +463,122 @@ def _run_comparison(
     return report
 
 
+def _run_fault(
+    scenario: FaultScenario,
+    iterations: int,
+    num_workers: int,
+    seed: int,
+    cancel_check=None,
+) -> ScenarioReport:
+    """Execute a fault scenario twice and enforce its reliability gates.
+
+    Records deliberately omit wall-clock timings — the deterministic-replay
+    gate compares the two runs' serialized records byte for byte, and only
+    seeded quantities (losses, metrics, simulated seconds, byte counts) are
+    replayable.
+    """
+    from repro.harness.experiment import run_experiment
+
+    eval_every = scenario.resolved_eval_every(iterations)
+    schedule = scenario.build_schedule(num_workers, iterations)
+    report = ScenarioReport(
+        name=scenario.name,
+        title=scenario.title,
+        kind=scenario.kind,
+        meta={
+            "workload": scenario.workload,
+            "algorithm": scenario.algorithm,
+            "num_workers": num_workers,
+            "iterations": iterations,
+            "seed": seed,
+            "eval_every": eval_every,
+            "fault_seed": scenario.fault_seed,
+            "failure_rate": scenario.failure_rate,
+            "straggler_fraction": scenario.straggler_fraction,
+            "mttr": scenario.mttr,
+            "slowdown": scenario.slowdown,
+            "checkpoint_every": scenario.checkpoint_every,
+            "continuity_factor": scenario.continuity_factor,
+            "fault_events": schedule.to_dicts(),
+            "tags": list(scenario.tags),
+        },
+    )
+
+    results: List[TrainingResult] = []
+    for attempt in ("run", "replay"):
+        _check_cancelled(cancel_check)
+        out = run_experiment(
+            scenario.workload,
+            scenario.algorithm,
+            num_workers=num_workers,
+            iterations=iterations,
+            seed=seed,
+            eval_every=eval_every,
+            batch_size=scenario.batch_size,
+            dtype=scenario.dtype,
+            transport_dtype=scenario.transport_dtype,
+            fault_schedule=schedule,
+            fault_checkpoint_every=scenario.checkpoint_every,
+            **scenario.fixed,
+        )
+        results.append(out.result)
+        report.results[attempt] = out.result
+        report.records.append(
+            ScenarioRecord(
+                params={"attempt": attempt},
+                label=out.algorithm,
+                metrics=result_metrics(out.result),
+            )
+        )
+
+    deterministic = report.records[0].to_dict()["metrics"] == (
+        report.records[1].to_dict()["metrics"]
+    )
+    continuity, continuity_detail = _check_loss_continuity(
+        results[0], schedule, scenario.continuity_factor
+    )
+    report.meta["gates"] = {
+        "deterministic_replay": deterministic,
+        "loss_continuity": continuity,
+        "continuity_detail": continuity_detail,
+    }
+    if not deterministic:
+        raise ScenarioError(
+            f"scenario {scenario.name!r}: deterministic-replay gate failed — two "
+            "runs with the same fault seed produced different records"
+        )
+    if not continuity:
+        raise ScenarioError(
+            f"scenario {scenario.name!r}: loss-continuity gate failed — "
+            f"{continuity_detail}"
+        )
+    return report
+
+
+def _check_loss_continuity(result, schedule, factor: float):
+    """All eval losses finite; each crash degrades loss by at most ``factor``."""
+    import math
+
+    history = result.history
+    for point in history:
+        if not math.isfinite(point.loss):
+            return False, f"non-finite eval loss {point.loss} at step {point.step}"
+    crash_steps = [e.step for e in schedule if e.kind == "crash"]
+    for crash_step in crash_steps:
+        before = [p for p in history if p.step <= crash_step]
+        after = [p for p in history if p.step > crash_step]
+        if not before or not after:
+            continue
+        pre, post = before[-1].loss, after[0].loss
+        if post > factor * pre:
+            return False, (
+                f"eval loss jumped from {pre:.6g} (step {before[-1].step}) to "
+                f"{post:.6g} (step {after[0].step}) across the crash at step "
+                f"{crash_step} (allowed factor {factor})"
+            )
+    return True, "ok"
+
+
 def _run_throughput(scenario: ThroughputScenario) -> ScenarioReport:
     from repro.cluster.compute_model import PAPER_WORKLOADS
     from repro.comm.cost_model import CommunicationCostModel
@@ -502,6 +619,7 @@ def run_scenario(
     seed: Optional[int] = None,
     stacked: Optional[bool] = None,
     max_stacked_rows: Optional[int] = None,
+    fault_seed: Optional[int] = None,
     cancel_check=None,
     record_to=None,
 ) -> ScenarioReport:
@@ -517,6 +635,9 @@ def run_scenario(
     :class:`ScenarioError` before any training starts.  Overrides are
     rejected for analytic throughput scenarios, which have no training loop
     to resize, and ``stacked`` overrides for non-sweep kinds.
+
+    ``fault_seed`` re-seeds a fault scenario's generated schedule (rejected
+    for other kinds); explicit-event schedules ignore it by construction.
 
     ``cancel_check`` is an optional zero-argument callable polled between
     runs (each grid point, comparison method and endpoint anchor); when it
@@ -549,6 +670,14 @@ def run_scenario(
             overrides["max_stacked_rows"] = int(max_stacked_rows)
         # replace() re-runs __post_init__, i.e. the stackability validation.
         scenario = dataclasses.replace(scenario, **overrides)
+    if fault_seed is not None:
+        if not isinstance(scenario, FaultScenario):
+            raise ScenarioError(
+                f"scenario {scenario.name!r} is a {scenario.kind} scenario; "
+                "fault_seed overrides apply to fault scenarios only"
+            )
+        # replace() re-runs __post_init__, i.e. the schedule validation.
+        scenario = dataclasses.replace(scenario, fault_seed=int(fault_seed))
     if isinstance(scenario, ThroughputScenario):
         report = _run_throughput(scenario)
     else:
@@ -565,6 +694,8 @@ def run_scenario(
             report = _run_sweep(scenario, iterations, num_workers, seed, cancel_check)
         elif isinstance(scenario, ComparisonScenario):
             report = _run_comparison(scenario, iterations, num_workers, seed, cancel_check)
+        elif isinstance(scenario, FaultScenario):
+            report = _run_fault(scenario, iterations, num_workers, seed, cancel_check)
         else:
             raise ScenarioError(f"unsupported scenario type {type(scenario).__name__}")
     if record_to is not None:

@@ -8,14 +8,17 @@ executor for every kind; the benchmarks, examples and the CLI all look
 scenarios up in the :mod:`~repro.scenarios.registry` instead of hand-rolling
 sweep loops.
 
-Three scenario kinds cover the paper's experiment shapes:
+Four scenario kinds cover the paper's experiment shapes:
 
 * :class:`SweepScenario` — one (workload, algorithm) pair swept over a grid
   of algorithm parameters (the Fig. 6 δ-sweeps, staleness sweeps, …);
 * :class:`ComparisonScenario` — a labelled method grid run across one or
   more workloads (Table I);
 * :class:`ThroughputScenario` — analytic scaling curves from the
-  communication cost model, no training (Fig. 1a).
+  communication cost model, no training (Fig. 1a);
+* :class:`FaultScenario` — a fault-injection reliability run (worker
+  crashes, checkpoint rejoins, straggler bursts) with deterministic-replay
+  and loss-continuity gates (see :mod:`repro.faults`).
 
 Every dataclass validates itself in ``__post_init__`` and raises
 :class:`ScenarioError` with an actionable message, so a typo in a scenario
@@ -32,7 +35,9 @@ __all__ = [
     "SweepScenario",
     "ComparisonScenario",
     "ThroughputScenario",
+    "FaultScenario",
     "KNOWN_ALGORITHMS",
+    "FAULT_ALGORITHMS",
     "RESERVED_PARAMETERS",
 ]
 
@@ -43,6 +48,10 @@ class ScenarioError(ValueError):
 
 #: Algorithms :func:`repro.harness.experiment.make_trainer` can build.
 KNOWN_ALGORITHMS = ("bsp", "selsync", "fedavg", "ssp", "local_sgd", "compressed_bsp")
+
+#: Algorithms that support fault injection (elastic worker masks): lockstep
+#: trainers whose aggregation paths honor ``cluster.active_mask``.
+FAULT_ALGORITHMS = ("bsp", "selsync", "local_sgd")
 
 #: Keyword names owned by :func:`repro.harness.experiment.run_experiment`
 #: itself.  Grid and ``fixed`` entries configure the *algorithm*, so these
@@ -65,6 +74,13 @@ RESERVED_PARAMETERS = frozenset(
         "pool_workers",
         "pool_start_method",
         "injection",
+        "fault_schedule",
+        "fault_seed",
+        "failure_rate",
+        "straggler_fraction",
+        "mttr",
+        "fault_slowdown",
+        "fault_checkpoint_every",
     }
 )
 
@@ -368,6 +384,154 @@ class ComparisonScenario:
     def kind(self) -> str:
         """Scenario kind discriminator: ``"comparison"``."""
         return "comparison"
+
+    def resolved_eval_every(self, iterations: Optional[int] = None) -> int:
+        """Evaluation cadence for a run of ``iterations`` steps."""
+        if self.eval_every is not None:
+            return self.eval_every
+        return max((iterations or self.iterations) // 8, 1)
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A fault-injection reliability run: crashes, rejoins, straggler bursts.
+
+    The runner executes the (workload, algorithm) pair under a
+    :class:`~repro.faults.schedule.FaultSchedule` **twice with the same
+    fault seed** and enforces two gates:
+
+    * *deterministic replay* — both runs must produce byte-identical
+      records (the schedule, the data order, the masked fused compute and
+      the simulated clock are all seeded, so any divergence is a bug);
+    * *loss continuity* — every evaluation loss stays finite, and the first
+      evaluation after each crash is no worse than ``continuity_factor``
+      times the last evaluation before it (a crash must degrade training
+      gracefully, not destroy it).
+
+    ``events`` pins an explicit event list; when empty, the schedule is
+    generated from ``(fault_seed, failure_rate, straggler_fraction, mttr,
+    slowdown)``.  ``checkpoint_every`` controls the rejoin-from-checkpoint
+    cadence (the step-0 snapshot always exists).
+    """
+
+    name: str
+    title: str
+    workload: str
+    algorithm: str = "selsync"
+    fault_seed: int = 0
+    failure_rate: float = 0.0
+    straggler_fraction: float = 0.0
+    mttr: int = 5
+    slowdown: float = 3.0
+    events: Tuple[Any, ...] = ()
+    checkpoint_every: Optional[int] = 10
+    continuity_factor: float = 3.0
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+    num_workers: int = 4
+    iterations: int = 80
+    seed: int = 0
+    eval_every: Optional[int] = None
+    batch_size: Optional[int] = None
+    dtype: str = "float64"
+    transport_dtype: Optional[str] = None
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        from repro.faults.schedule import FaultError, FaultEvent
+
+        _check_name(self.name)
+        _check_workload(self.workload)
+        if self.algorithm not in FAULT_ALGORITHMS:
+            raise ScenarioError(
+                f"scenario {self.name!r}: fault injection supports "
+                f"{sorted(FAULT_ALGORITHMS)}, got {self.algorithm!r}"
+            )
+        _check_run_settings(self.num_workers, self.iterations, self.seed)
+        if self.fault_seed < 0:
+            raise ScenarioError(
+                f"scenario {self.name!r}: fault_seed must be >= 0, got {self.fault_seed}"
+            )
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ScenarioError(
+                f"scenario {self.name!r}: failure_rate must be in [0, 1], "
+                f"got {self.failure_rate}"
+            )
+        if not 0.0 <= self.straggler_fraction <= 1.0:
+            raise ScenarioError(
+                f"scenario {self.name!r}: straggler_fraction must be in [0, 1], "
+                f"got {self.straggler_fraction}"
+            )
+        if self.mttr < 1:
+            raise ScenarioError(
+                f"scenario {self.name!r}: mttr must be >= 1, got {self.mttr}"
+            )
+        if self.slowdown < 1.0:
+            raise ScenarioError(
+                f"scenario {self.name!r}: slowdown must be >= 1, got {self.slowdown}"
+            )
+        if self.continuity_factor <= 0.0:
+            raise ScenarioError(
+                f"scenario {self.name!r}: continuity_factor must be > 0, "
+                f"got {self.continuity_factor}"
+            )
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ScenarioError(
+                f"scenario {self.name!r}: checkpoint_every must be >= 1 or None, "
+                f"got {self.checkpoint_every}"
+            )
+        if self.eval_every is not None and self.eval_every < 1:
+            raise ScenarioError(
+                f"scenario {self.name!r}: eval_every must be >= 1, got {self.eval_every}"
+            )
+        events = tuple(self.events)
+        for event in events:
+            if not isinstance(event, FaultEvent):
+                raise ScenarioError(
+                    f"scenario {self.name!r}: events must be FaultEvent instances, "
+                    f"got {type(event).__name__}"
+                )
+        if not events and self.failure_rate == 0.0 and self.straggler_fraction == 0.0:
+            raise ScenarioError(
+                f"scenario {self.name!r}: no fault source — provide explicit "
+                "events or a positive failure_rate / straggler_fraction"
+            )
+        _check_parameter_names(self.fixed.keys(), f"scenario {self.name!r} fixed")
+        # Validate the schedule at registration time, not hours into a run.
+        try:
+            self.build_schedule(self.num_workers, self.iterations)
+        except FaultError as exc:
+            raise ScenarioError(f"scenario {self.name!r}: {exc}") from exc
+        object.__setattr__(self, "events", events)
+        object.__setattr__(self, "fixed", dict(self.fixed))
+        object.__setattr__(self, "tags", tuple(self.tags))
+
+    def build_schedule(self, num_workers: int, iterations: int):
+        """The concrete :class:`~repro.faults.schedule.FaultSchedule` to run.
+
+        Explicit ``events`` win; otherwise the schedule is generated from
+        the scenario's seeded fault process.  Always validated against the
+        actual (possibly overridden) cluster size and iteration budget.
+        """
+        from repro.faults.schedule import FaultSchedule
+
+        if self.events:
+            schedule = FaultSchedule(list(self.events))
+            schedule.validate(num_workers, iterations)
+            return schedule
+        return FaultSchedule.generate(
+            num_workers,
+            iterations,
+            seed=self.fault_seed,
+            failure_rate=self.failure_rate,
+            straggler_fraction=self.straggler_fraction,
+            mttr=self.mttr,
+            slowdown=self.slowdown,
+        )
+
+    @property
+    def kind(self) -> str:
+        """Scenario kind discriminator: ``"fault"``."""
+        return "fault"
 
     def resolved_eval_every(self, iterations: Optional[int] = None) -> int:
         """Evaluation cadence for a run of ``iterations`` steps."""

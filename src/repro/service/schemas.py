@@ -139,6 +139,7 @@ def _build_schemas() -> Dict[str, Dict[str, Any]]:
             "seed": {"type": "integer", "nullable": True, "required": False},
             "stacked": {"type": "boolean", "nullable": True, "required": False},
             "max_stacked_rows": {"type": "integer", "nullable": True, "required": False},
+            "fault_seed": {"type": "integer", "nullable": True, "required": False},
         },
         "required": ["name"],
         "additionalProperties": False,

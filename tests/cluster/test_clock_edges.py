@@ -1,0 +1,110 @@
+"""SimulatedClock edge cases: single-worker barriers, rejections, bucket sums,
+and the fault layer's rejoin fast-forward (``sync_worker``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.clock import SimulatedClock
+
+pytestmark = pytest.mark.faults
+
+
+class TestSingleWorker:
+    def test_barrier_with_one_worker_is_a_noop(self):
+        clock = SimulatedClock(1)
+        clock.advance_worker(0, 2.5)
+        assert clock.barrier() == 2.5
+        assert clock.worker_elapsed(0) == 2.5
+
+    def test_barrier_and_add_charges_the_lone_worker(self):
+        clock = SimulatedClock(1)
+        clock.advance_worker(0, 1.0)
+        assert clock.barrier_and_add(0.5) == 1.5
+        assert clock.elapsed == 1.5
+        assert clock.buckets["communication"] == 0.5
+
+
+class TestRejections:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            SimulatedClock(0)
+
+    def test_negative_advances_rejected_everywhere(self):
+        clock = SimulatedClock(2)
+        with pytest.raises(ValueError, match="negative"):
+            clock.advance_worker(0, -1.0)
+        with pytest.raises(ValueError, match="negative"):
+            clock.advance_all([1.0, -1.0])
+        with pytest.raises(ValueError, match="negative"):
+            clock.barrier_and_add(-0.1)
+
+    def test_zero_second_advance_is_a_clean_noop(self):
+        clock = SimulatedClock(2)
+        clock.advance_worker(0, 0.0)
+        clock.advance_all([0.0, 0.0])
+        assert clock.elapsed == 0.0
+        assert clock.buckets["compute"] == 0.0
+
+    def test_out_of_range_workers_rejected(self):
+        clock = SimulatedClock(2)
+        with pytest.raises(ValueError, match="out of range"):
+            clock.advance_worker(5, 1.0)
+        with pytest.raises(ValueError, match="out of range"):
+            clock.worker_elapsed(5)
+        with pytest.raises(ValueError, match="out of range"):
+            clock.sync_worker(5)
+
+    def test_wrong_duration_shape_rejected(self):
+        clock = SimulatedClock(3)
+        with pytest.raises(ValueError, match="expected 3 durations"):
+            clock.advance_all([1.0, 2.0])
+
+
+class TestBucketAccounting:
+    def test_serial_advances_sum_into_their_bucket(self):
+        clock = SimulatedClock(3)
+        amounts = [(0, 1.0), (1, 2.0), (2, 0.5), (0, 0.25)]
+        for worker, seconds in amounts:
+            clock.advance_worker(worker, seconds, bucket="compute")
+        assert clock.buckets["compute"] == pytest.approx(
+            sum(s for _, s in amounts)
+        )
+        np.testing.assert_allclose(clock.worker_time, [1.25, 2.0, 0.5])
+
+    def test_parallel_advance_charges_the_critical_path(self):
+        clock = SimulatedClock(3)
+        clock.advance_all([1.0, 3.0, 2.0])
+        # A parallel phase costs its slowest worker, not the sum.
+        assert clock.buckets["compute"] == 3.0
+        assert clock.elapsed == 3.0
+
+    def test_unknown_buckets_are_created_on_demand(self):
+        clock = SimulatedClock(1)
+        clock.advance_worker(0, 1.0, bucket="resync")
+        assert clock.buckets["resync"] == 1.0
+
+
+class TestSyncWorker:
+    def test_fast_forwards_to_the_frontier(self):
+        clock = SimulatedClock(3)
+        clock.advance_worker(0, 4.0)
+        clock.advance_worker(1, 7.0)
+        assert clock.sync_worker(2) == 7.0
+        assert clock.worker_elapsed(2) == 7.0
+        # Other workers are untouched (unlike barrier()).
+        assert clock.worker_elapsed(0) == 4.0
+
+    def test_charges_no_bucket(self):
+        clock = SimulatedClock(2)
+        clock.advance_worker(0, 5.0)
+        buckets = dict(clock.buckets)
+        clock.sync_worker(1)
+        assert clock.buckets == buckets
+
+    def test_never_rewinds_the_frontier_worker(self):
+        clock = SimulatedClock(2)
+        clock.advance_worker(1, 3.0)
+        assert clock.sync_worker(1) == 3.0
+        assert clock.worker_elapsed(1) == 3.0

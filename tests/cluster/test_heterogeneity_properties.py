@@ -1,0 +1,135 @@
+"""Property-based tests for the worker speed models (cluster/heterogeneity).
+
+The properties run twice: through hypothesis when it is installed, and
+always through a deterministic seeded grid — so the invariants stay covered
+on machines without hypothesis (the repo installs nothing at test time).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.cluster.heterogeneity import HomogeneousSpeed, StragglerModel
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAS_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised on stripped-down images
+    HAS_HYPOTHESIS = False
+
+pytestmark = pytest.mark.faults
+
+
+# --------------------------------------------------------------------------- #
+# the properties, as plain assertions over one parameter point
+# --------------------------------------------------------------------------- #
+def check_factors_positive(num_workers, seed, prob, slowdown, steps=8):
+    model = StragglerModel(straggler_prob=prob, slowdown=slowdown, seed=seed)
+    for step in range(steps):
+        factors = model.speed_factors(num_workers, step)
+        assert factors.shape == (num_workers,)
+        assert np.all(factors > 0.0)
+        # Without static heterogeneity a factor is nominal or slowed, nothing else.
+        assert np.all(np.isin(factors, [1.0, 1.0 / slowdown]))
+
+
+def check_deterministic_replay(num_workers, seed, prob, steps=8):
+    """Identically-seeded models replayed through the same call sequence agree.
+
+    The straggler model is *stateful* (its RNG advances once per call), so
+    determinism is a property of the whole call sequence, not of one step.
+    """
+    a = StragglerModel(straggler_prob=prob, seed=seed)
+    b = StragglerModel(straggler_prob=prob, seed=seed)
+    for step in range(steps):
+        np.testing.assert_array_equal(
+            a.speed_factors(num_workers, step), b.speed_factors(num_workers, step)
+        )
+
+
+def check_homogeneous_is_constant(num_workers, factor, steps=5):
+    model = HomogeneousSpeed(factor)
+    for step in range(steps):
+        np.testing.assert_array_equal(
+            model.speed_factors(num_workers, step),
+            np.full(num_workers, float(factor)),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# seeded-grid coverage (always runs)
+# --------------------------------------------------------------------------- #
+GRID = list(
+    itertools.product([1, 3, 8], [0, 7, 123], [0.0, 0.3, 1.0])
+)
+
+
+class TestSeededGrid:
+    @pytest.mark.parametrize("num_workers, seed, prob", GRID)
+    def test_factors_positive_and_two_valued(self, num_workers, seed, prob):
+        check_factors_positive(num_workers, seed, prob, slowdown=3.0)
+
+    @pytest.mark.parametrize("num_workers, seed, prob", GRID)
+    def test_deterministic_per_seed_and_sequence(self, num_workers, seed, prob):
+        check_deterministic_replay(num_workers, seed, prob)
+
+    @pytest.mark.parametrize("factor", [0.25, 1.0, 4.0])
+    @pytest.mark.parametrize("num_workers", [1, 5])
+    def test_homogeneous_equals_constant_matrix(self, num_workers, factor):
+        check_homogeneous_is_constant(num_workers, factor)
+
+    def test_static_factors_scale_the_baseline(self):
+        statics = [2.0, 1.0, 0.5]
+        model = StragglerModel(straggler_prob=0.0, static_factors=statics, seed=0)
+        np.testing.assert_array_equal(model.speed_factors(3, 0), statics)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            StragglerModel(straggler_prob=1.5)
+        with pytest.raises(ValueError):
+            StragglerModel(slowdown=0.5)
+        with pytest.raises(ValueError):
+            StragglerModel(static_factors=[1.0, -2.0])
+        with pytest.raises(ValueError):
+            HomogeneousSpeed(0.0)
+        with pytest.raises(ValueError):
+            StragglerModel().speed_factors(0, 0)
+        with pytest.raises(ValueError, match="static_factors"):
+            StragglerModel(static_factors=[1.0, 2.0]).speed_factors(3, 0)
+
+
+# --------------------------------------------------------------------------- #
+# hypothesis coverage (richer sampling of the same properties)
+# --------------------------------------------------------------------------- #
+@pytest.mark.skipif(not HAS_HYPOTHESIS, reason="hypothesis not installed")
+class TestHypothesisProperties:
+    @given(
+        num_workers=st.integers(1, 16),
+        seed=st.integers(0, 10_000),
+        prob=st.floats(min_value=0.0, max_value=1.0),
+        slowdown=st.floats(min_value=1.0, max_value=50.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_factors_always_positive(self, num_workers, seed, prob, slowdown):
+        check_factors_positive(num_workers, seed, prob, slowdown, steps=4)
+
+    @given(
+        num_workers=st.integers(1, 16),
+        seed=st.integers(0, 10_000),
+        prob=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_replay(self, num_workers, seed, prob):
+        check_deterministic_replay(num_workers, seed, prob, steps=4)
+
+    @given(
+        num_workers=st.integers(1, 16),
+        factor=st.floats(min_value=1e-3, max_value=1e3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_homogeneous_constant(self, num_workers, factor):
+        check_homogeneous_is_constant(num_workers, factor, steps=3)

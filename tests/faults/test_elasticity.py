@@ -1,0 +1,260 @@
+"""Elastic worker masking: crashed rows vanish from compute and aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.sweep_exec import StackedSweepMatrix
+from repro.engine.worker_matrix import WorkerMatrix
+from repro.nn.models import MLP
+from tests.conftest import make_small_cluster
+
+pytestmark = pytest.mark.faults
+
+
+class TestActiveSet:
+    def test_deactivate_and_reactivate_roundtrip(self, small_cluster_factory):
+        cluster = small_cluster_factory(num_workers=4)
+        cluster.deactivate_worker(2)
+        assert cluster.num_active == 3
+        assert list(cluster.active_indices) == [0, 1, 3]
+        cluster.reactivate_worker(2)
+        assert cluster.active_mask.all()
+
+    def test_double_deactivate_and_double_reactivate_rejected(
+        self, small_cluster_factory
+    ):
+        cluster = small_cluster_factory(num_workers=3)
+        cluster.deactivate_worker(1)
+        with pytest.raises(ValueError, match="already inactive"):
+            cluster.deactivate_worker(1)
+        cluster.reactivate_worker(1)
+        with pytest.raises(ValueError, match="already active"):
+            cluster.reactivate_worker(1)
+
+    def test_last_active_worker_protected(self, small_cluster_factory):
+        cluster = small_cluster_factory(num_workers=2)
+        cluster.deactivate_worker(0)
+        with pytest.raises(ValueError, match="last active worker"):
+            cluster.deactivate_worker(1)
+
+    def test_out_of_range_worker_rejected(self, small_cluster_factory):
+        cluster = small_cluster_factory(num_workers=2)
+        with pytest.raises(ValueError, match="worker_id"):
+            cluster.deactivate_worker(5)
+
+    def test_primary_worker_skips_crashed_worker_zero(self, small_cluster_factory):
+        cluster = small_cluster_factory(num_workers=3)
+        assert cluster.primary_worker.worker_id == 0
+        cluster.deactivate_worker(0)
+        assert cluster.primary_worker.worker_id == 1
+
+    @pytest.mark.pool
+    def test_pool_cluster_rejects_elastic_masks(self):
+        cluster = make_small_cluster(num_workers=2, pool_workers=2)
+        try:
+            with pytest.raises(RuntimeError, match="replica pool"):
+                cluster.deactivate_worker(0)
+        finally:
+            cluster.close()
+
+
+class TestMaskedBatchesAndCompute:
+    def test_next_batches_returns_none_at_crashed_slots(self, small_cluster_factory):
+        cluster = small_cluster_factory(num_workers=3)
+        cluster.deactivate_worker(1)
+        batches = cluster.next_batches()
+        assert batches[1] is None
+        assert batches[0] is not None and batches[2] is not None
+
+    def test_crashed_loader_does_not_advance(self, small_cluster_factory):
+        cluster = small_cluster_factory(num_workers=2)
+        reference = small_cluster_factory(num_workers=2)
+        cluster.deactivate_worker(1)
+        cluster.next_batches()
+        cluster.reactivate_worker(1)
+        # The crashed worker's stream resumes exactly where it stopped: its
+        # first post-rejoin batch is the reference worker's *first* batch.
+        resumed = cluster.workers[1].next_batch()
+        expected = reference.workers[1].next_batch()
+        np.testing.assert_array_equal(resumed[0], expected[0])
+        np.testing.assert_array_equal(resumed[1], expected[1])
+
+    def test_masked_compute_matches_unmasked_active_rows(self, small_cluster_factory):
+        cluster = small_cluster_factory(num_workers=4, seed=3)
+        reference = small_cluster_factory(num_workers=4, seed=3)
+        ref_batches = reference.next_batches()
+        ref_losses = reference.compute_gradients_all(ref_batches)
+
+        cluster.deactivate_worker(1)
+        batches = list(ref_batches)
+        batches[1] = None
+        losses = cluster.compute_gradients_all(batches)
+
+        # Only active losses come back, bit-equal to the unmasked run's rows.
+        assert losses == [ref_losses[0], ref_losses[2], ref_losses[3]]
+        for row in (0, 2, 3):
+            np.testing.assert_array_equal(
+                cluster.matrix.grads[row], reference.matrix.grads[row]
+            )
+        assert not cluster.matrix.grads[1].any()
+
+    def test_masked_update_freezes_crashed_rows(self, small_cluster_factory):
+        cluster = small_cluster_factory(num_workers=3, seed=1)
+        cluster.deactivate_worker(2)
+        frozen = cluster.matrix.params[2].copy()
+        batches = cluster.next_batches()
+        cluster.compute_gradients_all(batches)
+        cluster.apply_local_updates()
+        np.testing.assert_array_equal(cluster.matrix.params[2], frozen)
+        assert not np.array_equal(
+            cluster.matrix.params[0], frozen
+        )  # live rows did step
+
+    def test_masked_aggregation_ignores_crashed_rows(self, small_cluster_factory):
+        cluster = small_cluster_factory(num_workers=3)
+        cluster.matrix.params[0] = 1.0
+        cluster.matrix.params[1] = 5.0
+        cluster.matrix.params[2] = 3.0
+        cluster.deactivate_worker(1)
+        np.testing.assert_allclose(cluster.average_worker_vector(), 2.0)
+        mean_state = cluster.average_worker_states()
+        flat = np.concatenate([v.ravel() for v in mean_state.values()])
+        np.testing.assert_allclose(flat, 2.0)
+
+    def test_broadcast_skips_crashed_rows(self, small_cluster_factory):
+        cluster = small_cluster_factory(num_workers=3)
+        cluster.deactivate_worker(1)
+        stale = cluster.matrix.params[1].copy()
+        cluster.broadcast_state(
+            np.full(cluster.matrix.spec.total_size, 9.0)
+        )
+        np.testing.assert_array_equal(cluster.matrix.params[1], stale)
+        np.testing.assert_allclose(cluster.matrix.params[0], 9.0)
+        np.testing.assert_allclose(cluster.matrix.params[2], 9.0)
+
+
+class TestFaultClockCharging:
+    def test_crashed_workers_charge_no_compute_time(self, small_cluster_factory):
+        cluster = small_cluster_factory(num_workers=3)
+        cluster.deactivate_worker(1)
+        durations = cluster.charge_compute_step()
+        assert durations[1] == 0.0
+        assert durations[0] > 0.0 and durations[2] > 0.0
+        assert cluster.clock.worker_elapsed(1) == 0.0
+
+    def test_fault_speed_scale_slows_compute(self, small_cluster_factory):
+        cluster = small_cluster_factory(num_workers=2)
+        baseline = cluster.charge_compute_step()
+        cluster.fault_speed_scale[1] = 1.0 / 3.0
+        slowed = cluster.charge_compute_step()
+        assert slowed[0] == pytest.approx(baseline[0])
+        assert slowed[1] == pytest.approx(3.0 * baseline[1])
+
+
+class TestWorkerMatrixResize:
+    def _spec(self):
+        model = MLP((6, 8, 3), rng=np.random.default_rng(0))
+        model.flatten_parameters()
+        return model.flat_spec
+
+    def test_grow_preserves_rows_and_zeroes_new_ones(self):
+        matrix = WorkerMatrix(2, self._spec())
+        matrix.params[:] = 7.0
+        matrix.resize(4)
+        assert matrix.params.shape[0] == 4
+        np.testing.assert_allclose(matrix.params[:2], 7.0)
+        np.testing.assert_allclose(matrix.params[2:], 0.0)
+
+    def test_shrink_drops_tail_rows(self):
+        matrix = WorkerMatrix(4, self._spec())
+        matrix.params[:] = np.arange(4)[:, None]
+        matrix.resize(2)
+        np.testing.assert_allclose(matrix.params[:, 0], [0.0, 1.0])
+
+    def test_donated_storage_cannot_resize(self):
+        spec = self._spec()
+        params = np.zeros((2, spec.total_size))
+        grads = np.zeros_like(params)
+        matrix = WorkerMatrix(2, spec, params=params, grads=grads)
+        assert not matrix.owns_storage
+        with pytest.raises(ValueError, match="donated storage"):
+            matrix.resize(3)
+
+    def test_invalid_size_rejected(self):
+        matrix = WorkerMatrix(2, self._spec())
+        with pytest.raises(ValueError, match="num_workers"):
+            matrix.resize(0)
+
+
+class TestStackedSliceMasks:
+    IN_DIM, NUM_CLASSES, BATCH = 6, 3, 4
+
+    def _make(self, num_slices=2, num_workers=3):
+        model = MLP((self.IN_DIM, 8, self.NUM_CLASSES), rng=np.random.default_rng(0))
+        stacked = StackedSweepMatrix(num_slices, num_workers)
+        for index in range(num_slices):
+            stacked.slice_storage(index, model.flat_spec)
+        stacked.params[:] = np.random.default_rng(11).standard_normal(
+            stacked.params.shape
+        )
+        stacked.build_executors(model)
+        return stacked
+
+    def _batches(self, num_workers, seed=5):
+        rng = np.random.default_rng(seed)
+        return [
+            (
+                rng.standard_normal((self.BATCH, self.IN_DIM)),
+                rng.integers(0, self.NUM_CLASSES, size=self.BATCH),
+            )
+            for _ in range(num_workers)
+        ]
+
+    def test_masked_slice_zeroes_its_crashed_rows_only(self):
+        stacked = self._make()
+        reference = self._make()
+        batches = self._batches(3)
+        mask = np.array([True, False, True])
+        stacked.set_slice_mask(1, mask)
+        masked_batches = list(batches)
+        masked_batches[1] = None
+
+        losses0, norms0 = stacked.gradients_for_slice(0, batches)
+        losses1, norms1 = stacked.gradients_for_slice(1, masked_batches)
+        ref0 = reference.gradients_for_slice(0, batches)
+        ref1 = reference.gradients_for_slice(1, batches)
+
+        # Slice 0 (unmasked) is untouched by slice 1's mask.
+        np.testing.assert_array_equal(losses0, ref0[0])
+        np.testing.assert_array_equal(norms0, ref0[1])
+        # Slice 1's crashed row is zeroed, its live rows bit-equal.
+        assert losses1[1] == 0.0 and norms1[1] == 0.0
+        assert not stacked.grads[4].any()  # slice 1, worker 1 → row 4
+        for worker in (0, 2):
+            assert losses1[worker] == ref1[0][worker]
+            np.testing.assert_array_equal(
+                stacked.grads[3 + worker], reference.grads[3 + worker]
+            )
+
+    def test_all_false_mask_rejected(self):
+        stacked = self._make()
+        with pytest.raises(ValueError, match="every worker"):
+            stacked.set_slice_mask(0, np.zeros(3, dtype=bool))
+
+    def test_wrong_shape_and_bad_index_rejected(self):
+        stacked = self._make()
+        with pytest.raises(ValueError):
+            stacked.set_slice_mask(0, np.ones(5, dtype=bool))
+        with pytest.raises(ValueError):
+            stacked.set_slice_mask(9, np.ones(3, dtype=bool))
+
+    def test_clearing_the_mask_restores_full_compute(self):
+        stacked = self._make()
+        batches = self._batches(3)
+        stacked.set_slice_mask(1, np.array([True, False, True]))
+        stacked.set_slice_mask(1, None)
+        stacked.gradients_for_slice(0, batches)
+        losses1, norms1 = stacked.gradients_for_slice(1, batches)
+        assert np.all(np.asarray(losses1) > 0.0) and np.all(np.asarray(norms1) > 0.0)

@@ -1,0 +1,132 @@
+"""FaultEvent / FaultSchedule validation and seeded generation determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.schedule import (
+    FaultError,
+    FaultEvent,
+    FaultSchedule,
+    crash,
+    rejoin,
+    straggler_burst,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestFaultEvent:
+    def test_helpers_build_the_right_kinds(self):
+        assert crash(1, 5) == FaultEvent(step=5, kind="crash", worker=1)
+        assert rejoin(1, 9) == FaultEvent(step=9, kind="rejoin", worker=1)
+        burst = straggler_burst(2, 4, duration=3, slowdown=2.5)
+        assert (burst.kind, burst.duration, burst.slowdown) == ("straggler", 3, 2.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(step=0, kind="explode", worker=0),
+            dict(step=-1, kind="crash", worker=0),
+            dict(step=0, kind="crash", worker=-1),
+            dict(step=0, kind="straggler", worker=0, duration=0, slowdown=2.0),
+            dict(step=0, kind="straggler", worker=0, duration=-2, slowdown=2.0),
+            dict(step=0, kind="straggler", worker=0, duration=3, slowdown=0.5),
+        ],
+    )
+    def test_invalid_events_rejected(self, kwargs):
+        with pytest.raises(FaultError):
+            FaultEvent(**kwargs)
+
+    def test_to_dict_includes_burst_fields_only_for_stragglers(self):
+        assert crash(1, 5).to_dict() == {"step": 5, "kind": "crash", "worker": 1}
+        burst = straggler_burst(0, 2, duration=4, slowdown=3.0).to_dict()
+        assert burst["duration"] == 4 and burst["slowdown"] == 3.0
+
+
+class TestFaultSchedule:
+    def test_events_sorted_by_step_stably(self):
+        schedule = FaultSchedule([rejoin(0, 5), crash(1, 2), crash(0, 5)])
+        assert [e.step for e in schedule] == [2, 5, 5]
+        # Same-step events keep insertion order: rejoin before crash.
+        assert [e.kind for e in schedule.events_at(5)] == ["rejoin", "crash"]
+
+    def test_non_event_members_rejected(self):
+        with pytest.raises(FaultError, match="FaultEvent"):
+            FaultSchedule([crash(0, 1), {"step": 2, "kind": "crash", "worker": 1}])
+
+    def test_equality_and_roundtrip_dicts(self):
+        events = [crash(1, 3), rejoin(1, 7)]
+        assert FaultSchedule(events) == FaultSchedule(events)
+        assert FaultSchedule(events).to_dicts() == [e.to_dict() for e in events]
+
+    @pytest.mark.parametrize(
+        "events, match",
+        [
+            ([crash(5, 0)], "has 4 workers"),
+            ([crash(1, 99)], "beyond"),
+            ([crash(1, 2), crash(1, 3)], "already down"),
+            ([rejoin(1, 2)], "never crashed"),
+            (
+                [crash(0, 1), crash(1, 1), crash(2, 1), crash(3, 2)],
+                "last active worker",
+            ),
+        ],
+    )
+    def test_impossible_histories_rejected(self, events, match):
+        with pytest.raises(FaultError, match=match):
+            FaultSchedule(events).validate(4, iterations=20)
+
+    def test_valid_history_passes(self):
+        FaultSchedule(
+            [crash(0, 1), rejoin(0, 4), crash(0, 6), straggler_burst(1, 2, 3)]
+        ).validate(4, iterations=10)
+
+
+class TestGenerate:
+    def test_pure_function_of_arguments(self):
+        kwargs = dict(seed=11, failure_rate=0.1, straggler_fraction=0.2, mttr=4)
+        a = FaultSchedule.generate(6, 40, **kwargs)
+        b = FaultSchedule.generate(6, 40, **kwargs)
+        assert a == b and len(a) > 0
+
+    def test_seed_changes_the_schedule(self):
+        a = FaultSchedule.generate(6, 40, seed=0, failure_rate=0.1)
+        b = FaultSchedule.generate(6, 40, seed=1, failure_rate=0.1)
+        assert a != b
+
+    def test_generated_schedule_is_always_valid(self):
+        for seed in range(5):
+            schedule = FaultSchedule.generate(
+                4, 30, seed=seed, failure_rate=0.15, straggler_fraction=0.3, mttr=3
+            )
+            schedule.validate(4, iterations=30)
+
+    def test_zero_rates_generate_nothing(self):
+        assert len(FaultSchedule.generate(4, 20, seed=3)) == 0
+
+    def test_straggler_bursts_never_overlap_per_worker(self):
+        schedule = FaultSchedule.generate(
+            3, 60, seed=2, straggler_fraction=0.5, mttr=5
+        )
+        ends = {}
+        for event in schedule:
+            if event.kind != "straggler":
+                continue
+            assert event.step > ends.get(event.worker, -1)
+            ends[event.worker] = event.step + event.duration - 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_workers=0, iterations=10),
+            dict(num_workers=2, iterations=0),
+            dict(num_workers=2, iterations=10, failure_rate=1.5),
+            dict(num_workers=2, iterations=10, straggler_fraction=-0.1),
+            dict(num_workers=2, iterations=10, mttr=0),
+            dict(num_workers=2, iterations=10, slowdown=0.9),
+        ],
+    )
+    def test_invalid_arguments_rejected(self, kwargs):
+        with pytest.raises(FaultError):
+            FaultSchedule.generate(**kwargs)

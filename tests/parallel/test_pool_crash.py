@@ -1,0 +1,79 @@
+"""Crash-path contract of the replica pool, across start methods.
+
+A child process dying mid-step must surface as :class:`PoolCrashError`
+(never a hang), the parent must keep the shared state intact, cleanup must
+unlink every shared-memory segment, and a *fresh* pool must come up cleanly
+afterwards — for both the fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.parallel.pool import PoolCrashError
+from repro.parallel.shm import SharedMatrixStorage
+from tests.conftest import make_small_cluster
+
+pytestmark = [pytest.mark.pool, pytest.mark.faults]
+
+START_METHODS = [
+    m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+]
+
+
+@pytest.mark.parametrize("start_method", START_METHODS)
+class TestCrashAcrossStartMethods:
+    def test_child_death_raises_unlinks_and_next_pool_works(self, start_method):
+        cluster = make_small_cluster(
+            num_workers=4, pool_workers=2, pool_start_method=start_method
+        )
+        handle = cluster._shared_storage.handle
+        params_before = cluster.matrix.params.copy()
+
+        victim = cluster.pool._processes[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        with pytest.raises(PoolCrashError, match="died"):
+            cluster.compute_gradients_all([w.next_batch() for w in cluster.workers])
+        assert cluster.pool.closed
+        # Shared state survives the crash: the parent's matrix is untouched.
+        np.testing.assert_array_equal(cluster.matrix.params, params_before)
+
+        cluster.close()
+        # Cleanup unlinked both segments: attaching by name must fail.
+        with pytest.raises(FileNotFoundError):
+            SharedMatrixStorage.attach(handle)
+
+        # A subsequent pool-backed cluster (same config, fresh segments)
+        # comes up and computes a full step.
+        fresh = make_small_cluster(
+            num_workers=4, pool_workers=2, pool_start_method=start_method
+        )
+        try:
+            losses = fresh.compute_gradients_all(
+                [w.next_batch() for w in fresh.workers]
+            )
+            assert len(losses) == 4
+            assert all(np.isfinite(loss) for loss in losses)
+            assert all(fresh.matrix.grads[i].any() for i in range(4))
+        finally:
+            fresh.close()
+
+    def test_crash_error_is_a_runtime_error(self, start_method):
+        assert issubclass(PoolCrashError, RuntimeError)
+        cluster = make_small_cluster(
+            num_workers=2, pool_workers=2, pool_start_method=start_method
+        )
+        victim = cluster.pool._processes[1]
+        os.kill(victim.pid, signal.SIGKILL)
+        try:
+            with pytest.raises(RuntimeError):
+                cluster.compute_gradients_all(
+                    [w.next_batch() for w in cluster.workers]
+                )
+        finally:
+            cluster.close()
